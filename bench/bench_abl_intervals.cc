@@ -1,0 +1,39 @@
+// A2 — ablation: interval count K (paper §4.3's discretization knob).
+// Too few intervals quantize the split boundaries away; too many starve
+// each interval of samples and slow reconstruction. The paper picks a
+// moderate K; this sweep shows the plateau.
+
+#include <cstdio>
+
+#include "bench/bench_util.h"
+
+int main() {
+  using namespace ppdm;
+  using tree::TrainingMode;
+
+  bench::PrintBanner("A2", "ablation: intervals per attribute (ByClass)");
+
+  std::printf("%-10s", "intervals");
+  for (synth::Function fn : bench::AllFunctions()) {
+    std::printf(" %8s", synth::FunctionName(fn).c_str());
+  }
+  std::printf("\n");
+
+  for (std::size_t intervals : {5u, 10u, 20u, 30u, 50u, 100u}) {
+    std::printf("%-10zu", intervals);
+    for (synth::Function fn : bench::AllFunctions()) {
+      core::ExperimentConfig config = bench::DefaultConfig(fn);
+      config.noise = perturb::NoiseKind::kUniform;
+      config.privacy_fraction = 0.5;
+      config.tree.intervals = intervals;
+      const auto result =
+          core::RunModes(config, {TrainingMode::kByClass})[0];
+      std::printf("   %5.1f%%", bench::Pct(result.accuracy));
+    }
+    std::printf("\n");
+  }
+  std::printf("\nExpected shape: accuracy climbs until the true decision "
+              "boundaries are\nresolvable (~20-30 intervals), then "
+              "plateaus; very large K adds nothing.\n");
+  return 0;
+}

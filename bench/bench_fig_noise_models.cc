@@ -1,0 +1,47 @@
+// F5 — Uniform vs Gaussian noise at equal 95%-confidence privacy: ByClass
+// accuracy per function at 50% / 100% / 200% privacy. The paper concludes
+// Gaussian is preferable — same accuracy or better, with more privacy at
+// higher confidence levels.
+
+#include <cstdio>
+
+#include "bench/bench_util.h"
+
+int main() {
+  using namespace ppdm;
+  using perturb::NoiseKind;
+  using tree::TrainingMode;
+
+  bench::PrintBanner("F5", "ByClass accuracy: uniform vs Gaussian noise");
+
+  std::printf("%-6s", "fn");
+  for (double privacy : {0.5, 1.0, 2.0}) {
+    std::printf("   U@%3.0f%%   G@%3.0f%%", bench::Pct(privacy),
+                bench::Pct(privacy));
+  }
+  std::printf("\n");
+
+  for (synth::Function fn : bench::AllFunctions()) {
+    std::printf("%-6s", synth::FunctionName(fn).c_str());
+    for (double privacy : {0.5, 1.0, 2.0}) {
+      double acc[2];
+      int i = 0;
+      for (NoiseKind kind : {NoiseKind::kUniform, NoiseKind::kGaussian}) {
+        core::ExperimentConfig config = bench::DefaultConfig(fn);
+        config.noise = kind;
+        config.privacy_fraction = privacy;
+        acc[i++] =
+            core::RunModes(config, {TrainingMode::kByClass})[0].accuracy;
+      }
+      std::printf("   %5.1f%%   %5.1f%%", bench::Pct(acc[0]),
+                  bench::Pct(acc[1]));
+    }
+    std::printf("\n");
+  }
+  std::printf("\nExpected shape: Gaussian matches or beats uniform at "
+              "privacy <= 100%%\n(the paper's preference). At the extreme "
+              "200%% setting bounded uniform noise\ncan win back: it "
+              "preserves rank information that unbounded Gaussian tails "
+              "destroy.\n");
+  return 0;
+}

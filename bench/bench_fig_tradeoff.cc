@@ -1,0 +1,40 @@
+// F4.1–F4.5 — the paper's per-function "accuracy vs privacy" figures:
+// for each Fn, test accuracy of Original / ByClass / Randomized as the
+// privacy level sweeps 10%..200% (uniform noise, 95% confidence).
+
+#include <cstdio>
+
+#include "bench/bench_util.h"
+
+int main() {
+  using namespace ppdm;
+  using tree::TrainingMode;
+
+  bench::PrintBanner("F4", "accuracy vs privacy, per classification function");
+
+  const std::vector<double> levels{0.10, 0.25, 0.50, 1.00, 1.50, 2.00};
+  const std::vector<TrainingMode> modes{TrainingMode::kOriginal,
+                                        TrainingMode::kByClass,
+                                        TrainingMode::kRandomized};
+
+  for (synth::Function fn : bench::AllFunctions()) {
+    std::printf("\n-- F4.%d: %s (uniform noise) --\n",
+                static_cast<int>(fn), synth::FunctionName(fn).c_str());
+    std::printf("%-10s %10s %10s %12s\n", "privacy", "Original", "ByClass",
+                "Randomized");
+    for (double privacy : levels) {
+      core::ExperimentConfig config = bench::DefaultConfig(fn);
+      config.noise = perturb::NoiseKind::kUniform;
+      config.privacy_fraction = privacy;
+      const auto results = core::RunModes(config, modes);
+      std::printf("%8.0f%% %9.1f%% %9.1f%% %11.1f%%\n",
+                  bench::Pct(privacy), bench::Pct(results[0].accuracy),
+                  bench::Pct(results[1].accuracy),
+                  bench::Pct(results[2].accuracy));
+    }
+  }
+  std::printf("\nExpected shape: Original flat; ByClass degrades "
+              "gracefully and stays well\nabove Randomized, whose accuracy "
+              "collapses as privacy grows.\n");
+  return 0;
+}

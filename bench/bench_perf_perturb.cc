@@ -1,0 +1,40 @@
+// P3 — perturbation throughput (google-benchmark): records/second of the
+// data-provider side, per noise model.
+
+#include <benchmark/benchmark.h>
+
+#include "perturb/randomizer.h"
+#include "synth/generator.h"
+
+namespace {
+
+using namespace ppdm;
+
+void RunPerturb(benchmark::State& state, perturb::NoiseKind kind) {
+  synth::GeneratorOptions gen;
+  gen.num_records = static_cast<std::size_t>(state.range(0));
+  const data::Dataset d = synth::Generate(gen);
+  perturb::RandomizerOptions options;
+  options.kind = kind;
+  options.privacy_fraction = 1.0;
+  const perturb::Randomizer rz(d.schema(), options);
+  for (auto _ : state) {
+    benchmark::DoNotOptimize(rz.Perturb(d));
+  }
+  state.SetItemsProcessed(static_cast<std::int64_t>(gen.num_records) *
+                          static_cast<std::int64_t>(state.iterations()));
+}
+
+void BM_PerturbUniform(benchmark::State& state) {
+  RunPerturb(state, perturb::NoiseKind::kUniform);
+}
+void BM_PerturbGaussian(benchmark::State& state) {
+  RunPerturb(state, perturb::NoiseKind::kGaussian);
+}
+
+BENCHMARK(BM_PerturbUniform)->Arg(100000)->Unit(benchmark::kMillisecond);
+BENCHMARK(BM_PerturbGaussian)->Arg(100000)->Unit(benchmark::kMillisecond);
+
+}  // namespace
+
+BENCHMARK_MAIN();

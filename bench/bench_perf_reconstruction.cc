@@ -1,0 +1,68 @@
+// P1 — timing of the Bayes/EM reconstructor (google-benchmark): binned
+// (the paper's O(K²)/iteration acceleration) vs exact (O(N·K)/iteration),
+// across sample counts and interval counts.
+
+#include <vector>
+
+#include <benchmark/benchmark.h>
+
+#include "perturb/noise_model.h"
+#include "reconstruct/reconstructor.h"
+#include "stats/distribution.h"
+
+namespace {
+
+using namespace ppdm;
+
+std::vector<double> MakePerturbed(std::size_t n) {
+  Rng rng(1);
+  const stats::PlateauDistribution truth(0.0, 1.0, 0.25);
+  const perturb::NoiseModel noise =
+      perturb::NoiseForPrivacy(perturb::NoiseKind::kUniform, 1.0, 1.0, 0.95);
+  std::vector<double> w(n);
+  for (double& v : w) v = truth.Sample(&rng) + noise.Sample(&rng);
+  return w;
+}
+
+void BM_ReconstructBinned(benchmark::State& state) {
+  const auto n = static_cast<std::size_t>(state.range(0));
+  const auto intervals = static_cast<std::size_t>(state.range(1));
+  const std::vector<double> w = MakePerturbed(n);
+  const perturb::NoiseModel noise =
+      perturb::NoiseForPrivacy(perturb::NoiseKind::kUniform, 1.0, 1.0, 0.95);
+  reconstruct::ReconstructionOptions options;
+  options.binned = true;
+  const reconstruct::BayesReconstructor rec(noise, options);
+  const reconstruct::Partition p(0.0, 1.0, intervals);
+  for (auto _ : state) {
+    benchmark::DoNotOptimize(rec.Fit(w, p));
+  }
+  state.SetItemsProcessed(static_cast<std::int64_t>(n) *
+                          static_cast<std::int64_t>(state.iterations()));
+}
+BENCHMARK(BM_ReconstructBinned)
+    ->Args({10000, 20})
+    ->Args({100000, 20})
+    ->Args({100000, 50})
+    ->Args({100000, 100});
+
+void BM_ReconstructExact(benchmark::State& state) {
+  const auto n = static_cast<std::size_t>(state.range(0));
+  const std::vector<double> w = MakePerturbed(n);
+  const perturb::NoiseModel noise =
+      perturb::NoiseForPrivacy(perturb::NoiseKind::kUniform, 1.0, 1.0, 0.95);
+  reconstruct::ReconstructionOptions options;
+  options.binned = false;
+  const reconstruct::BayesReconstructor rec(noise, options);
+  const reconstruct::Partition p(0.0, 1.0, 20);
+  for (auto _ : state) {
+    benchmark::DoNotOptimize(rec.Fit(w, p));
+  }
+  state.SetItemsProcessed(static_cast<std::int64_t>(n) *
+                          static_cast<std::int64_t>(state.iterations()));
+}
+BENCHMARK(BM_ReconstructExact)->Arg(10000)->Arg(50000);
+
+}  // namespace
+
+BENCHMARK_MAIN();

@@ -1,0 +1,58 @@
+// P2 — timing of decision-tree training per algorithm (google-benchmark):
+// the paper's cost argument that ByClass reconstructs once per class per
+// attribute while Local reconstructs at every node.
+
+#include <benchmark/benchmark.h>
+
+#include "core/experiment.h"
+
+namespace {
+
+using namespace ppdm;
+
+void RunMode(benchmark::State& state, tree::TrainingMode mode) {
+  core::ExperimentConfig config;
+  config.function = synth::Function::kF3;
+  config.train_records = static_cast<std::size_t>(state.range(0));
+  config.test_records = 100;
+  config.noise = perturb::NoiseKind::kUniform;
+  config.privacy_fraction = 1.0;
+  const core::ExperimentData data = core::PrepareData(config);
+  const data::Dataset& training = mode == tree::TrainingMode::kOriginal
+                                      ? data.train
+                                      : data.perturbed_train;
+  const perturb::Randomizer* randomizer =
+      tree::ModeUsesReconstruction(mode) ? &data.randomizer : nullptr;
+  for (auto _ : state) {
+    benchmark::DoNotOptimize(
+        tree::TrainDecisionTree(training, mode, config.tree, randomizer));
+  }
+  state.SetItemsProcessed(static_cast<std::int64_t>(config.train_records) *
+                          static_cast<std::int64_t>(state.iterations()));
+}
+
+void BM_TrainOriginal(benchmark::State& state) {
+  RunMode(state, tree::TrainingMode::kOriginal);
+}
+void BM_TrainRandomized(benchmark::State& state) {
+  RunMode(state, tree::TrainingMode::kRandomized);
+}
+void BM_TrainGlobal(benchmark::State& state) {
+  RunMode(state, tree::TrainingMode::kGlobal);
+}
+void BM_TrainByClass(benchmark::State& state) {
+  RunMode(state, tree::TrainingMode::kByClass);
+}
+void BM_TrainLocal(benchmark::State& state) {
+  RunMode(state, tree::TrainingMode::kLocal);
+}
+
+BENCHMARK(BM_TrainOriginal)->Arg(10000)->Unit(benchmark::kMillisecond);
+BENCHMARK(BM_TrainRandomized)->Arg(10000)->Unit(benchmark::kMillisecond);
+BENCHMARK(BM_TrainGlobal)->Arg(10000)->Unit(benchmark::kMillisecond);
+BENCHMARK(BM_TrainByClass)->Arg(10000)->Unit(benchmark::kMillisecond);
+BENCHMARK(BM_TrainLocal)->Arg(10000)->Unit(benchmark::kMillisecond);
+
+}  // namespace
+
+BENCHMARK_MAIN();

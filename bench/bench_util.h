@@ -1,0 +1,49 @@
+// Shared helpers for the figure/table generators. Every bench binary runs
+// with no arguments, prints paper-style rows to stdout, and honours
+// PPDM_PAPER_SCALE=1 for the paper's full 100k-record runs.
+
+#ifndef PPDM_BENCH_BENCH_UTIL_H_
+#define PPDM_BENCH_BENCH_UTIL_H_
+
+#include <cstdio>
+#include <string>
+#include <vector>
+
+#include "core/experiment.h"
+
+namespace ppdm::bench {
+
+/// The default experimental cell: paper workload at laptop scale unless
+/// PPDM_PAPER_SCALE=1 asks for the full 100k/5k.
+inline core::ExperimentConfig DefaultConfig(synth::Function fn) {
+  core::ExperimentConfig config;
+  config.function = fn;
+  config.train_records = 20000;
+  config.test_records = 5000;
+  config.seed = 20000607;  // SIGMOD 2000 vintage
+  core::ApplyScale(&config);
+  return config;
+}
+
+/// All five benchmark functions.
+inline std::vector<synth::Function> AllFunctions() {
+  return {synth::Function::kF1, synth::Function::kF2, synth::Function::kF3,
+          synth::Function::kF4, synth::Function::kF5};
+}
+
+/// Banner naming the experiment and its provenance in the paper.
+inline void PrintBanner(const std::string& experiment_id,
+                        const std::string& what) {
+  std::printf("================================================================\n");
+  std::printf("%s — %s\n", experiment_id.c_str(), what.c_str());
+  std::printf("(Agrawal & Srikant, \"Privacy-Preserving Data Mining\", "
+              "SIGMOD 2000)\n");
+  std::printf("================================================================\n");
+}
+
+/// "85.3" from 0.853.
+inline double Pct(double fraction) { return 100.0 * fraction; }
+
+}  // namespace ppdm::bench
+
+#endif  // PPDM_BENCH_BENCH_UTIL_H_

@@ -1,0 +1,53 @@
+// Quickstart: the full privacy-preserving mining loop in ~40 lines.
+//
+// 1. Data providers perturb their records with calibrated noise.
+// 2. The server reconstructs per-class distributions (never seeing true
+//    values) and trains a ByClass decision tree.
+// 3. The tree classifies fresh, unperturbed records.
+//
+// Build & run:  cmake --build build && ./build/examples/quickstart
+
+#include <cstdio>
+
+#include "core/experiment.h"
+
+int main() {
+  using namespace ppdm;
+
+  // One experimental cell: classification function Fn2 (age × salary
+  // bands), 20k providers, uniform noise at the paper's "100% privacy"
+  // setting — each disclosed value only pins the true value to an
+  // interval as wide as the whole attribute range (95% confidence).
+  core::ExperimentConfig config;
+  config.function = synth::Function::kF2;
+  config.train_records = 20000;
+  config.test_records = 5000;
+  config.noise = perturb::NoiseKind::kUniform;
+  config.privacy_fraction = 1.0;
+
+  std::printf("Generating %zu provider records and perturbing them at "
+              "%.0f%% privacy...\n",
+              config.train_records, 100.0 * config.privacy_fraction);
+  const core::ExperimentData data = core::PrepareData(config);
+
+  // What one provider actually discloses:
+  std::printf("\nprovider record 0:   true salary = %8.0f   disclosed "
+              "salary = %8.0f\n",
+              data.train.At(0, synth::kSalary),
+              data.perturbed_train.At(0, synth::kSalary));
+
+  // Server side: reconstruct + train, then evaluate on clean test data.
+  for (auto mode : {tree::TrainingMode::kOriginal,
+                    tree::TrainingMode::kRandomized,
+                    tree::TrainingMode::kByClass}) {
+    const core::ModeResult result = core::RunMode(data, mode, config);
+    std::printf("%-11s accuracy = %.1f%%   (%zu tree nodes)\n",
+                tree::TrainingModeName(mode).c_str(), 100.0 * result.accuracy,
+                result.tree_nodes);
+  }
+
+  std::printf("\nByClass recovers most of the accuracy that Randomized "
+              "throws away,\nwithout the server ever seeing a true "
+              "value.\n");
+  return 0;
+}

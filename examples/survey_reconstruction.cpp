@@ -1,0 +1,73 @@
+// Scenario: an online web survey (the paper's motivating example). Users
+// won't reveal their true age to the survey server, so each browser adds
+// calibrated noise before submitting. The server recovers the *population*
+// age distribution — accurately — while each individual's age stays
+// hidden inside a ±31-year window.
+//
+// Demonstrates: NoiseForPrivacy, per-record perturbation, EM
+// reconstruction, and the information-theoretic privacy accounting.
+
+#include <cstdio>
+#include <vector>
+
+#include "core/infotheory.h"
+#include "perturb/noise_model.h"
+#include "reconstruct/reconstructor.h"
+#include "stats/distribution.h"
+#include "stats/histogram.h"
+
+int main() {
+  using namespace ppdm;
+
+  // A plausible respondent-age distribution: young-skewed mixture.
+  const auto young = std::make_shared<stats::TriangleDistribution>(18.0, 45.0);
+  const auto older = std::make_shared<stats::PlateauDistribution>(30.0, 80.0,
+                                                                  0.3);
+  const stats::MixtureDistribution population({young, older}, {2.0, 1.0});
+
+  // 100% privacy at 95% confidence over the age domain [18, 80].
+  const double range = 80.0 - 18.0;
+  const perturb::NoiseModel noise = perturb::NoiseForPrivacy(
+      perturb::NoiseKind::kUniform, 1.0, range, 0.95);
+  std::printf("Survey noise: uniform ±%.1f years (95%% confidence interval "
+              "width %.1f years)\n\n",
+              noise.scale(), noise.PrivacyAtConfidence(0.95));
+
+  // Each respondent perturbs locally; the server sees only w = age + y.
+  const std::size_t respondents = 30000;
+  Rng rng(2024);
+  stats::Histogram truth(18.0, 80.0, 31);
+  std::vector<double> submitted(respondents);
+  for (std::size_t i = 0; i < respondents; ++i) {
+    const double age = population.Sample(&rng);
+    truth.Add(age);
+    submitted[i] = age + noise.Sample(&rng);
+  }
+
+  // Server-side reconstruction.
+  const reconstruct::Partition partition(18.0, 80.0, 31);
+  const reconstruct::BayesReconstructor reconstructor(noise, {});
+  const reconstruct::Reconstruction recon =
+      reconstructor.Fit(submitted, partition);
+
+  std::printf("%-9s %-12s %-14s\n", "age", "true share", "reconstructed");
+  const auto true_masses = truth.Masses();
+  for (std::size_t k = 0; k < partition.intervals(); k += 3) {
+    std::printf("%4.0f-%-4.0f %9.2f%% %12.2f%%\n", partition.Lo(k),
+                partition.Hi(k), 100.0 * true_masses[k],
+                100.0 * recon.masses[k]);
+  }
+
+  std::printf("\nreconstruction error (total variation): %.4f after %zu EM "
+              "iterations\n",
+              stats::TotalVariation(recon.masses, true_masses),
+              recon.iterations);
+
+  // How much did each respondent actually give away?
+  const double h_x = core::DiscreteEntropyBits(true_masses);
+  const double mi = core::MutualInformationBits(true_masses, partition, noise);
+  std::printf("per-respondent disclosure: %.2f of %.2f bits (%.0f%%) — the "
+              "rest stays private.\n",
+              mi, h_x, 100.0 * mi / h_x);
+  return 0;
+}

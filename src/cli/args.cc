@@ -1,0 +1,84 @@
+#include "cli/args.h"
+
+#include "common/strings.h"
+
+namespace ppdm::cli {
+
+Result<Args> Args::Parse(int argc, const char* const* argv) {
+  Args args;
+  for (int i = 1; i < argc; ++i) {
+    const std::string token = argv[i];
+    if (token.rfind("--", 0) == 0) {
+      const std::size_t eq = token.find('=');
+      const std::string key =
+          eq == std::string::npos ? token.substr(2) : token.substr(2, eq - 2);
+      const std::string value =
+          eq == std::string::npos ? "" : token.substr(eq + 1);
+      if (key.empty()) {
+        return Status::InvalidArgument("malformed flag '" + token + "'");
+      }
+      args.flags_[key] = value;
+    } else if (args.command_.empty()) {
+      args.command_ = token;
+    } else {
+      return Status::InvalidArgument("unexpected positional argument '" +
+                                     token + "'");
+    }
+  }
+  if (args.command_.empty()) {
+    return Status::InvalidArgument("no command given");
+  }
+  return args;
+}
+
+bool Args::Has(const std::string& key) const {
+  return flags_.count(key) > 0;
+}
+
+std::string Args::GetString(const std::string& key,
+                            const std::string& fallback) const {
+  const auto it = flags_.find(key);
+  return it == flags_.end() ? fallback : it->second;
+}
+
+Result<double> Args::GetDouble(const std::string& key,
+                               double fallback) const {
+  const auto it = flags_.find(key);
+  if (it == flags_.end()) return fallback;
+  Result<double> parsed = ParseDouble(it->second);
+  if (!parsed.ok()) {
+    return Status::InvalidArgument("--" + key + ": " +
+                                   parsed.status().message());
+  }
+  return parsed;
+}
+
+Result<long long> Args::GetInt(const std::string& key,
+                               long long fallback) const {
+  const auto it = flags_.find(key);
+  if (it == flags_.end()) return fallback;
+  Result<long long> parsed = ParseInt(it->second);
+  if (!parsed.ok()) {
+    return Status::InvalidArgument("--" + key + ": " +
+                                   parsed.status().message());
+  }
+  return parsed;
+}
+
+Status Args::CheckKnown(const std::vector<std::string>& known) const {
+  for (const auto& [key, value] : flags_) {
+    bool found = false;
+    for (const std::string& k : known) {
+      if (k == key) {
+        found = true;
+        break;
+      }
+    }
+    if (!found) {
+      return Status::InvalidArgument("unknown flag --" + key);
+    }
+  }
+  return Status::Ok();
+}
+
+}  // namespace ppdm::cli

@@ -1,0 +1,44 @@
+// Minimal --key=value flag parsing for the ppdm command-line tool.
+
+#ifndef PPDM_CLI_ARGS_H_
+#define PPDM_CLI_ARGS_H_
+
+#include <map>
+#include <string>
+#include <vector>
+
+#include "common/status.h"
+
+namespace ppdm::cli {
+
+/// Parsed command line: one positional command plus --key=value flags.
+class Args {
+ public:
+  /// Parses argv[1..]: the first non-flag token is the command, the rest
+  /// must be --key=value (or --flag, stored with an empty value).
+  static Result<Args> Parse(int argc, const char* const* argv);
+
+  const std::string& command() const { return command_; }
+
+  /// True when the flag was supplied.
+  bool Has(const std::string& key) const;
+
+  /// String value with a default.
+  std::string GetString(const std::string& key,
+                        const std::string& fallback) const;
+
+  /// Typed accessors; the flag must parse when present.
+  Result<double> GetDouble(const std::string& key, double fallback) const;
+  Result<long long> GetInt(const std::string& key, long long fallback) const;
+
+  /// Rejects any flag not in `known` (catches typos).
+  Status CheckKnown(const std::vector<std::string>& known) const;
+
+ private:
+  std::string command_;
+  std::map<std::string, std::string> flags_;
+};
+
+}  // namespace ppdm::cli
+
+#endif  // PPDM_CLI_ARGS_H_

@@ -1,0 +1,266 @@
+#include "cli/commands.h"
+
+#include <ostream>
+
+#include "common/strings.h"
+#include "core/metrics.h"
+#include "data/csv.h"
+#include "perturb/randomizer.h"
+#include "reconstruct/by_class.h"
+#include "reconstruct/reconstructor.h"
+#include "synth/generator.h"
+#include "tree/trainer.h"
+
+namespace ppdm::cli {
+namespace {
+
+Result<synth::Function> FunctionFromFlag(const Args& args) {
+  Result<long long> fn = args.GetInt("function", 1);
+  if (!fn.ok()) return fn.status();
+  if (fn.value() < 1 || fn.value() > 5) {
+    return Status::InvalidArgument("--function must be 1..5");
+  }
+  return static_cast<synth::Function>(fn.value());
+}
+
+Result<perturb::NoiseKind> NoiseFromFlag(const Args& args) {
+  const std::string name = args.GetString("noise", "uniform");
+  if (name == "uniform") return perturb::NoiseKind::kUniform;
+  if (name == "gaussian") return perturb::NoiseKind::kGaussian;
+  if (name == "none") return perturb::NoiseKind::kNone;
+  return Status::InvalidArgument("--noise must be uniform|gaussian|none");
+}
+
+Result<tree::TrainingMode> ModeFromFlag(const Args& args) {
+  const std::string name = args.GetString("mode", "byclass");
+  if (name == "original") return tree::TrainingMode::kOriginal;
+  if (name == "randomized") return tree::TrainingMode::kRandomized;
+  if (name == "global") return tree::TrainingMode::kGlobal;
+  if (name == "byclass") return tree::TrainingMode::kByClass;
+  if (name == "local") return tree::TrainingMode::kLocal;
+  return Status::InvalidArgument(
+      "--mode must be original|randomized|global|byclass|local");
+}
+
+Result<perturb::Randomizer> RandomizerFromFlags(const Args& args,
+                                                const data::Schema& schema) {
+  Result<perturb::NoiseKind> kind = NoiseFromFlag(args);
+  if (!kind.ok()) return kind.status();
+  Result<double> privacy = args.GetDouble("privacy", 1.0);
+  if (!privacy.ok()) return privacy.status();
+  Result<double> confidence = args.GetDouble("confidence", 0.95);
+  if (!confidence.ok()) return confidence.status();
+  Result<long long> seed = args.GetInt("seed", 7);
+  if (!seed.ok()) return seed.status();
+
+  perturb::RandomizerOptions options;
+  options.kind = kind.value();
+  options.privacy_fraction = privacy.value();
+  options.confidence = confidence.value();
+  options.seed = static_cast<std::uint64_t>(seed.value());
+  if (options.privacy_fraction < 0.0) {
+    return Status::InvalidArgument("--privacy must be >= 0");
+  }
+  if (options.privacy_fraction == 0.0) {
+    options.kind = perturb::NoiseKind::kNone;
+  }
+  return perturb::Randomizer(schema, options);
+}
+
+}  // namespace
+
+const char* UsageText() {
+  return
+      "usage: ppdm <command> [--flag=value ...]\n"
+      "\n"
+      "commands:\n"
+      "  generate    --out=FILE [--function=1..5] [--records=N] [--seed=S]\n"
+      "              [--label-noise=P]\n"
+      "  perturb     --in=FILE --out=FILE [--noise=uniform|gaussian]\n"
+      "              [--privacy=F] [--confidence=C] [--seed=S]\n"
+      "  reconstruct --in=FILE --attribute=NAME [--noise=...] [--privacy=F]\n"
+      "              [--confidence=C] [--intervals=K] [--by-class]\n"
+      "  train       --train=FILE --test=FILE [--mode=byclass|...]\n"
+      "              [--noise=...] [--privacy=F] [--confidence=C]\n"
+      "              [--intervals=K] [--print-tree]\n"
+      "\n"
+      "All CSV files use the benchmark schema (salary..loan, class).\n"
+      "For train/reconstruct, --noise/--privacy must describe the noise\n"
+      "the input file was perturbed with (0 for unperturbed data).\n";
+}
+
+Status RunGenerate(const Args& args, std::ostream& out) {
+  if (Status s = args.CheckKnown(
+          {"out", "function", "records", "seed", "label-noise"});
+      !s.ok()) {
+    return s;
+  }
+  const std::string path = args.GetString("out", "");
+  if (path.empty()) return Status::InvalidArgument("generate needs --out");
+  Result<synth::Function> fn = FunctionFromFlag(args);
+  if (!fn.ok()) return fn.status();
+  Result<long long> records = args.GetInt("records", 10000);
+  if (!records.ok()) return records.status();
+  if (records.value() <= 0) {
+    return Status::InvalidArgument("--records must be positive");
+  }
+  Result<long long> seed = args.GetInt("seed", 1);
+  if (!seed.ok()) return seed.status();
+  Result<double> label_noise = args.GetDouble("label-noise", 0.0);
+  if (!label_noise.ok()) return label_noise.status();
+
+  synth::GeneratorOptions options;
+  options.function = fn.value();
+  options.num_records = static_cast<std::size_t>(records.value());
+  options.seed = static_cast<std::uint64_t>(seed.value());
+  options.label_noise = label_noise.value();
+  const data::Dataset dataset = synth::Generate(options);
+  if (Status s = data::WriteCsv(dataset, path); !s.ok()) return s;
+  out << StrFormat("wrote %zu %s records to %s\n", dataset.NumRows(),
+                   synth::FunctionName(fn.value()).c_str(), path.c_str());
+  return Status::Ok();
+}
+
+Status RunPerturb(const Args& args, std::ostream& out) {
+  if (Status s = args.CheckKnown(
+          {"in", "out", "noise", "privacy", "confidence", "seed"});
+      !s.ok()) {
+    return s;
+  }
+  const std::string in = args.GetString("in", "");
+  const std::string out_path = args.GetString("out", "");
+  if (in.empty() || out_path.empty()) {
+    return Status::InvalidArgument("perturb needs --in and --out");
+  }
+  Result<data::Dataset> dataset =
+      data::ReadCsv(synth::BenchmarkSchema(), 2, in);
+  if (!dataset.ok()) return dataset.status();
+  Result<perturb::Randomizer> randomizer =
+      RandomizerFromFlags(args, dataset.value().schema());
+  if (!randomizer.ok()) return randomizer.status();
+
+  const data::Dataset perturbed =
+      randomizer.value().Perturb(dataset.value());
+  if (Status s = data::WriteCsv(perturbed, out_path); !s.ok()) return s;
+  out << StrFormat(
+      "perturbed %zu records (%s noise, privacy %.0f%% @%.0f%% conf.) -> %s\n",
+      perturbed.NumRows(), args.GetString("noise", "uniform").c_str(),
+      100.0 * args.GetDouble("privacy", 1.0).value_or(1.0),
+      100.0 * args.GetDouble("confidence", 0.95).value_or(0.95),
+      out_path.c_str());
+  return Status::Ok();
+}
+
+Status RunReconstruct(const Args& args, std::ostream& out) {
+  if (Status s = args.CheckKnown({"in", "attribute", "noise", "privacy",
+                                  "confidence", "intervals", "by-class",
+                                  "seed"});
+      !s.ok()) {
+    return s;
+  }
+  const std::string in = args.GetString("in", "");
+  const std::string attribute = args.GetString("attribute", "");
+  if (in.empty() || attribute.empty()) {
+    return Status::InvalidArgument("reconstruct needs --in and --attribute");
+  }
+  Result<data::Dataset> dataset =
+      data::ReadCsv(synth::BenchmarkSchema(), 2, in);
+  if (!dataset.ok()) return dataset.status();
+  Result<std::size_t> col = dataset.value().schema().IndexOf(attribute);
+  if (!col.ok()) return col.status();
+  Result<long long> intervals = args.GetInt("intervals", 30);
+  if (!intervals.ok()) return intervals.status();
+  if (intervals.value() < 2) {
+    return Status::InvalidArgument("--intervals must be >= 2");
+  }
+  Result<perturb::Randomizer> randomizer =
+      RandomizerFromFlags(args, dataset.value().schema());
+  if (!randomizer.ok()) return randomizer.status();
+
+  const reconstruct::Partition partition = reconstruct::Partition::ForField(
+      dataset.value().schema().Field(col.value()),
+      static_cast<std::size_t>(intervals.value()));
+  const reconstruct::BayesReconstructor reconstructor(
+      randomizer.value().ModelFor(col.value()), {});
+
+  std::vector<reconstruct::Reconstruction> recons;
+  if (args.Has("by-class")) {
+    recons = reconstruct::ReconstructByClass(dataset.value(), col.value(),
+                                             partition, reconstructor);
+  } else {
+    recons.push_back(reconstruct::ReconstructCombined(
+        dataset.value(), col.value(), partition, reconstructor));
+  }
+  for (std::size_t c = 0; c < recons.size(); ++c) {
+    if (recons.size() > 1) out << StrFormat("class %zu:\n", c);
+    for (std::size_t k = 0; k < partition.intervals(); ++k) {
+      out << StrFormat("%12.6g %8.3f%%\n", partition.Mid(k),
+                       100.0 * recons[c].masses[k]);
+    }
+    out << StrFormat("(%zu EM iterations, %zu samples)\n",
+                     recons[c].iterations, recons[c].sample_count);
+  }
+  return Status::Ok();
+}
+
+Status RunTrain(const Args& args, std::ostream& out) {
+  if (Status s = args.CheckKnown({"train", "test", "mode", "noise",
+                                  "privacy", "confidence", "intervals",
+                                  "print-tree", "seed"});
+      !s.ok()) {
+    return s;
+  }
+  const std::string train_path = args.GetString("train", "");
+  const std::string test_path = args.GetString("test", "");
+  if (train_path.empty() || test_path.empty()) {
+    return Status::InvalidArgument("train needs --train and --test");
+  }
+  // Validate every flag before touching the filesystem.
+  Result<tree::TrainingMode> mode = ModeFromFlag(args);
+  if (!mode.ok()) return mode.status();
+  Result<long long> intervals = args.GetInt("intervals", 30);
+  if (!intervals.ok()) return intervals.status();
+  Result<perturb::Randomizer> randomizer =
+      RandomizerFromFlags(args, synth::BenchmarkSchema());
+  if (!randomizer.ok()) return randomizer.status();
+
+  Result<data::Dataset> train =
+      data::ReadCsv(synth::BenchmarkSchema(), 2, train_path);
+  if (!train.ok()) return train.status();
+  Result<data::Dataset> test =
+      data::ReadCsv(synth::BenchmarkSchema(), 2, test_path);
+  if (!test.ok()) return test.status();
+
+  tree::TreeOptions options;
+  options.intervals = static_cast<std::size_t>(intervals.value());
+  const tree::DecisionTree model = tree::TrainDecisionTree(
+      train.value(), mode.value(), options,
+      tree::ModeUsesReconstruction(mode.value()) ? &randomizer.value()
+                                                 : nullptr);
+  const core::ConfusionMatrix cm = core::EvaluateTree(model, test.value());
+  out << StrFormat("%s: accuracy %.2f%% on %zu test records "
+                   "(%zu nodes, depth %zu)\n",
+                   tree::TrainingModeName(mode.value()).c_str(),
+                   100.0 * cm.Accuracy(), cm.Total(), model.NumNodes(),
+                   model.Depth());
+  out << cm.ToString();
+  if (args.Has("print-tree")) {
+    out << model.Describe(train.value().schema());
+  }
+  return Status::Ok();
+}
+
+Status RunCommand(const Args& args, std::ostream& out) {
+  if (args.command() == "generate") return RunGenerate(args, out);
+  if (args.command() == "perturb") return RunPerturb(args, out);
+  if (args.command() == "reconstruct") return RunReconstruct(args, out);
+  if (args.command() == "train") return RunTrain(args, out);
+  if (args.command() == "help") {
+    out << UsageText();
+    return Status::Ok();
+  }
+  return Status::InvalidArgument("unknown command '" + args.command() +
+                                 "'; try 'ppdm help'");
+}
+
+}  // namespace ppdm::cli

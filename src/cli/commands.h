@@ -1,0 +1,37 @@
+// The ppdm command-line workflows over CSV files (benchmark schema):
+//
+//   generate     synthesize labelled benchmark data
+//   perturb      provider-side randomization of a CSV
+//   reconstruct  recover one attribute's distribution from perturbed CSV
+//   train        train + evaluate a classifier from (perturbed) CSV
+//
+// Each command validates its flags, performs the work, writes any output
+// file, prints a short report to `out`, and returns a Status. Commands
+// are plain functions so they are unit-testable without a process spawn.
+
+#ifndef PPDM_CLI_COMMANDS_H_
+#define PPDM_CLI_COMMANDS_H_
+
+#include <ostream>
+
+#include "cli/args.h"
+#include "common/status.h"
+
+namespace ppdm::cli {
+
+/// Dispatches to the command named in `args`. Unknown commands and flag
+/// errors come back as InvalidArgument with a usage hint.
+Status RunCommand(const Args& args, std::ostream& out);
+
+/// Usage text for --help / errors.
+const char* UsageText();
+
+/// Individual commands (exposed for tests).
+Status RunGenerate(const Args& args, std::ostream& out);
+Status RunPerturb(const Args& args, std::ostream& out);
+Status RunReconstruct(const Args& args, std::ostream& out);
+Status RunTrain(const Args& args, std::ostream& out);
+
+}  // namespace ppdm::cli
+
+#endif  // PPDM_CLI_COMMANDS_H_

@@ -1,0 +1,24 @@
+// Entry point of the `ppdm` command-line tool. All logic lives in the
+// testable ppdm_cli library; this file only maps Status to exit codes.
+
+#include <iostream>
+
+#include "cli/args.h"
+#include "cli/commands.h"
+
+int main(int argc, char** argv) {
+  using ppdm::cli::Args;
+
+  ppdm::Result<Args> args = Args::Parse(argc, argv);
+  if (!args.ok()) {
+    std::cerr << "ppdm: " << args.status().ToString() << "\n\n"
+              << ppdm::cli::UsageText();
+    return 2;
+  }
+  const ppdm::Status status = ppdm::cli::RunCommand(args.value(), std::cout);
+  if (!status.ok()) {
+    std::cerr << "ppdm: " << status.ToString() << "\n";
+    return 1;
+  }
+  return 0;
+}

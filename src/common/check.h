@@ -1,0 +1,49 @@
+// Fatal assertion macros for programmer errors (contract violations).
+//
+// PPDM_CHECK fires in all build types: invariants of a data-mining library
+// guard statistical correctness, so silently continuing past a violated
+// precondition would corrupt results rather than crash. Recoverable
+// conditions (bad user input, I/O failures) use Status instead; see status.h.
+
+#ifndef PPDM_COMMON_CHECK_H_
+#define PPDM_COMMON_CHECK_H_
+
+#include <cstdio>
+#include <cstdlib>
+
+namespace ppdm::internal {
+
+[[noreturn]] inline void CheckFailed(const char* file, int line,
+                                     const char* expr, const char* msg) {
+  std::fprintf(stderr, "PPDM_CHECK failed at %s:%d: %s%s%s\n", file, line, expr,
+               msg[0] ? " — " : "", msg);
+  std::abort();
+}
+
+}  // namespace ppdm::internal
+
+/// Aborts with a diagnostic unless `cond` holds.
+#define PPDM_CHECK(cond)                                              \
+  do {                                                                \
+    if (!(cond)) {                                                    \
+      ::ppdm::internal::CheckFailed(__FILE__, __LINE__, #cond, "");   \
+    }                                                                 \
+  } while (0)
+
+/// Aborts with a diagnostic and explanatory message unless `cond` holds.
+#define PPDM_CHECK_MSG(cond, msg)                                     \
+  do {                                                                \
+    if (!(cond)) {                                                    \
+      ::ppdm::internal::CheckFailed(__FILE__, __LINE__, #cond, msg);  \
+    }                                                                 \
+  } while (0)
+
+/// Convenience comparisons.
+#define PPDM_CHECK_EQ(a, b) PPDM_CHECK((a) == (b))
+#define PPDM_CHECK_NE(a, b) PPDM_CHECK((a) != (b))
+#define PPDM_CHECK_LT(a, b) PPDM_CHECK((a) < (b))
+#define PPDM_CHECK_LE(a, b) PPDM_CHECK((a) <= (b))
+#define PPDM_CHECK_GT(a, b) PPDM_CHECK((a) > (b))
+#define PPDM_CHECK_GE(a, b) PPDM_CHECK((a) >= (b))
+
+#endif  // PPDM_COMMON_CHECK_H_

@@ -1,0 +1,79 @@
+#include "core/experiment.h"
+
+#include <cstdlib>
+
+#include "common/check.h"
+
+namespace ppdm::core {
+
+ExperimentData PrepareData(const ExperimentConfig& config) {
+  synth::GeneratorOptions train_gen;
+  train_gen.num_records = config.train_records;
+  train_gen.function = config.function;
+  train_gen.seed = config.seed;
+
+  synth::GeneratorOptions test_gen = train_gen;
+  test_gen.num_records = config.test_records;
+  test_gen.seed = config.seed + 0x5EED0FF5E7ULL;  // disjoint stream
+
+  data::Dataset train = synth::Generate(train_gen);
+  data::Dataset test = synth::Generate(test_gen);
+
+  perturb::RandomizerOptions noise_options;
+  noise_options.kind = config.privacy_fraction == 0.0
+                           ? perturb::NoiseKind::kNone
+                           : config.noise;
+  noise_options.privacy_fraction = config.privacy_fraction;
+  noise_options.confidence = config.confidence;
+  noise_options.seed = config.seed + 0x9E1517BULL;
+  perturb::Randomizer randomizer(train.schema(), noise_options);
+
+  data::Dataset perturbed = randomizer.Perturb(train);
+  return ExperimentData{std::move(train), std::move(perturbed),
+                        std::move(test), std::move(randomizer)};
+}
+
+ModeResult RunMode(const ExperimentData& data, tree::TrainingMode mode,
+                   const ExperimentConfig& config) {
+  const data::Dataset& training = mode == tree::TrainingMode::kOriginal
+                                      ? data.train
+                                      : data.perturbed_train;
+  const perturb::Randomizer* randomizer =
+      tree::ModeUsesReconstruction(mode) ? &data.randomizer : nullptr;
+  const tree::DecisionTree model =
+      tree::TrainDecisionTree(training, mode, config.tree, randomizer);
+
+  ModeResult result;
+  result.mode = mode;
+  result.accuracy = EvaluateTree(model, data.test).Accuracy();
+  result.tree_nodes = model.NumNodes();
+  result.tree_depth = model.Depth();
+  return result;
+}
+
+std::vector<ModeResult> RunModes(
+    const ExperimentConfig& config,
+    const std::vector<tree::TrainingMode>& modes) {
+  const ExperimentData data = PrepareData(config);
+  std::vector<ModeResult> results;
+  results.reserve(modes.size());
+  for (tree::TrainingMode mode : modes) {
+    results.push_back(RunMode(data, mode, config));
+  }
+  return results;
+}
+
+bool PaperScaleRequested() {
+  const char* env = std::getenv("PPDM_PAPER_SCALE");
+  return env != nullptr && env[0] == '1';
+}
+
+void ApplyScale(ExperimentConfig* config) {
+  PPDM_CHECK(config != nullptr);
+  if (PaperScaleRequested()) {
+    config->train_records = 100000;
+    config->test_records = 5000;
+  }
+}
+
+}  // namespace ppdm::core

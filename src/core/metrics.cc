@@ -1,0 +1,80 @@
+#include "core/metrics.h"
+
+#include "common/check.h"
+#include "common/strings.h"
+
+namespace ppdm::core {
+
+ConfusionMatrix::ConfusionMatrix(int num_classes)
+    : num_classes_(num_classes) {
+  PPDM_CHECK_GT(num_classes, 0);
+  counts_.assign(static_cast<std::size_t>(num_classes) *
+                     static_cast<std::size_t>(num_classes),
+                 0);
+}
+
+void ConfusionMatrix::Add(int actual, int predicted) {
+  PPDM_CHECK(actual >= 0 && actual < num_classes_);
+  PPDM_CHECK(predicted >= 0 && predicted < num_classes_);
+  ++counts_[static_cast<std::size_t>(actual) *
+                static_cast<std::size_t>(num_classes_) +
+            static_cast<std::size_t>(predicted)];
+  ++total_;
+}
+
+std::size_t ConfusionMatrix::Count(int actual, int predicted) const {
+  PPDM_CHECK(actual >= 0 && actual < num_classes_);
+  PPDM_CHECK(predicted >= 0 && predicted < num_classes_);
+  return counts_[static_cast<std::size_t>(actual) *
+                     static_cast<std::size_t>(num_classes_) +
+                 static_cast<std::size_t>(predicted)];
+}
+
+double ConfusionMatrix::Accuracy() const {
+  if (total_ == 0) return 0.0;
+  std::size_t correct = 0;
+  for (int c = 0; c < num_classes_; ++c) {
+    correct += Count(c, c);
+  }
+  return static_cast<double>(correct) / static_cast<double>(total_);
+}
+
+std::vector<double> ConfusionMatrix::Recalls() const {
+  std::vector<double> recalls(static_cast<std::size_t>(num_classes_), 0.0);
+  for (int c = 0; c < num_classes_; ++c) {
+    std::size_t row = 0;
+    for (int p = 0; p < num_classes_; ++p) row += Count(c, p);
+    if (row > 0) {
+      recalls[static_cast<std::size_t>(c)] =
+          static_cast<double>(Count(c, c)) / static_cast<double>(row);
+    }
+  }
+  return recalls;
+}
+
+std::string ConfusionMatrix::ToString() const {
+  std::string out = "actual\\pred";
+  for (int p = 0; p < num_classes_; ++p) out += StrFormat("%10d", p);
+  out += '\n';
+  for (int a = 0; a < num_classes_; ++a) {
+    out += StrFormat("%-11d", a);
+    for (int p = 0; p < num_classes_; ++p) {
+      out += StrFormat("%10zu", Count(a, p));
+    }
+    out += '\n';
+  }
+  return out;
+}
+
+ConfusionMatrix EvaluateTree(const tree::DecisionTree& tree,
+                             const data::Dataset& test) {
+  ConfusionMatrix cm(test.num_classes());
+  std::vector<double> row(test.NumCols());
+  for (std::size_t r = 0; r < test.NumRows(); ++r) {
+    for (std::size_t c = 0; c < test.NumCols(); ++c) row[c] = test.At(r, c);
+    cm.Add(test.Label(r), tree.Predict(row));
+  }
+  return cm;
+}
+
+}  // namespace ppdm::core

@@ -1,0 +1,52 @@
+// Classifier evaluation metrics.
+
+#ifndef PPDM_CORE_METRICS_H_
+#define PPDM_CORE_METRICS_H_
+
+#include <cstddef>
+#include <string>
+#include <vector>
+
+#include "data/dataset.h"
+#include "tree/decision_tree.h"
+
+namespace ppdm::core {
+
+/// Square table of actual-vs-predicted counts.
+class ConfusionMatrix {
+ public:
+  explicit ConfusionMatrix(int num_classes);
+
+  /// Records one (actual, predicted) observation.
+  void Add(int actual, int predicted);
+
+  /// Count of records with the given actual and predicted labels.
+  std::size_t Count(int actual, int predicted) const;
+
+  /// Total observations recorded.
+  std::size_t Total() const { return total_; }
+
+  /// Fraction of observations on the diagonal.
+  double Accuracy() const;
+
+  /// Per-class recall (diagonal / row sum); 0 for empty classes.
+  std::vector<double> Recalls() const;
+
+  /// Small fixed-width text rendering.
+  std::string ToString() const;
+
+ private:
+  int num_classes_;
+  std::vector<std::size_t> counts_;  // row-major [actual][predicted]
+  std::size_t total_ = 0;
+};
+
+/// Classifies every row of `test` with `tree` and tallies the confusion
+/// matrix. The test data are unperturbed (the paper's protocol: privacy
+/// constrains training data only).
+ConfusionMatrix EvaluateTree(const tree::DecisionTree& tree,
+                             const data::Dataset& test);
+
+}  // namespace ppdm::core
+
+#endif  // PPDM_CORE_METRICS_H_

@@ -1,0 +1,86 @@
+#include "data/csv.h"
+
+#include <fstream>
+
+#include "common/strings.h"
+
+namespace ppdm::data {
+
+Status WriteCsv(const Dataset& dataset, const std::string& path) {
+  std::ofstream out(path);
+  if (!out) return Status::IoError("cannot open '" + path + "' for writing");
+
+  const Schema& schema = dataset.schema();
+  for (std::size_t c = 0; c < schema.NumFields(); ++c) {
+    out << schema.Field(c).name << ',';
+  }
+  out << "class\n";
+
+  for (std::size_t r = 0; r < dataset.NumRows(); ++r) {
+    for (std::size_t c = 0; c < dataset.NumCols(); ++c) {
+      out << StrFormat("%.17g", dataset.At(r, c)) << ',';
+    }
+    out << dataset.Label(r) << '\n';
+  }
+  out.flush();
+  if (!out) return Status::IoError("write to '" + path + "' failed");
+  return Status::Ok();
+}
+
+Result<Dataset> ReadCsv(const Schema& schema, int num_classes,
+                        const std::string& path) {
+  std::ifstream in(path);
+  if (!in) return Status::IoError("cannot open '" + path + "' for reading");
+
+  std::string line;
+  if (!std::getline(in, line)) {
+    return Status::IoError("'" + path + "' is empty");
+  }
+  const std::vector<std::string> header = Split(Trim(line), ',');
+  if (header.size() != schema.NumFields() + 1) {
+    return Status::InvalidArgument(
+        StrFormat("header has %zu columns, schema expects %zu", header.size(),
+                  schema.NumFields() + 1));
+  }
+  for (std::size_t c = 0; c < schema.NumFields(); ++c) {
+    if (Trim(header[c]) != schema.Field(c).name) {
+      return Status::InvalidArgument("header column '" + header[c] +
+                                     "' does not match schema attribute '" +
+                                     schema.Field(c).name + "'");
+    }
+  }
+  if (Trim(header.back()) != "class") {
+    return Status::InvalidArgument("last header column must be 'class'");
+  }
+
+  Dataset dataset(schema, num_classes);
+  std::vector<double> row(schema.NumFields());
+  std::size_t line_no = 1;
+  while (std::getline(in, line)) {
+    ++line_no;
+    const std::string_view trimmed = Trim(line);
+    if (trimmed.empty()) continue;
+    const std::vector<std::string> fields = Split(trimmed, ',');
+    if (fields.size() != schema.NumFields() + 1) {
+      return Status::InvalidArgument(
+          StrFormat("line %zu has %zu fields, expected %zu", line_no,
+                    fields.size(), schema.NumFields() + 1));
+    }
+    for (std::size_t c = 0; c < schema.NumFields(); ++c) {
+      Result<double> value = ParseDouble(fields[c]);
+      if (!value.ok()) return value.status();
+      row[c] = value.value();
+    }
+    Result<long long> label = ParseInt(fields.back());
+    if (!label.ok()) return label.status();
+    if (label.value() < 0 || label.value() >= num_classes) {
+      return Status::InvalidArgument(
+          StrFormat("line %zu: label %lld out of range [0, %d)", line_no,
+                    label.value(), num_classes));
+    }
+    dataset.AddRow(row, static_cast<int>(label.value()));
+  }
+  return dataset;
+}
+
+}  // namespace ppdm::data

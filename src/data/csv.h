@@ -1,0 +1,24 @@
+// CSV persistence for datasets. The format is a header row with the
+// attribute names plus a final "class" column, then one row per record.
+
+#ifndef PPDM_DATA_CSV_H_
+#define PPDM_DATA_CSV_H_
+
+#include <string>
+
+#include "common/status.h"
+#include "data/dataset.h"
+
+namespace ppdm::data {
+
+/// Writes `dataset` to `path`. Overwrites any existing file.
+Status WriteCsv(const Dataset& dataset, const std::string& path);
+
+/// Reads a dataset written by WriteCsv. The header must match the schema's
+/// attribute names (in order) followed by "class".
+Result<Dataset> ReadCsv(const Schema& schema, int num_classes,
+                        const std::string& path);
+
+}  // namespace ppdm::data
+
+#endif  // PPDM_DATA_CSV_H_

@@ -1,0 +1,41 @@
+#include "data/schema.h"
+
+#include <unordered_set>
+
+#include "common/check.h"
+
+namespace ppdm::data {
+
+Schema::Schema(std::vector<FieldSpec> fields) : fields_(std::move(fields)) {}
+
+const FieldSpec& Schema::Field(std::size_t index) const {
+  PPDM_CHECK_LT(index, fields_.size());
+  return fields_[index];
+}
+
+Result<std::size_t> Schema::IndexOf(const std::string& name) const {
+  for (std::size_t i = 0; i < fields_.size(); ++i) {
+    if (fields_[i].name == name) return i;
+  }
+  return Status::NotFound("no attribute named '" + name + "'");
+}
+
+Status Schema::Validate() const {
+  std::unordered_set<std::string> seen;
+  for (const FieldSpec& f : fields_) {
+    if (f.name.empty()) {
+      return Status::InvalidArgument("attribute with empty name");
+    }
+    if (!seen.insert(f.name).second) {
+      return Status::InvalidArgument("duplicate attribute name '" + f.name +
+                                     "'");
+    }
+    if (!(f.lo < f.hi)) {
+      return Status::InvalidArgument("attribute '" + f.name +
+                                     "' has empty domain (lo >= hi)");
+    }
+  }
+  return Status::Ok();
+}
+
+}  // namespace ppdm::data

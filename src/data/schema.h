@@ -1,0 +1,56 @@
+// Attribute metadata. Every attribute declares its domain [lo, hi]; the
+// perturbation layer scales noise to this range (privacy is expressed as a
+// percentage of range) and the reconstruction layer partitions it into
+// intervals.
+
+#ifndef PPDM_DATA_SCHEMA_H_
+#define PPDM_DATA_SCHEMA_H_
+
+#include <cstddef>
+#include <string>
+#include <vector>
+
+#include "common/status.h"
+
+namespace ppdm::data {
+
+/// How an attribute's values are interpreted.
+enum class AttributeKind {
+  kContinuous,  ///< Real-valued, e.g. salary.
+  kDiscrete,    ///< Integer-coded ordinal/categorical, e.g. elevel, zipcode.
+};
+
+/// Declaration of one attribute.
+struct FieldSpec {
+  std::string name;
+  AttributeKind kind = AttributeKind::kContinuous;
+  double lo = 0.0;  ///< Inclusive domain lower bound.
+  double hi = 1.0;  ///< Inclusive domain upper bound.
+
+  /// Width of the attribute's domain.
+  double Range() const { return hi - lo; }
+};
+
+/// An ordered collection of attribute declarations.
+class Schema {
+ public:
+  Schema() = default;
+  explicit Schema(std::vector<FieldSpec> fields);
+
+  std::size_t NumFields() const { return fields_.size(); }
+  const FieldSpec& Field(std::size_t index) const;
+  const std::vector<FieldSpec>& fields() const { return fields_; }
+
+  /// Index of the attribute with the given name.
+  Result<std::size_t> IndexOf(const std::string& name) const;
+
+  /// Validation: non-empty unique names, lo < hi everywhere.
+  Status Validate() const;
+
+ private:
+  std::vector<FieldSpec> fields_;
+};
+
+}  // namespace ppdm::data
+
+#endif  // PPDM_DATA_SCHEMA_H_

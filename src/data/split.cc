@@ -1,0 +1,31 @@
+#include "data/split.h"
+
+#include <numeric>
+
+#include "common/check.h"
+
+namespace ppdm::data {
+
+TrainTest TrainTestSplit(const Dataset& dataset, double test_fraction,
+                         Rng* rng) {
+  PPDM_CHECK(test_fraction > 0.0 && test_fraction < 1.0);
+  PPDM_CHECK_GE(dataset.NumRows(), 2u);
+  PPDM_CHECK(rng != nullptr);
+
+  std::vector<std::size_t> order(dataset.NumRows());
+  std::iota(order.begin(), order.end(), 0u);
+  rng->Shuffle(&order);
+
+  auto num_test = static_cast<std::size_t>(
+      test_fraction * static_cast<double>(dataset.NumRows()));
+  num_test = std::max<std::size_t>(1, num_test);
+  num_test = std::min(num_test, dataset.NumRows() - 1);
+
+  const std::vector<std::size_t> test_rows(order.begin(),
+                                           order.begin() + num_test);
+  const std::vector<std::size_t> train_rows(order.begin() + num_test,
+                                            order.end());
+  return TrainTest{dataset.Select(train_rows), dataset.Select(test_rows)};
+}
+
+}  // namespace ppdm::data

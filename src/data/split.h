@@ -1,0 +1,26 @@
+// Train / test partitioning.
+
+#ifndef PPDM_DATA_SPLIT_H_
+#define PPDM_DATA_SPLIT_H_
+
+#include <utility>
+
+#include "common/random.h"
+#include "data/dataset.h"
+
+namespace ppdm::data {
+
+/// Result of a random split.
+struct TrainTest {
+  Dataset train;
+  Dataset test;
+};
+
+/// Uniformly shuffles the rows and places `test_fraction` of them in the
+/// test set. Requires 0 < test_fraction < 1 and at least 2 rows.
+TrainTest TrainTestSplit(const Dataset& dataset, double test_fraction,
+                         Rng* rng);
+
+}  // namespace ppdm::data
+
+#endif  // PPDM_DATA_SPLIT_H_

@@ -1,0 +1,33 @@
+#include "perturb/discretize.h"
+
+#include <algorithm>
+
+#include "common/check.h"
+
+namespace ppdm::perturb {
+
+data::Dataset DiscretizeValues(const data::Dataset& dataset,
+                               const DiscretizeOptions& options) {
+  PPDM_CHECK_GT(options.classes, 0u);
+  data::Dataset out = dataset;
+  for (std::size_t c = 0; c < out.NumCols(); ++c) {
+    const data::FieldSpec& field = out.schema().Field(c);
+    const double width =
+        field.Range() / static_cast<double>(options.classes);
+    std::vector<double>* column = out.MutableColumn(c);
+    for (double& v : *column) {
+      double offset = (v - field.lo) / width;
+      auto klass = static_cast<std::size_t>(std::max(0.0, offset));
+      klass = std::min(klass, options.classes - 1);
+      v = field.lo + width * (static_cast<double>(klass) + 0.5);
+    }
+  }
+  return out;
+}
+
+double DiscretizationPrivacyFraction(std::size_t classes) {
+  PPDM_CHECK_GT(classes, 0u);
+  return 1.0 / static_cast<double>(classes);
+}
+
+}  // namespace ppdm::perturb

@@ -1,0 +1,123 @@
+#include "perturb/noise_model.h"
+
+#include <cmath>
+
+#include "common/check.h"
+#include "stats/normal.h"
+
+namespace ppdm::perturb {
+
+std::string NoiseKindName(NoiseKind kind) {
+  switch (kind) {
+    case NoiseKind::kNone:
+      return "none";
+    case NoiseKind::kUniform:
+      return "uniform";
+    case NoiseKind::kGaussian:
+      return "gaussian";
+  }
+  return "?";
+}
+
+NoiseModel NoiseModel::None() { return NoiseModel(NoiseKind::kNone, 0.0); }
+
+NoiseModel NoiseModel::Uniform(double alpha) {
+  PPDM_CHECK_GT(alpha, 0.0);
+  return NoiseModel(NoiseKind::kUniform, alpha);
+}
+
+NoiseModel NoiseModel::Gaussian(double sigma) {
+  PPDM_CHECK_GT(sigma, 0.0);
+  return NoiseModel(NoiseKind::kGaussian, sigma);
+}
+
+double NoiseModel::Pdf(double y) const {
+  switch (kind_) {
+    case NoiseKind::kNone:
+      // Dirac delta; callers handling kNone never integrate this density.
+      return y == 0.0 ? 1.0 : 0.0;
+    case NoiseKind::kUniform:
+      return (y < -scale_ || y > scale_) ? 0.0 : 1.0 / (2.0 * scale_);
+    case NoiseKind::kGaussian:
+      return stats::NormalPdf(y / scale_) / scale_;
+  }
+  return 0.0;
+}
+
+double NoiseModel::Cdf(double y) const {
+  switch (kind_) {
+    case NoiseKind::kNone:
+      return y < 0.0 ? 0.0 : 1.0;
+    case NoiseKind::kUniform:
+      if (y <= -scale_) return 0.0;
+      if (y >= scale_) return 1.0;
+      return (y + scale_) / (2.0 * scale_);
+    case NoiseKind::kGaussian:
+      return stats::NormalCdf(y / scale_);
+  }
+  return 0.0;
+}
+
+double NoiseModel::Sample(Rng* rng) const {
+  PPDM_CHECK(rng != nullptr);
+  switch (kind_) {
+    case NoiseKind::kNone:
+      return 0.0;
+    case NoiseKind::kUniform:
+      return rng->UniformReal(-scale_, scale_);
+    case NoiseKind::kGaussian:
+      return rng->Gaussian(0.0, scale_);
+  }
+  return 0.0;
+}
+
+double NoiseModel::PrivacyAtConfidence(double confidence) const {
+  PPDM_CHECK(confidence > 0.0 && confidence < 1.0);
+  switch (kind_) {
+    case NoiseKind::kNone:
+      return 0.0;
+    case NoiseKind::kUniform:
+      return 2.0 * scale_ * confidence;
+    case NoiseKind::kGaussian:
+      return 2.0 * scale_ * stats::NormalQuantile(0.5 * (1.0 + confidence));
+  }
+  return 0.0;
+}
+
+double NoiseModel::EffectiveHalfWidth() const {
+  switch (kind_) {
+    case NoiseKind::kNone:
+      return 0.0;
+    case NoiseKind::kUniform:
+      return scale_;
+    case NoiseKind::kGaussian:
+      return 5.0 * scale_;
+  }
+  return 0.0;
+}
+
+NoiseModel NoiseForPrivacy(NoiseKind kind, double privacy_fraction,
+                           double range, double confidence) {
+  PPDM_CHECK_GT(range, 0.0);
+  PPDM_CHECK(confidence > 0.0 && confidence < 1.0);
+  const double width = privacy_fraction * range;
+  switch (kind) {
+    case NoiseKind::kNone:
+      PPDM_CHECK_MSG(privacy_fraction == 0.0,
+                     "kNone cannot provide nonzero privacy");
+      return NoiseModel::None();
+    case NoiseKind::kUniform: {
+      PPDM_CHECK_GT(privacy_fraction, 0.0);
+      return NoiseModel::Uniform(width / (2.0 * confidence));
+    }
+    case NoiseKind::kGaussian: {
+      PPDM_CHECK_GT(privacy_fraction, 0.0);
+      const double z = stats::NormalQuantile(0.5 * (1.0 + confidence));
+      return NoiseModel::Gaussian(width / (2.0 * z));
+    }
+  }
+  PPDM_CHECK_MSG(false, "unknown noise kind");
+  return NoiseModel::None();
+}
+
+}  // namespace ppdm::perturb

@@ -1,0 +1,81 @@
+// Randomizing noise models (paper §2.2 "value distortion") and the privacy
+// quantification of §3: privacy offered at confidence level c is the width
+// of the shortest interval that contains the true value with probability c,
+// usually expressed as a percentage of the attribute's range.
+
+#ifndef PPDM_PERTURB_NOISE_MODEL_H_
+#define PPDM_PERTURB_NOISE_MODEL_H_
+
+#include <string>
+
+#include "common/random.h"
+
+namespace ppdm::perturb {
+
+/// Shape of the additive noise Y in w = x + Y.
+enum class NoiseKind {
+  kNone,      ///< No perturbation (the "Original" baseline).
+  kUniform,   ///< Y ~ U[-α, +α].
+  kGaussian,  ///< Y ~ N(0, σ²).
+};
+
+/// "none" / "uniform" / "gaussian".
+std::string NoiseKindName(NoiseKind kind);
+
+/// A concrete additive-noise distribution. The model is public knowledge:
+/// data providers sample from it; the server evaluates its density during
+/// reconstruction.
+class NoiseModel {
+ public:
+  /// No noise.
+  static NoiseModel None();
+
+  /// Uniform noise on [-alpha, +alpha]; requires alpha > 0.
+  static NoiseModel Uniform(double alpha);
+
+  /// Gaussian noise with the given standard deviation; requires sigma > 0.
+  static NoiseModel Gaussian(double sigma);
+
+  NoiseKind kind() const { return kind_; }
+
+  /// α for uniform, σ for Gaussian, 0 for none.
+  double scale() const { return scale_; }
+
+  /// Density of the noise at y.
+  double Pdf(double y) const;
+
+  /// P(Y <= y). For kNone this is the step function at 0.
+  double Cdf(double y) const;
+
+  /// Draws one noise variate.
+  double Sample(Rng* rng) const;
+
+  /// Width of the shortest interval containing Y with probability
+  /// `confidence` (paper §3):
+  ///   uniform:  2 α c,
+  ///   Gaussian: 2 σ z((1+c)/2)  (≈ 3.92 σ at 95%).
+  /// Knowing w, the true x lies in an interval of exactly this width with
+  /// the same confidence.
+  double PrivacyAtConfidence(double confidence) const;
+
+  /// A half-width such that |Y| exceeds it with negligible probability;
+  /// used to bound the support scanned during reconstruction
+  /// (α for uniform, 5σ for Gaussian).
+  double EffectiveHalfWidth() const;
+
+ private:
+  NoiseModel(NoiseKind kind, double scale) : kind_(kind), scale_(scale) {}
+
+  NoiseKind kind_;
+  double scale_;
+};
+
+/// Builds the noise model whose privacy at `confidence` equals
+/// `privacy_fraction * range` — e.g. privacy_fraction = 1.0 is the paper's
+/// "100% privacy" setting. For kNone the fraction must be 0.
+NoiseModel NoiseForPrivacy(NoiseKind kind, double privacy_fraction,
+                           double range, double confidence = 0.95);
+
+}  // namespace ppdm::perturb
+
+#endif  // PPDM_PERTURB_NOISE_MODEL_H_

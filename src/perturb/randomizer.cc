@@ -1,0 +1,57 @@
+#include "perturb/randomizer.h"
+
+#include "common/check.h"
+
+namespace ppdm::perturb {
+
+Randomizer::Randomizer(const data::Schema& schema,
+                       const RandomizerOptions& options)
+    : seed_(options.seed) {
+  models_.reserve(schema.NumFields());
+  for (std::size_t c = 0; c < schema.NumFields(); ++c) {
+    if (options.privacy_fraction == 0.0) {
+      models_.push_back(NoiseModel::None());
+    } else {
+      models_.push_back(NoiseForPrivacy(options.kind,
+                                        options.privacy_fraction,
+                                        schema.Field(c).Range(),
+                                        options.confidence));
+    }
+  }
+}
+
+Randomizer::Randomizer(const data::Schema& schema,
+                       std::vector<NoiseModel> models, std::uint64_t seed)
+    : models_(std::move(models)), seed_(seed) {
+  PPDM_CHECK_EQ(models_.size(), schema.NumFields());
+}
+
+const NoiseModel& Randomizer::ModelFor(std::size_t col) const {
+  PPDM_CHECK_LT(col, models_.size());
+  return models_[col];
+}
+
+data::Dataset Randomizer::Perturb(const data::Dataset& dataset) const {
+  PPDM_CHECK_EQ(models_.size(), dataset.NumCols());
+  data::Dataset out = dataset;  // copy schema, labels and values
+  Rng master(seed_);
+  // One independent stream per attribute keeps the noise streams decoupled
+  // from the number of rows touched by other columns.
+  for (std::size_t c = 0; c < out.NumCols(); ++c) {
+    Rng rng = master.Fork();
+    if (models_[c].kind() == NoiseKind::kNone) continue;
+    std::vector<double>* column = out.MutableColumn(c);
+    for (double& v : *column) v += models_[c].Sample(&rng);
+  }
+  return out;
+}
+
+void Randomizer::PerturbRecord(std::vector<double>* record, Rng* rng) const {
+  PPDM_CHECK(record != nullptr && rng != nullptr);
+  PPDM_CHECK_EQ(record->size(), models_.size());
+  for (std::size_t c = 0; c < record->size(); ++c) {
+    (*record)[c] += models_[c].Sample(rng);
+  }
+}
+
+}  // namespace ppdm::perturb

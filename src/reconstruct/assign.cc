@@ -1,0 +1,77 @@
+#include "reconstruct/assign.h"
+
+#include <algorithm>
+#include <cmath>
+#include <numeric>
+
+#include "common/check.h"
+
+namespace ppdm::reconstruct {
+
+std::vector<std::size_t> ApportionCounts(const std::vector<double>& masses,
+                                         std::size_t total) {
+  PPDM_CHECK(!masses.empty());
+  double mass_total = 0.0;
+  for (double m : masses) {
+    PPDM_CHECK_GE(m, 0.0);
+    mass_total += m;
+  }
+  if (total == 0) return std::vector<std::size_t>(masses.size(), 0);
+  PPDM_CHECK_MSG(mass_total > 0.0, "cannot apportion against zero mass");
+
+  const auto n = static_cast<double>(total);
+  std::vector<std::size_t> counts(masses.size());
+  std::vector<std::pair<double, std::size_t>> remainders(masses.size());
+  std::size_t assigned = 0;
+  for (std::size_t k = 0; k < masses.size(); ++k) {
+    const double ideal = masses[k] / mass_total * n;
+    counts[k] = static_cast<std::size_t>(std::floor(ideal));
+    assigned += counts[k];
+    remainders[k] = {ideal - std::floor(ideal), k};
+  }
+  PPDM_CHECK_LE(assigned, total);
+  // Hand the leftover items to the largest fractional remainders; tie-break
+  // on index for determinism.
+  std::sort(remainders.begin(), remainders.end(),
+            [](const auto& a, const auto& b) {
+              if (a.first != b.first) return a.first > b.first;
+              return a.second < b.second;
+            });
+  for (std::size_t i = 0; i < total - assigned; ++i) {
+    ++counts[remainders[i % remainders.size()].second];
+  }
+  return counts;
+}
+
+std::vector<std::size_t> AssignByOrderStatistics(
+    const std::vector<double>& perturbed_values,
+    const std::vector<double>& masses) {
+  const std::size_t n = perturbed_values.size();
+  std::vector<std::size_t> assignment(n, 0);
+  if (n == 0) return assignment;
+
+  std::vector<std::size_t> order(n);
+  std::iota(order.begin(), order.end(), 0u);
+  std::sort(order.begin(), order.end(), [&](std::size_t a, std::size_t b) {
+    if (perturbed_values[a] != perturbed_values[b]) {
+      return perturbed_values[a] < perturbed_values[b];
+    }
+    return a < b;
+  });
+
+  const std::vector<std::size_t> counts = ApportionCounts(masses, n);
+  std::size_t interval = 0;
+  std::size_t used_in_interval = 0;
+  for (std::size_t rank = 0; rank < n; ++rank) {
+    while (interval + 1 < counts.size() &&
+           used_in_interval >= counts[interval]) {
+      ++interval;
+      used_in_interval = 0;
+    }
+    assignment[order[rank]] = interval;
+    ++used_in_interval;
+  }
+  return assignment;
+}
+
+}  // namespace ppdm::reconstruct

@@ -1,0 +1,28 @@
+#include "reconstruct/by_class.h"
+
+namespace ppdm::reconstruct {
+
+Reconstruction ReconstructCombined(const data::Dataset& perturbed,
+                                   std::size_t col,
+                                   const Partition& partition,
+                                   const BayesReconstructor& reconstructor) {
+  return reconstructor.Fit(perturbed.Column(col), partition);
+}
+
+std::vector<Reconstruction> ReconstructByClass(
+    const data::Dataset& perturbed, std::size_t col,
+    const Partition& partition, const BayesReconstructor& reconstructor) {
+  std::vector<Reconstruction> out;
+  out.reserve(static_cast<std::size_t>(perturbed.num_classes()));
+  const std::vector<double>& column = perturbed.Column(col);
+  for (int c = 0; c < perturbed.num_classes(); ++c) {
+    std::vector<double> values;
+    for (std::size_t r = 0; r < perturbed.NumRows(); ++r) {
+      if (perturbed.Label(r) == c) values.push_back(column[r]);
+    }
+    out.push_back(reconstructor.Fit(values, partition));
+  }
+  return out;
+}
+
+}  // namespace ppdm::reconstruct

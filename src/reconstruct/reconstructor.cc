@@ -1,0 +1,176 @@
+#include "reconstruct/reconstructor.h"
+
+#include <algorithm>
+#include <cmath>
+
+#include "common/check.h"
+#include "stats/histogram.h"
+
+namespace ppdm::reconstruct {
+namespace {
+
+constexpr double kTinyDensity = 1e-300;
+
+std::vector<double> UniformMasses(std::size_t k) {
+  return std::vector<double>(k, 1.0 / static_cast<double>(k));
+}
+
+// Exact histogram — the degenerate reconstruction when there is no noise.
+Reconstruction HistogramMasses(const std::vector<double>& values,
+                               const Partition& partition) {
+  Reconstruction out;
+  out.sample_count = values.size();
+  if (values.empty()) {
+    out.masses = UniformMasses(partition.intervals());
+    return out;
+  }
+  std::vector<double> counts(partition.intervals(), 0.0);
+  for (double v : values) counts[partition.IntervalOf(v)] += 1.0;
+  for (double& c : counts) c /= static_cast<double>(values.size());
+  out.masses = std::move(counts);
+  return out;
+}
+
+// Shared EM loop. `weights[j]` perturbed observations sit at `points[j]`;
+// `kernel[j*K + k]` holds f_Y(points[j] − m_k). `fallback[j]` is the
+// interval that absorbs observation j if every component density vanishes
+// (possible only at the clamped edges of the binned variant).
+Reconstruction RunEm(const std::vector<double>& weights,
+                     const std::vector<double>& kernel,
+                     const std::vector<std::size_t>& fallback,
+                     std::size_t num_intervals, double total_weight,
+                     const ReconstructionOptions& options) {
+  Reconstruction out;
+  out.sample_count = static_cast<std::size_t>(total_weight + 0.5);
+  std::vector<double> p = UniformMasses(num_intervals);
+  std::vector<double> next(num_intervals, 0.0);
+
+  for (std::size_t iter = 0; iter < options.max_iterations; ++iter) {
+    std::fill(next.begin(), next.end(), 0.0);
+    double log_likelihood = 0.0;
+    for (std::size_t j = 0; j < weights.size(); ++j) {
+      if (weights[j] == 0.0) continue;
+      const double* row = &kernel[j * num_intervals];
+      double denom = 0.0;
+      for (std::size_t k = 0; k < num_intervals; ++k) denom += row[k] * p[k];
+      if (denom <= kTinyDensity) {
+        // No component reaches this observation (clamped edge bin under
+        // bounded noise): attribute it wholly to the nearest interval.
+        next[fallback[j]] += weights[j];
+        log_likelihood += weights[j] * std::log(kTinyDensity);
+        continue;
+      }
+      log_likelihood += weights[j] * std::log(denom);
+      const double scale = weights[j] / denom;
+      for (std::size_t k = 0; k < num_intervals; ++k) {
+        next[k] += scale * row[k] * p[k];
+      }
+    }
+    for (std::size_t k = 0; k < num_intervals; ++k) next[k] /= total_weight;
+
+    // Numerical safety: renormalize so the masses stay a distribution.
+    double mass = 0.0;
+    for (double m : next) mass += m;
+    PPDM_CHECK_GT(mass, 0.0);
+    for (double& m : next) m /= mass;
+
+    const double chi2 = stats::ChiSquareDistance(next, p);
+    out.log_likelihood_trace.push_back(log_likelihood);
+    out.chi_square_trace.push_back(chi2);
+    p.swap(next);
+    ++out.iterations;
+    if (chi2 < options.chi_square_epsilon) break;
+  }
+  out.masses = std::move(p);
+  return out;
+}
+
+}  // namespace
+
+double Reconstruction::CdfAtEdge(std::size_t k) const {
+  PPDM_CHECK_LE(k, masses.size());
+  double c = 0.0;
+  for (std::size_t i = 0; i < k; ++i) c += masses[i];
+  return c;
+}
+
+BayesReconstructor::BayesReconstructor(perturb::NoiseModel noise,
+                                       ReconstructionOptions options)
+    : noise_(noise), options_(options) {
+  PPDM_CHECK_GT(options.max_iterations, 0u);
+  PPDM_CHECK_GE(options.chi_square_epsilon, 0.0);
+}
+
+Reconstruction BayesReconstructor::Fit(const std::vector<double>& perturbed,
+                                       const Partition& partition) const {
+  if (noise_.kind() == perturb::NoiseKind::kNone) {
+    return HistogramMasses(perturbed, partition);
+  }
+  if (perturbed.empty()) {
+    Reconstruction out;
+    out.masses = UniformMasses(partition.intervals());
+    return out;
+  }
+  return options_.binned ? FitBinned(perturbed, partition)
+                         : FitExact(perturbed, partition);
+}
+
+Reconstruction BayesReconstructor::FitBinned(
+    const std::vector<double>& perturbed, const Partition& partition) const {
+  const std::size_t num_intervals = partition.intervals();
+  const double width = partition.width();
+
+  // Perturbed values live on a range widened by the noise support; bin them
+  // with the same width so kernel evaluations use aligned midpoints.
+  const auto extension = static_cast<std::size_t>(
+      std::ceil(noise_.EffectiveHalfWidth() / width));
+  const std::size_t num_wbins = num_intervals + 2 * extension;
+  const double wlo = partition.lo() - width * static_cast<double>(extension);
+  const double whi = partition.hi() + width * static_cast<double>(extension);
+
+  stats::Histogram whist(wlo, whi, num_wbins);
+  whist.AddAll(perturbed);
+
+  // Component j-given-k likelihood: P(W ∈ bin j | X = m_k), integrated
+  // exactly over the w bin via the noise CDF. Integration (rather than a
+  // midpoint pdf evaluation) kills the half-bin boundary bias that bounded
+  // noise would otherwise exhibit.
+  std::vector<double> weights(num_wbins);
+  std::vector<std::size_t> fallback(num_wbins);
+  std::vector<double> kernel(num_wbins * num_intervals);
+  for (std::size_t j = 0; j < num_wbins; ++j) {
+    weights[j] = static_cast<double>(whist.counts()[j]);
+    const double bin_lo = whist.BinLo(j);
+    const double bin_hi = whist.BinHi(j);
+    fallback[j] = partition.IntervalOf(whist.BinMid(j));
+    for (std::size_t k = 0; k < num_intervals; ++k) {
+      const double mid = partition.Mid(k);
+      // The outermost bins also absorb the clamped tails.
+      const double upper = j + 1 == num_wbins ? 1.0
+                                              : noise_.Cdf(bin_hi - mid);
+      const double lower = j == 0 ? 0.0 : noise_.Cdf(bin_lo - mid);
+      kernel[j * num_intervals + k] = upper - lower;
+    }
+  }
+  return RunEm(weights, kernel, fallback, num_intervals,
+               static_cast<double>(perturbed.size()), options_);
+}
+
+Reconstruction BayesReconstructor::FitExact(
+    const std::vector<double>& perturbed, const Partition& partition) const {
+  const std::size_t num_intervals = partition.intervals();
+  std::vector<double> weights(perturbed.size(), 1.0);
+  std::vector<std::size_t> fallback(perturbed.size());
+  std::vector<double> kernel(perturbed.size() * num_intervals);
+  for (std::size_t j = 0; j < perturbed.size(); ++j) {
+    fallback[j] = partition.IntervalOf(perturbed[j]);
+    for (std::size_t k = 0; k < num_intervals; ++k) {
+      kernel[j * num_intervals + k] =
+          noise_.Pdf(perturbed[j] - partition.Mid(k));
+    }
+  }
+  return RunEm(weights, kernel, fallback, num_intervals,
+               static_cast<double>(perturbed.size()), options_);
+}
+
+}  // namespace ppdm::reconstruct

@@ -1,0 +1,91 @@
+// Reconstruction of an original value distribution from perturbed samples
+// and the known noise density — the heart of the paper (§4).
+//
+// The iterative Bayes update of §4 is, in the interval-partitioned form of
+// §4.3, exactly the EM algorithm for a finite mixture with known component
+// densities f_Y(w − m_k) and unknown weights p_k (the observation made by
+// Agrawal & Aggarwal, PODS '01). This implementation therefore exposes the
+// log-likelihood trace, whose monotone increase is EM's signature and is
+// property-tested in tests/reconstruct_test.cc.
+
+#ifndef PPDM_RECONSTRUCT_RECONSTRUCTOR_H_
+#define PPDM_RECONSTRUCT_RECONSTRUCTOR_H_
+
+#include <cstddef>
+#include <vector>
+
+#include "perturb/noise_model.h"
+#include "reconstruct/partition.h"
+
+namespace ppdm::reconstruct {
+
+/// Tuning knobs for the iterative reconstruction.
+struct ReconstructionOptions {
+  /// Hard cap on EM iterations.
+  std::size_t max_iterations = 500;
+
+  /// Stop when the χ² statistic between successive mass vectors drops
+  /// below this threshold (the paper's stopping criterion: iterate until
+  /// the estimate stops changing). EM deconvolution overfits if run to
+  /// full convergence — the ML estimate itself grows spiky artifacts
+  /// (exactly the Richardson–Lucy "night sky" effect) — so this default
+  /// deliberately stops at the χ² level where reconstruction error
+  /// bottoms out empirically across noise kinds and levels.
+  double chi_square_epsilon = 1e-4;
+
+  /// Use the paper's O(K²)-per-iteration accelerated form that bins the
+  /// perturbed values first (§4.3). When false, iterate over every sample
+  /// (O(N·K) per iteration) — numerically the reference implementation.
+  bool binned = true;
+};
+
+/// Output of a reconstruction run.
+struct Reconstruction {
+  /// Estimated P(X ∈ I_k) per interval; sums to 1.
+  std::vector<double> masses;
+
+  /// Number of EM iterations performed.
+  std::size_t iterations = 0;
+
+  /// χ² between successive iterates, one entry per iteration.
+  std::vector<double> chi_square_trace;
+
+  /// Log-likelihood of the perturbed sample under the estimate, one entry
+  /// per iteration; non-decreasing (EM).
+  std::vector<double> log_likelihood_trace;
+
+  /// Number of perturbed samples the estimate was fitted from.
+  std::size_t sample_count = 0;
+
+  /// Estimated cumulative mass strictly below interval `k`'s upper edge.
+  double CdfAtEdge(std::size_t k) const;
+};
+
+/// Fits interval masses to perturbed samples by iterated Bayes / EM.
+class BayesReconstructor {
+ public:
+  BayesReconstructor(perturb::NoiseModel noise, ReconstructionOptions options);
+
+  /// Reconstructs the distribution of X over `partition` from the
+  /// perturbed values w_i = x_i + y_i. With kNone noise this degenerates
+  /// to the exact histogram of the samples. An empty sample yields the
+  /// uniform distribution (the EM prior).
+  Reconstruction Fit(const std::vector<double>& perturbed,
+                     const Partition& partition) const;
+
+  const perturb::NoiseModel& noise() const { return noise_; }
+  const ReconstructionOptions& options() const { return options_; }
+
+ private:
+  Reconstruction FitBinned(const std::vector<double>& perturbed,
+                           const Partition& partition) const;
+  Reconstruction FitExact(const std::vector<double>& perturbed,
+                          const Partition& partition) const;
+
+  perturb::NoiseModel noise_;
+  ReconstructionOptions options_;
+};
+
+}  // namespace ppdm::reconstruct
+
+#endif  // PPDM_RECONSTRUCT_RECONSTRUCTOR_H_

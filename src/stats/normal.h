@@ -1,0 +1,20 @@
+// Standard-normal special functions, hand-rolled (no external numerics).
+
+#ifndef PPDM_STATS_NORMAL_H_
+#define PPDM_STATS_NORMAL_H_
+
+namespace ppdm::stats {
+
+/// Density of N(0,1) at z.
+double NormalPdf(double z);
+
+/// Distribution function of N(0,1) at z (via std::erf).
+double NormalCdf(double z);
+
+/// Inverse of NormalCdf for p in (0,1). Peter Acklam's rational
+/// approximation with one Halley refinement step; |error| < 1e-12.
+double NormalQuantile(double p);
+
+}  // namespace ppdm::stats
+
+#endif  // PPDM_STATS_NORMAL_H_

@@ -1,0 +1,61 @@
+#include "stats/summary.h"
+
+#include <algorithm>
+#include <cmath>
+
+#include "common/check.h"
+
+namespace ppdm::stats {
+
+void KahanSum::Add(double x) {
+  const double t = sum_ + x;
+  if (std::fabs(sum_) >= std::fabs(x)) {
+    compensation_ += (sum_ - t) + x;
+  } else {
+    compensation_ += (x - t) + sum_;
+  }
+  sum_ = t;
+}
+
+void DescriptiveStats::Add(double x) {
+  if (count_ == 0) {
+    min_ = max_ = x;
+  } else {
+    min_ = std::min(min_, x);
+    max_ = std::max(max_, x);
+  }
+  ++count_;
+  const double delta = x - mean_;
+  mean_ += delta / static_cast<double>(count_);
+  m2_ += delta * (x - mean_);
+}
+
+double DescriptiveStats::min() const {
+  PPDM_CHECK_GT(count_, 0u);
+  return min_;
+}
+
+double DescriptiveStats::max() const {
+  PPDM_CHECK_GT(count_, 0u);
+  return max_;
+}
+
+double DescriptiveStats::mean() const {
+  PPDM_CHECK_GT(count_, 0u);
+  return mean_;
+}
+
+double DescriptiveStats::variance() const {
+  if (count_ < 2) return 0.0;
+  return m2_ / static_cast<double>(count_ - 1);
+}
+
+double DescriptiveStats::stddev() const { return std::sqrt(variance()); }
+
+DescriptiveStats DescriptiveStats::Of(const std::vector<double>& values) {
+  DescriptiveStats s;
+  for (double v : values) s.Add(v);
+  return s;
+}
+
+}  // namespace ppdm::stats

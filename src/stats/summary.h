@@ -1,0 +1,53 @@
+// Streaming descriptive statistics and compensated summation.
+
+#ifndef PPDM_STATS_SUMMARY_H_
+#define PPDM_STATS_SUMMARY_H_
+
+#include <cstddef>
+#include <vector>
+
+namespace ppdm::stats {
+
+/// Kahan–Babuška compensated accumulator; keeps O(1) rounding error when
+/// summing millions of histogram masses or likelihood terms.
+class KahanSum {
+ public:
+  /// Adds one term.
+  void Add(double x);
+
+  /// Current compensated total.
+  double Total() const { return sum_ + compensation_; }
+
+ private:
+  double sum_ = 0.0;
+  double compensation_ = 0.0;
+};
+
+/// Single-pass count/min/max/mean/variance via Welford's update.
+class DescriptiveStats {
+ public:
+  /// Folds one observation into the summary.
+  void Add(double x);
+
+  std::size_t count() const { return count_; }
+  double min() const;
+  double max() const;
+  double mean() const;
+
+  /// Unbiased sample variance (n−1 denominator); 0 when count < 2.
+  double variance() const;
+  double stddev() const;
+
+  /// Convenience: summarizes a whole vector.
+  static DescriptiveStats Of(const std::vector<double>& values);
+
+ private:
+  std::size_t count_ = 0;
+  double min_ = 0.0, max_ = 0.0;
+  double mean_ = 0.0;
+  double m2_ = 0.0;  // sum of squared deviations
+};
+
+}  // namespace ppdm::stats
+
+#endif  // PPDM_STATS_SUMMARY_H_

@@ -1,0 +1,97 @@
+#include "synth/functions.h"
+
+#include "common/check.h"
+
+namespace ppdm::synth {
+namespace {
+
+bool Between(double x, double lo, double hi) { return lo <= x && x <= hi; }
+
+bool GroupA1(const FunctionInputs& in) {
+  return in.age < 40.0 || in.age >= 60.0;
+}
+
+bool GroupA2(const FunctionInputs& in) {
+  if (in.age < 40.0) return Between(in.salary, 50000.0, 100000.0);
+  if (in.age < 60.0) return Between(in.salary, 75000.0, 125000.0);
+  return Between(in.salary, 25000.0, 75000.0);
+}
+
+bool GroupA3(const FunctionInputs& in) {
+  if (in.age < 40.0) return Between(in.elevel, 0.0, 1.0);
+  if (in.age < 60.0) return Between(in.elevel, 1.0, 3.0);
+  return Between(in.elevel, 2.0, 4.0);
+}
+
+bool GroupA4(const FunctionInputs& in) {
+  if (in.age < 40.0) {
+    return Between(in.elevel, 0.0, 1.0)
+               ? Between(in.salary, 25000.0, 75000.0)
+               : Between(in.salary, 50000.0, 100000.0);
+  }
+  if (in.age < 60.0) {
+    return Between(in.elevel, 1.0, 3.0)
+               ? Between(in.salary, 50000.0, 100000.0)
+               : Between(in.salary, 75000.0, 125000.0);
+  }
+  return Between(in.elevel, 2.0, 4.0)
+             ? Between(in.salary, 50000.0, 100000.0)
+             : Between(in.salary, 25000.0, 75000.0);
+}
+
+bool GroupA5(const FunctionInputs& in) {
+  if (in.age < 40.0) {
+    return Between(in.salary, 50000.0, 100000.0)
+               ? Between(in.loan, 100000.0, 300000.0)
+               : Between(in.loan, 200000.0, 400000.0);
+  }
+  if (in.age < 60.0) {
+    return Between(in.salary, 75000.0, 125000.0)
+               ? Between(in.loan, 200000.0, 400000.0)
+               : Between(in.loan, 300000.0, 500000.0);
+  }
+  return Between(in.salary, 25000.0, 75000.0)
+             ? Between(in.loan, 300000.0, 500000.0)
+             : Between(in.loan, 100000.0, 300000.0);
+}
+
+}  // namespace
+
+std::string FunctionName(Function fn) {
+  switch (fn) {
+    case Function::kF1:
+      return "Fn1";
+    case Function::kF2:
+      return "Fn2";
+    case Function::kF3:
+      return "Fn3";
+    case Function::kF4:
+      return "Fn4";
+    case Function::kF5:
+      return "Fn5";
+  }
+  return "Fn?";
+}
+
+bool IsGroupA(Function fn, const FunctionInputs& in) {
+  switch (fn) {
+    case Function::kF1:
+      return GroupA1(in);
+    case Function::kF2:
+      return GroupA2(in);
+    case Function::kF3:
+      return GroupA3(in);
+    case Function::kF4:
+      return GroupA4(in);
+    case Function::kF5:
+      return GroupA5(in);
+  }
+  PPDM_CHECK_MSG(false, "unknown classification function");
+  return false;
+}
+
+int LabelOf(Function fn, const FunctionInputs& in) {
+  return IsGroupA(fn, in) ? 0 : 1;
+}
+
+}  // namespace ppdm::synth

@@ -1,0 +1,46 @@
+// The five classification functions of the classic synthetic benchmark
+// (Agrawal, Ghosh, Imielinski, Iyer, Swami — the generator also used by
+// SLIQ/SPRINT and by the SIGMOD 2000 evaluation). Each function maps a
+// record to Group A (label 0) or Group B (label 1).
+
+#ifndef PPDM_SYNTH_FUNCTIONS_H_
+#define PPDM_SYNTH_FUNCTIONS_H_
+
+#include <string>
+
+namespace ppdm::synth {
+
+/// Identifier of a benchmark classification function.
+enum class Function { kF1 = 1, kF2, kF3, kF4, kF5 };
+
+/// "Fn1" .. "Fn5".
+std::string FunctionName(Function fn);
+
+/// The attribute values a function may consult.
+struct FunctionInputs {
+  double salary = 0.0;
+  double commission = 0.0;
+  double age = 0.0;
+  double elevel = 0.0;  // 0..4
+  double loan = 0.0;
+};
+
+/// True iff the record belongs to Group A under `fn`.
+///
+/// Definitions (Group A conditions):
+///   Fn1: age < 40 ∨ age ≥ 60
+///   Fn2: (age < 40 ∧ 50K ≤ salary ≤ 100K) ∨
+///        (40 ≤ age < 60 ∧ 75K ≤ salary ≤ 125K) ∨
+///        (age ≥ 60 ∧ 25K ≤ salary ≤ 75K)
+///   Fn3: (age < 40 ∧ elevel ∈ [0,1]) ∨ (40 ≤ age < 60 ∧ elevel ∈ [1,3]) ∨
+///        (age ≥ 60 ∧ elevel ∈ [2,4])
+///   Fn4: like Fn3 but the elevel test selects which salary band applies.
+///   Fn5: like Fn2 but the salary test selects which loan band applies.
+bool IsGroupA(Function fn, const FunctionInputs& in);
+
+/// Label for a record: 0 for Group A, 1 for Group B.
+int LabelOf(Function fn, const FunctionInputs& in);
+
+}  // namespace ppdm::synth
+
+#endif  // PPDM_SYNTH_FUNCTIONS_H_

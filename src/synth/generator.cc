@@ -1,0 +1,68 @@
+#include "synth/generator.h"
+
+#include "common/check.h"
+
+namespace ppdm::synth {
+
+data::Schema BenchmarkSchema() {
+  using data::AttributeKind;
+  using data::FieldSpec;
+  std::vector<FieldSpec> fields(kNumAttributes);
+  fields[kSalary] = {"salary", AttributeKind::kContinuous, 20000.0, 150000.0};
+  fields[kCommission] = {"commission", AttributeKind::kContinuous, 0.0,
+                         75000.0};
+  fields[kAge] = {"age", AttributeKind::kContinuous, 20.0, 80.0};
+  fields[kElevel] = {"elevel", AttributeKind::kDiscrete, 0.0, 4.0};
+  fields[kCar] = {"car", AttributeKind::kDiscrete, 1.0, 20.0};
+  fields[kZipcode] = {"zipcode", AttributeKind::kDiscrete, 0.0, 8.0};
+  fields[kHvalue] = {"hvalue", AttributeKind::kContinuous, 50000.0,
+                     1350000.0};
+  fields[kHyears] = {"hyears", AttributeKind::kDiscrete, 1.0, 30.0};
+  fields[kLoan] = {"loan", AttributeKind::kContinuous, 0.0, 500000.0};
+  return data::Schema(std::move(fields));
+}
+
+std::vector<double> SampleRecord(Rng* rng) {
+  PPDM_CHECK(rng != nullptr);
+  std::vector<double> r(kNumAttributes);
+  r[kSalary] = rng->UniformReal(20000.0, 150000.0);
+  r[kCommission] =
+      r[kSalary] >= 75000.0 ? 0.0 : rng->UniformReal(10000.0, 75000.0);
+  r[kAge] = rng->UniformReal(20.0, 80.0);
+  r[kElevel] = static_cast<double>(rng->UniformInt(0, 4));
+  r[kCar] = static_cast<double>(rng->UniformInt(1, 20));
+  r[kZipcode] = static_cast<double>(rng->UniformInt(0, 8));
+  const double k = r[kZipcode] + 1.0;
+  r[kHvalue] = rng->UniformReal(k * 50000.0, k * 150000.0);
+  r[kHyears] = static_cast<double>(rng->UniformInt(1, 30));
+  r[kLoan] = rng->UniformReal(0.0, 500000.0);
+  return r;
+}
+
+FunctionInputs InputsOf(const std::vector<double>& record) {
+  PPDM_CHECK_EQ(record.size(), static_cast<std::size_t>(kNumAttributes));
+  FunctionInputs in;
+  in.salary = record[kSalary];
+  in.commission = record[kCommission];
+  in.age = record[kAge];
+  in.elevel = record[kElevel];
+  in.loan = record[kLoan];
+  return in;
+}
+
+data::Dataset Generate(const GeneratorOptions& options) {
+  PPDM_CHECK(options.label_noise >= 0.0 && options.label_noise <= 1.0);
+  Rng rng(options.seed);
+  data::Dataset dataset(BenchmarkSchema(), /*num_classes=*/2);
+  for (std::size_t i = 0; i < options.num_records; ++i) {
+    const std::vector<double> record = SampleRecord(&rng);
+    int label = LabelOf(options.function, InputsOf(record));
+    if (options.label_noise > 0.0 && rng.Bernoulli(options.label_noise)) {
+      label = 1 - label;
+    }
+    dataset.AddRow(record, label);
+  }
+  return dataset;
+}
+
+}  // namespace ppdm::synth

@@ -1,0 +1,78 @@
+#include "tree/decision_tree.h"
+
+#include <algorithm>
+
+#include "common/check.h"
+#include "common/strings.h"
+
+namespace ppdm::tree {
+
+DecisionTree::DecisionTree(std::vector<Node> nodes)
+    : nodes_(std::move(nodes)) {
+  PPDM_CHECK(!nodes_.empty());
+  for (const Node& node : nodes_) {
+    if (!node.IsLeaf()) {
+      PPDM_CHECK(node.left >= 0 &&
+                 node.left < static_cast<int>(nodes_.size()));
+      PPDM_CHECK(node.right >= 0 &&
+                 node.right < static_cast<int>(nodes_.size()));
+      PPDM_CHECK_GE(node.attribute, 0);
+    }
+    PPDM_CHECK_GE(node.label, 0);
+  }
+}
+
+int DecisionTree::Predict(const std::vector<double>& record) const {
+  int at = 0;
+  while (!nodes_[static_cast<std::size_t>(at)].IsLeaf()) {
+    const Node& node = nodes_[static_cast<std::size_t>(at)];
+    PPDM_CHECK_LT(static_cast<std::size_t>(node.attribute), record.size());
+    at = record[static_cast<std::size_t>(node.attribute)] < node.threshold
+             ? node.left
+             : node.right;
+  }
+  return nodes_[static_cast<std::size_t>(at)].label;
+}
+
+std::size_t DecisionTree::NumLeaves() const {
+  std::size_t leaves = 0;
+  for (const Node& node : nodes_) {
+    if (node.IsLeaf()) ++leaves;
+  }
+  return leaves;
+}
+
+std::size_t DecisionTree::Depth() const { return DepthFrom(0); }
+
+std::size_t DecisionTree::DepthFrom(int node) const {
+  const Node& n = nodes_[static_cast<std::size_t>(node)];
+  if (n.IsLeaf()) return 1;
+  return 1 + std::max(DepthFrom(n.left), DepthFrom(n.right));
+}
+
+std::string DecisionTree::Describe(const data::Schema& schema) const {
+  std::string out;
+  DescribeFrom(0, 0, schema, &out);
+  return out;
+}
+
+void DecisionTree::DescribeFrom(int node, int indent,
+                                const data::Schema& schema,
+                                std::string* out) const {
+  const Node& n = nodes_[static_cast<std::size_t>(node)];
+  out->append(static_cast<std::size_t>(indent) * 2, ' ');
+  if (n.IsLeaf()) {
+    out->append(StrFormat("-> class %d  (n=%zu)\n", n.label, n.num_records));
+    return;
+  }
+  out->append(StrFormat("%s < %.6g  (n=%zu)\n",
+                        schema.Field(static_cast<std::size_t>(n.attribute))
+                            .name.c_str(),
+                        n.threshold, n.num_records));
+  DescribeFrom(n.left, indent + 1, schema, out);
+  out->append(static_cast<std::size_t>(indent) * 2, ' ');
+  out->append("else\n");
+  DescribeFrom(n.right, indent + 1, schema, out);
+}
+
+}  // namespace ppdm::tree

@@ -1,0 +1,57 @@
+// Decision-tree model: binary splits on attribute thresholds, majority
+// leaves. The tree is stored as an index-linked node array (no pointer
+// chasing, trivially copyable).
+
+#ifndef PPDM_TREE_DECISION_TREE_H_
+#define PPDM_TREE_DECISION_TREE_H_
+
+#include <cstddef>
+#include <string>
+#include <vector>
+
+#include "data/schema.h"
+
+namespace ppdm::tree {
+
+/// One node of a decision tree. Leaves have left == right == kNoChild.
+struct Node {
+  static constexpr int kNoChild = -1;
+
+  int attribute = -1;      ///< Split attribute (internal nodes only).
+  double threshold = 0.0;  ///< Records with value < threshold go left.
+  int left = kNoChild;
+  int right = kNoChild;
+  int label = -1;          ///< Majority class (valid at every node).
+  std::size_t num_records = 0;  ///< Training records that reached the node.
+
+  bool IsLeaf() const { return left == kNoChild; }
+};
+
+/// An immutable trained tree.
+class DecisionTree {
+ public:
+  /// Builds a tree from nodes produced by a builder; node 0 is the root.
+  explicit DecisionTree(std::vector<Node> nodes);
+
+  /// Predicted class label for a record laid out per the training schema.
+  int Predict(const std::vector<double>& record) const;
+
+  std::size_t NumNodes() const { return nodes_.size(); }
+  std::size_t NumLeaves() const;
+  std::size_t Depth() const;
+  const std::vector<Node>& nodes() const { return nodes_; }
+
+  /// Multi-line human-readable rendering (attribute names from `schema`).
+  std::string Describe(const data::Schema& schema) const;
+
+ private:
+  std::size_t DepthFrom(int node) const;
+  void DescribeFrom(int node, int indent, const data::Schema& schema,
+                    std::string* out) const;
+
+  std::vector<Node> nodes_;
+};
+
+}  // namespace ppdm::tree
+
+#endif  // PPDM_TREE_DECISION_TREE_H_

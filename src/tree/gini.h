@@ -1,0 +1,34 @@
+// Gini impurity and interval-boundary split search shared by every
+// training mode. Counts may be fractional: the Local algorithm evaluates
+// splits on expected per-interval class counts taken straight from the
+// reconstructed distributions.
+
+#ifndef PPDM_TREE_GINI_H_
+#define PPDM_TREE_GINI_H_
+
+#include <cstddef>
+#include <vector>
+
+namespace ppdm::tree {
+
+/// Gini impurity 1 − Σ_c (n_c / n)² of a class-count vector; 0 when empty.
+double GiniImpurity(const std::vector<double>& class_counts);
+
+/// Result of scanning one attribute for its best interval-boundary split.
+struct SplitCandidate {
+  bool valid = false;      ///< False when no boundary separates the records.
+  std::size_t edge = 0;    ///< Intervals [0, edge) go left, [edge, K) right.
+  double gain = 0.0;       ///< Gini(node) − weighted Gini(children).
+  double left_weight = 0.0;
+  double right_weight = 0.0;
+};
+
+/// Scans all interior boundaries of a `counts[class][interval]` table and
+/// returns the boundary with the highest gini gain. Boundaries that leave
+/// either side with weight below `min_side_weight` are skipped.
+SplitCandidate BestBoundarySplit(
+    const std::vector<std::vector<double>>& counts, double min_side_weight);
+
+}  // namespace ppdm::tree
+
+#endif  // PPDM_TREE_GINI_H_

@@ -1,0 +1,226 @@
+// Tests for the ppdm command-line layer: flag parsing and the four
+// end-to-end workflows over temp CSV files.
+
+#include <cstdio>
+#include <sstream>
+#include <string>
+#include <vector>
+
+#include <gtest/gtest.h>
+
+#include "cli/args.h"
+#include "cli/commands.h"
+#include "data/csv.h"
+#include "synth/generator.h"
+
+namespace ppdm::cli {
+namespace {
+
+Result<Args> ParseVec(const std::vector<const char*>& argv) {
+  std::vector<const char*> full{"ppdm"};
+  full.insert(full.end(), argv.begin(), argv.end());
+  return Args::Parse(static_cast<int>(full.size()), full.data());
+}
+
+// -------------------------------------------------------------------- Args
+
+TEST(ArgsTest, ParsesCommandAndFlags) {
+  auto args = ParseVec({"generate", "--records=100", "--out=x.csv"});
+  ASSERT_TRUE(args.ok());
+  EXPECT_EQ(args.value().command(), "generate");
+  EXPECT_EQ(args.value().GetString("out", ""), "x.csv");
+  EXPECT_EQ(args.value().GetInt("records", 0).value(), 100);
+}
+
+TEST(ArgsTest, ValuelessFlagIsPresent) {
+  auto args = ParseVec({"train", "--print-tree"});
+  ASSERT_TRUE(args.ok());
+  EXPECT_TRUE(args.value().Has("print-tree"));
+  EXPECT_FALSE(args.value().Has("verbose"));
+}
+
+TEST(ArgsTest, MissingCommandIsError) {
+  auto args = ParseVec({"--records=5"});
+  EXPECT_FALSE(args.ok());
+}
+
+TEST(ArgsTest, SecondPositionalIsError) {
+  auto args = ParseVec({"generate", "extra"});
+  EXPECT_FALSE(args.ok());
+}
+
+TEST(ArgsTest, TypedAccessorsValidate) {
+  auto args = ParseVec({"x", "--privacy=abc"});
+  ASSERT_TRUE(args.ok());
+  EXPECT_FALSE(args.value().GetDouble("privacy", 1.0).ok());
+  EXPECT_DOUBLE_EQ(args.value().GetDouble("other", 2.5).value(), 2.5);
+}
+
+TEST(ArgsTest, CheckKnownRejectsTypos) {
+  auto args = ParseVec({"generate", "--recrods=10"});
+  ASSERT_TRUE(args.ok());
+  EXPECT_FALSE(args.value().CheckKnown({"records", "out"}).ok());
+  EXPECT_TRUE(args.value().CheckKnown({"recrods"}).ok());
+}
+
+// ---------------------------------------------------------------- Commands
+
+class CliFixture : public ::testing::Test {
+ protected:
+  std::string Path(const std::string& name) {
+    return testing::TempDir() + "/ppdm_cli_" + name;
+  }
+
+  Status Run(const std::vector<const char*>& argv, std::string* output) {
+    auto args = ParseVec(argv);
+    if (!args.ok()) return args.status();
+    std::ostringstream out;
+    const Status status = RunCommand(args.value(), out);
+    *output = out.str();
+    return status;
+  }
+
+  void TearDown() override {
+    for (const std::string& f : cleanup_) std::remove(f.c_str());
+  }
+
+  std::string Track(const std::string& path) {
+    cleanup_.push_back(path);
+    return path;
+  }
+
+  std::vector<std::string> cleanup_;
+};
+
+TEST_F(CliFixture, HelpPrintsUsage) {
+  std::string output;
+  ASSERT_TRUE(Run({"help"}, &output).ok());
+  EXPECT_NE(output.find("usage: ppdm"), std::string::npos);
+}
+
+TEST_F(CliFixture, UnknownCommandFails) {
+  std::string output;
+  const Status s = Run({"frobnicate"}, &output);
+  EXPECT_EQ(s.code(), StatusCode::kInvalidArgument);
+}
+
+TEST_F(CliFixture, GenerateWritesReadableCsv) {
+  const std::string path = Track(Path("gen.csv"));
+  std::string output;
+  ASSERT_TRUE(Run({"generate", ("--out=" + path).c_str(), "--records=200",
+                   "--function=2"},
+                  &output)
+                  .ok())
+      << output;
+  auto loaded = data::ReadCsv(synth::BenchmarkSchema(), 2, path);
+  ASSERT_TRUE(loaded.ok());
+  EXPECT_EQ(loaded.value().NumRows(), 200u);
+}
+
+TEST_F(CliFixture, GenerateRequiresOut) {
+  std::string output;
+  EXPECT_FALSE(Run({"generate", "--records=10"}, &output).ok());
+}
+
+TEST_F(CliFixture, GenerateRejectsBadFunction) {
+  std::string output;
+  EXPECT_FALSE(
+      Run({"generate", "--out=/tmp/x.csv", "--function=9"}, &output).ok());
+}
+
+TEST_F(CliFixture, PerturbChangesValuesKeepsLabels) {
+  const std::string raw = Track(Path("raw.csv"));
+  const std::string noisy = Track(Path("noisy.csv"));
+  std::string output;
+  ASSERT_TRUE(
+      Run({"generate", ("--out=" + raw).c_str(), "--records=300"}, &output)
+          .ok());
+  ASSERT_TRUE(Run({"perturb", ("--in=" + raw).c_str(),
+                   ("--out=" + noisy).c_str(), "--privacy=1.0"},
+                  &output)
+                  .ok())
+      << output;
+  auto a = data::ReadCsv(synth::BenchmarkSchema(), 2, raw);
+  auto b = data::ReadCsv(synth::BenchmarkSchema(), 2, noisy);
+  ASSERT_TRUE(a.ok() && b.ok());
+  int value_diffs = 0;
+  for (std::size_t r = 0; r < a.value().NumRows(); ++r) {
+    EXPECT_EQ(a.value().Label(r), b.value().Label(r));
+    if (a.value().At(r, 0) != b.value().At(r, 0)) ++value_diffs;
+  }
+  EXPECT_GT(value_diffs, 290);
+}
+
+TEST_F(CliFixture, ReconstructPrintsMasses) {
+  const std::string raw = Track(Path("r_raw.csv"));
+  const std::string noisy = Track(Path("r_noisy.csv"));
+  std::string output;
+  ASSERT_TRUE(
+      Run({"generate", ("--out=" + raw).c_str(), "--records=2000"}, &output)
+          .ok());
+  ASSERT_TRUE(Run({"perturb", ("--in=" + raw).c_str(),
+                   ("--out=" + noisy).c_str(), "--privacy=0.5"},
+                  &output)
+                  .ok());
+  ASSERT_TRUE(Run({"reconstruct", ("--in=" + noisy).c_str(),
+                   "--attribute=age", "--privacy=0.5", "--intervals=10"},
+                  &output)
+                  .ok())
+      << output;
+  EXPECT_NE(output.find("EM iterations"), std::string::npos);
+}
+
+TEST_F(CliFixture, ReconstructRejectsUnknownAttribute) {
+  const std::string raw = Track(Path("a_raw.csv"));
+  std::string output;
+  ASSERT_TRUE(
+      Run({"generate", ("--out=" + raw).c_str(), "--records=50"}, &output)
+          .ok());
+  const Status s = Run(
+      {"reconstruct", ("--in=" + raw).c_str(), "--attribute=nope"}, &output);
+  EXPECT_EQ(s.code(), StatusCode::kNotFound);
+}
+
+TEST_F(CliFixture, TrainEndToEnd) {
+  const std::string train_raw = Track(Path("t_train.csv"));
+  const std::string train_noisy = Track(Path("t_noisy.csv"));
+  const std::string test_csv = Track(Path("t_test.csv"));
+  std::string output;
+  ASSERT_TRUE(Run({"generate", ("--out=" + train_raw).c_str(),
+                   "--records=4000", "--function=1", "--seed=5"},
+                  &output)
+                  .ok());
+  ASSERT_TRUE(Run({"generate", ("--out=" + test_csv).c_str(),
+                   "--records=1000", "--function=1", "--seed=6"},
+                  &output)
+                  .ok());
+  ASSERT_TRUE(Run({"perturb", ("--in=" + train_raw).c_str(),
+                   ("--out=" + train_noisy).c_str(), "--privacy=0.5"},
+                  &output)
+                  .ok());
+  ASSERT_TRUE(Run({"train", ("--train=" + train_noisy).c_str(),
+                   ("--test=" + test_csv).c_str(), "--mode=byclass",
+                   "--privacy=0.5"},
+                  &output)
+                  .ok())
+      << output;
+  EXPECT_NE(output.find("ByClass: accuracy"), std::string::npos);
+}
+
+TEST_F(CliFixture, TrainRejectsUnknownMode) {
+  std::string output;
+  const Status s = Run({"train", "--train=a.csv", "--test=b.csv",
+                        "--mode=quantum"},
+                       &output);
+  EXPECT_EQ(s.code(), StatusCode::kInvalidArgument);
+}
+
+TEST_F(CliFixture, UnknownFlagIsCaught) {
+  std::string output;
+  const Status s =
+      Run({"generate", "--out=/tmp/x.csv", "--recordz=10"}, &output);
+  EXPECT_EQ(s.code(), StatusCode::kInvalidArgument);
+}
+
+}  // namespace
+}  // namespace ppdm::cli

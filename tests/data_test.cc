@@ -1,0 +1,238 @@
+// Unit tests for schema, dataset, CSV persistence, and splitting.
+
+#include <cstdio>
+#include <string>
+
+#include <gtest/gtest.h>
+
+#include "common/random.h"
+#include "data/csv.h"
+#include "data/dataset.h"
+#include "data/schema.h"
+#include "data/split.h"
+
+namespace ppdm::data {
+namespace {
+
+Schema TwoFieldSchema() {
+  return Schema({{"age", AttributeKind::kContinuous, 20.0, 80.0},
+                 {"elevel", AttributeKind::kDiscrete, 0.0, 4.0}});
+}
+
+// ------------------------------------------------------------------ Schema
+
+TEST(SchemaTest, FieldAccessors) {
+  const Schema s = TwoFieldSchema();
+  EXPECT_EQ(s.NumFields(), 2u);
+  EXPECT_EQ(s.Field(0).name, "age");
+  EXPECT_DOUBLE_EQ(s.Field(0).Range(), 60.0);
+  EXPECT_EQ(s.Field(1).kind, AttributeKind::kDiscrete);
+}
+
+TEST(SchemaTest, IndexOfFindsFields) {
+  const Schema s = TwoFieldSchema();
+  auto idx = s.IndexOf("elevel");
+  ASSERT_TRUE(idx.ok());
+  EXPECT_EQ(idx.value(), 1u);
+  EXPECT_FALSE(s.IndexOf("salary").ok());
+  EXPECT_EQ(s.IndexOf("salary").status().code(), StatusCode::kNotFound);
+}
+
+TEST(SchemaTest, ValidateAcceptsGoodSchema) {
+  EXPECT_TRUE(TwoFieldSchema().Validate().ok());
+}
+
+TEST(SchemaTest, ValidateRejectsDuplicates) {
+  const Schema s({{"x", AttributeKind::kContinuous, 0.0, 1.0},
+                  {"x", AttributeKind::kContinuous, 0.0, 1.0}});
+  EXPECT_EQ(s.Validate().code(), StatusCode::kInvalidArgument);
+}
+
+TEST(SchemaTest, ValidateRejectsEmptyDomain) {
+  const Schema s({{"x", AttributeKind::kContinuous, 1.0, 1.0}});
+  EXPECT_FALSE(s.Validate().ok());
+}
+
+TEST(SchemaTest, ValidateRejectsEmptyName) {
+  const Schema s({{"", AttributeKind::kContinuous, 0.0, 1.0}});
+  EXPECT_FALSE(s.Validate().ok());
+}
+
+// ----------------------------------------------------------------- Dataset
+
+TEST(DatasetTest, AddRowAndAccess) {
+  Dataset d(TwoFieldSchema(), 2);
+  d.AddRow({25.0, 1.0}, 0);
+  d.AddRow({60.0, 3.0}, 1);
+  EXPECT_EQ(d.NumRows(), 2u);
+  EXPECT_EQ(d.NumCols(), 2u);
+  EXPECT_DOUBLE_EQ(d.At(0, 0), 25.0);
+  EXPECT_DOUBLE_EQ(d.At(1, 1), 3.0);
+  EXPECT_EQ(d.Label(0), 0);
+  EXPECT_EQ(d.Label(1), 1);
+  EXPECT_TRUE(d.Validate().ok());
+}
+
+TEST(DatasetTest, ColumnIsContiguous) {
+  Dataset d(TwoFieldSchema(), 2);
+  d.AddRow({25.0, 1.0}, 0);
+  d.AddRow({60.0, 3.0}, 1);
+  const std::vector<double>& ages = d.Column(0);
+  ASSERT_EQ(ages.size(), 2u);
+  EXPECT_DOUBLE_EQ(ages[0], 25.0);
+  EXPECT_DOUBLE_EQ(ages[1], 60.0);
+}
+
+TEST(DatasetTest, RowMaterialization) {
+  Dataset d(TwoFieldSchema(), 2);
+  d.AddRow({42.0, 2.0}, 1);
+  const std::vector<double> row = d.Row(0);
+  ASSERT_EQ(row.size(), 2u);
+  EXPECT_DOUBLE_EQ(row[0], 42.0);
+  EXPECT_DOUBLE_EQ(row[1], 2.0);
+}
+
+TEST(DatasetTest, SetOverwritesCell) {
+  Dataset d(TwoFieldSchema(), 2);
+  d.AddRow({42.0, 2.0}, 1);
+  d.Set(0, 0, 43.5);
+  EXPECT_DOUBLE_EQ(d.At(0, 0), 43.5);
+}
+
+TEST(DatasetTest, SelectPreservesOrderAndLabels) {
+  Dataset d(TwoFieldSchema(), 2);
+  for (int i = 0; i < 10; ++i) {
+    d.AddRow({20.0 + i, static_cast<double>(i % 5)}, i % 2);
+  }
+  const Dataset sel = d.Select({7, 2, 9});
+  ASSERT_EQ(sel.NumRows(), 3u);
+  EXPECT_DOUBLE_EQ(sel.At(0, 0), 27.0);
+  EXPECT_DOUBLE_EQ(sel.At(1, 0), 22.0);
+  EXPECT_EQ(sel.Label(2), 1);
+  EXPECT_TRUE(sel.Validate().ok());
+}
+
+TEST(DatasetTest, RowsWithLabelAndClassCounts) {
+  Dataset d(TwoFieldSchema(), 2);
+  for (int i = 0; i < 9; ++i) {
+    d.AddRow({20.0 + i, 0.0}, i < 6 ? 0 : 1);
+  }
+  EXPECT_EQ(d.RowsWithLabel(0).size(), 6u);
+  EXPECT_EQ(d.RowsWithLabel(1).size(), 3u);
+  const auto counts = d.ClassCounts();
+  EXPECT_EQ(counts[0], 6u);
+  EXPECT_EQ(counts[1], 3u);
+}
+
+TEST(DatasetTest, MutableColumnWritesThrough) {
+  Dataset d(TwoFieldSchema(), 2);
+  d.AddRow({42.0, 2.0}, 0);
+  (*d.MutableColumn(0))[0] = 50.0;
+  EXPECT_DOUBLE_EQ(d.At(0, 0), 50.0);
+}
+
+// --------------------------------------------------------------------- CSV
+
+TEST(CsvTest, RoundTrip) {
+  Dataset d(TwoFieldSchema(), 2);
+  d.AddRow({25.75, 1.0}, 0);
+  d.AddRow({60.125, 3.0}, 1);
+  const std::string path = testing::TempDir() + "/ppdm_roundtrip.csv";
+  ASSERT_TRUE(WriteCsv(d, path).ok());
+
+  auto loaded = ReadCsv(TwoFieldSchema(), 2, path);
+  ASSERT_TRUE(loaded.ok()) << loaded.status().ToString();
+  const Dataset& back = loaded.value();
+  ASSERT_EQ(back.NumRows(), 2u);
+  EXPECT_DOUBLE_EQ(back.At(0, 0), 25.75);
+  EXPECT_DOUBLE_EQ(back.At(1, 0), 60.125);
+  EXPECT_EQ(back.Label(0), 0);
+  EXPECT_EQ(back.Label(1), 1);
+  std::remove(path.c_str());
+}
+
+TEST(CsvTest, ReadRejectsMissingFile) {
+  auto r = ReadCsv(TwoFieldSchema(), 2, "/nonexistent/nope.csv");
+  ASSERT_FALSE(r.ok());
+  EXPECT_EQ(r.status().code(), StatusCode::kIoError);
+}
+
+TEST(CsvTest, ReadRejectsWrongHeader) {
+  const std::string path = testing::TempDir() + "/ppdm_badheader.csv";
+  {
+    FILE* f = std::fopen(path.c_str(), "w");
+    std::fputs("foo,elevel,class\n25,1,0\n", f);
+    std::fclose(f);
+  }
+  EXPECT_FALSE(ReadCsv(TwoFieldSchema(), 2, path).ok());
+  std::remove(path.c_str());
+}
+
+TEST(CsvTest, ReadRejectsOutOfRangeLabel) {
+  const std::string path = testing::TempDir() + "/ppdm_badlabel.csv";
+  {
+    FILE* f = std::fopen(path.c_str(), "w");
+    std::fputs("age,elevel,class\n25,1,7\n", f);
+    std::fclose(f);
+  }
+  EXPECT_FALSE(ReadCsv(TwoFieldSchema(), 2, path).ok());
+  std::remove(path.c_str());
+}
+
+TEST(CsvTest, ReadSkipsBlankLines) {
+  const std::string path = testing::TempDir() + "/ppdm_blank.csv";
+  {
+    FILE* f = std::fopen(path.c_str(), "w");
+    std::fputs("age,elevel,class\n25,1,0\n\n30,2,1\n", f);
+    std::fclose(f);
+  }
+  auto r = ReadCsv(TwoFieldSchema(), 2, path);
+  ASSERT_TRUE(r.ok());
+  EXPECT_EQ(r.value().NumRows(), 2u);
+  std::remove(path.c_str());
+}
+
+// ------------------------------------------------------------------- Split
+
+TEST(SplitTest, SizesMatchFraction) {
+  Dataset d(TwoFieldSchema(), 2);
+  for (int i = 0; i < 100; ++i) d.AddRow({20.0 + i * 0.6, 0.0}, i % 2);
+  Rng rng(1);
+  const TrainTest tt = TrainTestSplit(d, 0.2, &rng);
+  EXPECT_EQ(tt.test.NumRows(), 20u);
+  EXPECT_EQ(tt.train.NumRows(), 80u);
+}
+
+TEST(SplitTest, PartitionIsDisjointAndComplete) {
+  Dataset d(TwoFieldSchema(), 2);
+  for (int i = 0; i < 50; ++i) d.AddRow({20.0 + i, 0.0}, 0);
+  Rng rng(2);
+  const TrainTest tt = TrainTestSplit(d, 0.3, &rng);
+  std::vector<double> all;
+  for (std::size_t r = 0; r < tt.train.NumRows(); ++r) {
+    all.push_back(tt.train.At(r, 0));
+  }
+  for (std::size_t r = 0; r < tt.test.NumRows(); ++r) {
+    all.push_back(tt.test.At(r, 0));
+  }
+  std::sort(all.begin(), all.end());
+  ASSERT_EQ(all.size(), 50u);
+  for (int i = 0; i < 50; ++i) {
+    EXPECT_DOUBLE_EQ(all[static_cast<std::size_t>(i)], 20.0 + i);
+  }
+}
+
+TEST(SplitTest, DeterministicGivenSeed) {
+  Dataset d(TwoFieldSchema(), 2);
+  for (int i = 0; i < 30; ++i) d.AddRow({20.0 + i, 0.0}, 0);
+  Rng rng1(77), rng2(77);
+  const TrainTest a = TrainTestSplit(d, 0.5, &rng1);
+  const TrainTest b = TrainTestSplit(d, 0.5, &rng2);
+  ASSERT_EQ(a.test.NumRows(), b.test.NumRows());
+  for (std::size_t r = 0; r < a.test.NumRows(); ++r) {
+    EXPECT_DOUBLE_EQ(a.test.At(r, 0), b.test.At(r, 0));
+  }
+}
+
+}  // namespace
+}  // namespace ppdm::data

@@ -1,0 +1,155 @@
+// End-to-end integration tests asserting the *shape* of the paper's
+// results: who wins, by roughly what factor, and how accuracy trades off
+// against privacy. These are the repository's reproduction guarantees.
+
+#include <gtest/gtest.h>
+
+#include "core/experiment.h"
+
+namespace ppdm::core {
+namespace {
+
+using synth::Function;
+using tree::TrainingMode;
+
+ExperimentConfig BaseConfig(Function fn, double privacy,
+                            perturb::NoiseKind kind) {
+  ExperimentConfig config;
+  config.function = fn;
+  config.train_records = 10000;
+  config.test_records = 2000;
+  config.privacy_fraction = privacy;
+  config.noise = kind;
+  config.seed = 424242;
+  return config;
+}
+
+// ------------------------------------------------- Low privacy ≈ Original
+
+class LowPrivacyParity : public ::testing::TestWithParam<Function> {};
+
+TEST_P(LowPrivacyParity, ByClassNearOriginal) {
+  // At 25% privacy the paper reports near-parity; at this test's reduced
+  // scale (10k records vs the paper's 100k) we allow an 8-point margin.
+  const ExperimentConfig config =
+      BaseConfig(GetParam(), 0.25, perturb::NoiseKind::kGaussian);
+  const auto results =
+      RunModes(config, {TrainingMode::kOriginal, TrainingMode::kByClass});
+  EXPECT_GE(results[1].accuracy, results[0].accuracy - 0.08)
+      << synth::FunctionName(GetParam());
+}
+
+INSTANTIATE_TEST_SUITE_P(AllFunctions, LowPrivacyParity,
+                         ::testing::Values(Function::kF1, Function::kF2,
+                                           Function::kF3, Function::kF4,
+                                           Function::kF5),
+                         [](const auto& info) {
+                           return synth::FunctionName(info.param);
+                         });
+
+// --------------------------------------- Reconstruction beats Randomized
+
+class ReconstructionWins : public ::testing::TestWithParam<Function> {};
+
+TEST_P(ReconstructionWins, ByClassBeatsRandomizedAtFullPrivacy) {
+  const ExperimentConfig config =
+      BaseConfig(GetParam(), 1.0, perturb::NoiseKind::kUniform);
+  const auto results =
+      RunModes(config, {TrainingMode::kByClass, TrainingMode::kRandomized});
+  EXPECT_GE(results[0].accuracy, results[1].accuracy - 0.02)
+      << synth::FunctionName(GetParam());
+}
+
+INSTANTIATE_TEST_SUITE_P(AllFunctions, ReconstructionWins,
+                         ::testing::Values(Function::kF1, Function::kF2,
+                                           Function::kF3, Function::kF4,
+                                           Function::kF5),
+                         [](const auto& info) {
+                           return synth::FunctionName(info.param);
+                         });
+
+TEST(ReconstructionWinsBigOnF1, GapExceedsTwentyPoints) {
+  const ExperimentConfig config =
+      BaseConfig(Function::kF1, 1.0, perturb::NoiseKind::kUniform);
+  const auto results =
+      RunModes(config, {TrainingMode::kByClass, TrainingMode::kRandomized});
+  EXPECT_GE(results[0].accuracy, 0.9);
+  EXPECT_GE(results[0].accuracy - results[1].accuracy, 0.2);
+}
+
+// -------------------------------------------------- Ordering of algorithms
+
+TEST(AlgorithmOrdering, OriginalOnTopByClassAboveGlobal) {
+  const ExperimentConfig config =
+      BaseConfig(Function::kF4, 1.0, perturb::NoiseKind::kUniform);
+  const auto results =
+      RunModes(config, {TrainingMode::kOriginal, TrainingMode::kByClass,
+                        TrainingMode::kGlobal, TrainingMode::kRandomized});
+  const double original = results[0].accuracy;
+  const double byclass = results[1].accuracy;
+  const double global = results[2].accuracy;
+  const double randomized = results[3].accuracy;
+  EXPECT_GE(original, byclass);
+  EXPECT_GE(byclass, global - 0.03);
+  EXPECT_GE(global, randomized - 0.03);
+  EXPECT_GE(original, 0.95);
+}
+
+TEST(AlgorithmOrdering, LocalIsComparableToByClass) {
+  // The paper finds ByClass ≈ Local and recommends ByClass on cost
+  // grounds; at this scale Local's per-node reconstructions run on small
+  // samples, so parity is asserted within 15 points.
+  const ExperimentConfig config =
+      BaseConfig(Function::kF1, 1.0, perturb::NoiseKind::kUniform);
+  const auto results =
+      RunModes(config, {TrainingMode::kByClass, TrainingMode::kLocal});
+  EXPECT_GE(results[1].accuracy, results[0].accuracy - 0.15);
+  EXPECT_GE(results[1].accuracy, 0.8);
+}
+
+// --------------------------------------------------- Graceful degradation
+
+TEST(PrivacyTradeoff, ByClassDegradesGracefully) {
+  double previous = 1.1;
+  int inversions = 0;
+  for (double privacy : {0.25, 0.5, 1.0, 2.0}) {
+    const ExperimentConfig config =
+        BaseConfig(Function::kF3, privacy, perturb::NoiseKind::kUniform);
+    const double acc =
+        RunModes(config, {TrainingMode::kByClass})[0].accuracy;
+    if (acc > previous + 0.03) ++inversions;  // tolerate tiny non-monotone
+    previous = acc;
+  }
+  EXPECT_LE(inversions, 1);
+}
+
+TEST(PrivacyTradeoff, AccuracyStaysUsefulAtDoublePrivacy) {
+  const ExperimentConfig config =
+      BaseConfig(Function::kF1, 2.0, perturb::NoiseKind::kUniform);
+  const double acc = RunModes(config, {TrainingMode::kByClass})[0].accuracy;
+  EXPECT_GE(acc, 0.85);  // the paper's flagship robustness claim on Fn1
+}
+
+// ---------------------------------------------------- Gaussian vs Uniform
+
+TEST(NoiseComparison, GaussianAtLeastMatchesUniformAtSamePrivacy) {
+  int gaussian_wins = 0;
+  const std::vector<Function> fns{Function::kF1, Function::kF2, Function::kF3,
+                                  Function::kF4, Function::kF5};
+  for (Function fn : fns) {
+    const double uniform =
+        RunModes(BaseConfig(fn, 1.0, perturb::NoiseKind::kUniform),
+                 {TrainingMode::kByClass})[0]
+            .accuracy;
+    const double gaussian =
+        RunModes(BaseConfig(fn, 1.0, perturb::NoiseKind::kGaussian),
+                 {TrainingMode::kByClass})[0]
+            .accuracy;
+    if (gaussian >= uniform - 0.02) ++gaussian_wins;
+  }
+  // The paper's conclusion: Gaussian is preferable at equal privacy.
+  EXPECT_GE(gaussian_wins, 4);
+}
+
+}  // namespace
+}  // namespace ppdm::core

@@ -1,0 +1,236 @@
+// Tests of the synthetic benchmark generator: attribute distributions
+// match the published table and the five classification functions honour
+// their published decision boundaries.
+
+#include <cmath>
+
+#include <gtest/gtest.h>
+
+#include "stats/summary.h"
+#include "synth/functions.h"
+#include "synth/generator.h"
+
+namespace ppdm::synth {
+namespace {
+
+FunctionInputs In(double age, double salary = 0.0, double elevel = 0.0,
+                  double loan = 0.0) {
+  FunctionInputs in;
+  in.age = age;
+  in.salary = salary;
+  in.elevel = elevel;
+  in.loan = loan;
+  return in;
+}
+
+// -------------------------------------------------------------- Functions
+
+TEST(FunctionsTest, NamesAreStable) {
+  EXPECT_EQ(FunctionName(Function::kF1), "Fn1");
+  EXPECT_EQ(FunctionName(Function::kF5), "Fn5");
+}
+
+TEST(FunctionsTest, F1AgeBands) {
+  EXPECT_TRUE(IsGroupA(Function::kF1, In(25.0)));
+  EXPECT_TRUE(IsGroupA(Function::kF1, In(39.999)));
+  EXPECT_FALSE(IsGroupA(Function::kF1, In(40.0)));
+  EXPECT_FALSE(IsGroupA(Function::kF1, In(59.999)));
+  EXPECT_TRUE(IsGroupA(Function::kF1, In(60.0)));
+  EXPECT_TRUE(IsGroupA(Function::kF1, In(79.0)));
+}
+
+TEST(FunctionsTest, F2SalaryBandsPerAgeGroup) {
+  // age < 40: A iff 50K <= salary <= 100K.
+  EXPECT_TRUE(IsGroupA(Function::kF2, In(30.0, 50000.0)));
+  EXPECT_TRUE(IsGroupA(Function::kF2, In(30.0, 100000.0)));
+  EXPECT_FALSE(IsGroupA(Function::kF2, In(30.0, 49999.0)));
+  EXPECT_FALSE(IsGroupA(Function::kF2, In(30.0, 100001.0)));
+  // 40 <= age < 60: A iff 75K <= salary <= 125K.
+  EXPECT_TRUE(IsGroupA(Function::kF2, In(50.0, 75000.0)));
+  EXPECT_FALSE(IsGroupA(Function::kF2, In(50.0, 74000.0)));
+  // age >= 60: A iff 25K <= salary <= 75K.
+  EXPECT_TRUE(IsGroupA(Function::kF2, In(65.0, 25000.0)));
+  EXPECT_FALSE(IsGroupA(Function::kF2, In(65.0, 76000.0)));
+}
+
+TEST(FunctionsTest, F3ElevelBandsPerAgeGroup) {
+  EXPECT_TRUE(IsGroupA(Function::kF3, In(30.0, 0.0, 0.0)));
+  EXPECT_TRUE(IsGroupA(Function::kF3, In(30.0, 0.0, 1.0)));
+  EXPECT_FALSE(IsGroupA(Function::kF3, In(30.0, 0.0, 2.0)));
+  EXPECT_TRUE(IsGroupA(Function::kF3, In(50.0, 0.0, 2.0)));
+  EXPECT_FALSE(IsGroupA(Function::kF3, In(50.0, 0.0, 0.0)));
+  EXPECT_TRUE(IsGroupA(Function::kF3, In(70.0, 0.0, 4.0)));
+  EXPECT_FALSE(IsGroupA(Function::kF3, In(70.0, 0.0, 1.0)));
+}
+
+TEST(FunctionsTest, F4ElevelSelectsSalaryBand) {
+  // age < 40, elevel in [0,1]: band 25K..75K.
+  EXPECT_TRUE(IsGroupA(Function::kF4, In(30.0, 30000.0, 1.0)));
+  EXPECT_FALSE(IsGroupA(Function::kF4, In(30.0, 90000.0, 1.0)));
+  // age < 40, elevel outside [0,1]: band 50K..100K.
+  EXPECT_TRUE(IsGroupA(Function::kF4, In(30.0, 90000.0, 3.0)));
+  EXPECT_FALSE(IsGroupA(Function::kF4, In(30.0, 30000.0, 3.0)));
+  // age >= 60, elevel in [2,4]: band 50K..100K.
+  EXPECT_TRUE(IsGroupA(Function::kF4, In(65.0, 60000.0, 3.0)));
+  EXPECT_FALSE(IsGroupA(Function::kF4, In(65.0, 110000.0, 3.0)));
+}
+
+TEST(FunctionsTest, F5SalarySelectsLoanBand) {
+  // age < 40, salary in band: loan 100K..300K.
+  EXPECT_TRUE(IsGroupA(Function::kF5, In(30.0, 60000.0, 0.0, 200000.0)));
+  EXPECT_FALSE(IsGroupA(Function::kF5, In(30.0, 60000.0, 0.0, 350000.0)));
+  // age < 40, salary out of band: loan 200K..400K.
+  EXPECT_TRUE(IsGroupA(Function::kF5, In(30.0, 120000.0, 0.0, 350000.0)));
+  EXPECT_FALSE(IsGroupA(Function::kF5, In(30.0, 120000.0, 0.0, 450000.0)));
+  // age >= 60, salary in 25K..75K: loan 300K..500K.
+  EXPECT_TRUE(IsGroupA(Function::kF5, In(65.0, 50000.0, 0.0, 400000.0)));
+  EXPECT_FALSE(IsGroupA(Function::kF5, In(65.0, 50000.0, 0.0, 200000.0)));
+}
+
+TEST(FunctionsTest, LabelOfMapsGroupAToZero) {
+  EXPECT_EQ(LabelOf(Function::kF1, In(25.0)), 0);
+  EXPECT_EQ(LabelOf(Function::kF1, In(45.0)), 1);
+}
+
+// --------------------------------------------------------------- Schema
+
+TEST(GeneratorTest, SchemaHasNineValidAttributes) {
+  const data::Schema schema = BenchmarkSchema();
+  EXPECT_EQ(schema.NumFields(), static_cast<std::size_t>(kNumAttributes));
+  EXPECT_TRUE(schema.Validate().ok());
+  EXPECT_EQ(schema.Field(kSalary).name, "salary");
+  EXPECT_EQ(schema.Field(kLoan).name, "loan");
+  EXPECT_DOUBLE_EQ(schema.Field(kAge).lo, 20.0);
+  EXPECT_DOUBLE_EQ(schema.Field(kAge).hi, 80.0);
+}
+
+// -------------------------------------------------------------- Generator
+
+TEST(GeneratorTest, RecordsRespectDomains) {
+  Rng rng(5);
+  for (int i = 0; i < 2000; ++i) {
+    const std::vector<double> r = SampleRecord(&rng);
+    EXPECT_GE(r[kSalary], 20000.0);
+    EXPECT_LE(r[kSalary], 150000.0);
+    EXPECT_GE(r[kAge], 20.0);
+    EXPECT_LE(r[kAge], 80.0);
+    EXPECT_GE(r[kElevel], 0.0);
+    EXPECT_LE(r[kElevel], 4.0);
+    EXPECT_GE(r[kZipcode], 0.0);
+    EXPECT_LE(r[kZipcode], 8.0);
+    EXPECT_GE(r[kLoan], 0.0);
+    EXPECT_LE(r[kLoan], 500000.0);
+  }
+}
+
+TEST(GeneratorTest, CommissionRuleHolds) {
+  Rng rng(6);
+  for (int i = 0; i < 2000; ++i) {
+    const std::vector<double> r = SampleRecord(&rng);
+    if (r[kSalary] >= 75000.0) {
+      EXPECT_DOUBLE_EQ(r[kCommission], 0.0);
+    } else {
+      EXPECT_GE(r[kCommission], 10000.0);
+      EXPECT_LE(r[kCommission], 75000.0);
+    }
+  }
+}
+
+TEST(GeneratorTest, HvalueDependsOnZipcode) {
+  Rng rng(7);
+  for (int i = 0; i < 2000; ++i) {
+    const std::vector<double> r = SampleRecord(&rng);
+    const double k = r[kZipcode] + 1.0;
+    EXPECT_GE(r[kHvalue], k * 50000.0);
+    EXPECT_LE(r[kHvalue], k * 150000.0);
+  }
+}
+
+TEST(GeneratorTest, GenerateProducesRequestedSize) {
+  GeneratorOptions opt;
+  opt.num_records = 1234;
+  opt.function = Function::kF2;
+  const data::Dataset d = Generate(opt);
+  EXPECT_EQ(d.NumRows(), 1234u);
+  EXPECT_EQ(d.num_classes(), 2);
+  EXPECT_TRUE(d.Validate().ok());
+}
+
+TEST(GeneratorTest, LabelsMatchFunction) {
+  GeneratorOptions opt;
+  opt.num_records = 500;
+  opt.function = Function::kF3;
+  const data::Dataset d = Generate(opt);
+  for (std::size_t r = 0; r < d.NumRows(); ++r) {
+    EXPECT_EQ(d.Label(r), LabelOf(Function::kF3, InputsOf(d.Row(r))));
+  }
+}
+
+TEST(GeneratorTest, DeterministicForSeed) {
+  GeneratorOptions opt;
+  opt.num_records = 100;
+  opt.seed = 99;
+  const data::Dataset a = Generate(opt);
+  const data::Dataset b = Generate(opt);
+  for (std::size_t r = 0; r < a.NumRows(); ++r) {
+    EXPECT_DOUBLE_EQ(a.At(r, kSalary), b.At(r, kSalary));
+    EXPECT_EQ(a.Label(r), b.Label(r));
+  }
+}
+
+TEST(GeneratorTest, DifferentSeedsDiffer) {
+  GeneratorOptions a_opt, b_opt;
+  a_opt.num_records = b_opt.num_records = 50;
+  a_opt.seed = 1;
+  b_opt.seed = 2;
+  const data::Dataset a = Generate(a_opt);
+  const data::Dataset b = Generate(b_opt);
+  int diffs = 0;
+  for (std::size_t r = 0; r < a.NumRows(); ++r) {
+    if (a.At(r, kSalary) != b.At(r, kSalary)) ++diffs;
+  }
+  EXPECT_GT(diffs, 0);
+}
+
+TEST(GeneratorTest, F1ClassBalanceIsTwoThirds) {
+  GeneratorOptions opt;
+  opt.num_records = 20000;
+  opt.function = Function::kF1;
+  const data::Dataset d = Generate(opt);
+  // Group A = age<40 or age>=60 covers 2/3 of U[20,80].
+  const double frac_a = static_cast<double>(d.ClassCounts()[0]) /
+                        static_cast<double>(d.NumRows());
+  EXPECT_NEAR(frac_a, 2.0 / 3.0, 0.02);
+}
+
+TEST(GeneratorTest, LabelNoiseFlipsApproximatelyRequestedFraction) {
+  GeneratorOptions clean, noisy;
+  clean.num_records = noisy.num_records = 20000;
+  clean.function = noisy.function = Function::kF1;
+  clean.seed = noisy.seed = 3;
+  noisy.label_noise = 0.2;
+  const data::Dataset a = Generate(clean);
+  const data::Dataset b = Generate(noisy);
+  // Same seed implies identical attribute streams? Label noise consumes
+  // extra randomness, so streams diverge; instead verify the flip rate
+  // against the deterministic function of the attributes.
+  std::size_t flipped = 0;
+  for (std::size_t r = 0; r < b.NumRows(); ++r) {
+    if (b.Label(r) != LabelOf(Function::kF1, InputsOf(b.Row(r)))) ++flipped;
+  }
+  EXPECT_NEAR(static_cast<double>(flipped) / 20000.0, 0.2, 0.02);
+  (void)a;
+}
+
+TEST(GeneratorTest, SalaryMomentsMatchUniform) {
+  GeneratorOptions opt;
+  opt.num_records = 30000;
+  const data::Dataset d = Generate(opt);
+  const auto s = stats::DescriptiveStats::Of(d.Column(kSalary));
+  EXPECT_NEAR(s.mean(), 85000.0, 1500.0);
+  // Uniform variance (b-a)^2/12 with b-a = 130000.
+  EXPECT_NEAR(s.stddev(), 130000.0 / std::sqrt(12.0), 1500.0);
+}
+
+}  // namespace
+}  // namespace ppdm::synth
