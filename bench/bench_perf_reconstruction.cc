@@ -1,11 +1,11 @@
-// P1 — timing of the Bayes/EM reconstructor (google-benchmark): binned
-// (the paper's O(K²)/iteration acceleration) vs exact (O(N·K)/iteration),
-// across sample counts and interval counts.
+// P1 — timing of the Bayes/EM reconstructor: binned (the paper's
+// O(K²)/iteration acceleration) vs exact (O(N·K)/iteration), across sample
+// counts and interval counts, via the shared wall-clock reporter.
 
+#include <cstdio>
 #include <vector>
 
-#include <benchmark/benchmark.h>
-
+#include "bench/bench_util.h"
 #include "perturb/noise_model.h"
 #include "reconstruct/reconstructor.h"
 #include "stats/distribution.h"
@@ -24,45 +24,34 @@ std::vector<double> MakePerturbed(std::size_t n) {
   return w;
 }
 
-void BM_ReconstructBinned(benchmark::State& state) {
-  const auto n = static_cast<std::size_t>(state.range(0));
-  const auto intervals = static_cast<std::size_t>(state.range(1));
+void RunCase(bench::ThroughputReporter* reporter, bool binned, std::size_t n,
+             std::size_t intervals) {
   const std::vector<double> w = MakePerturbed(n);
   const perturb::NoiseModel noise =
       perturb::NoiseForPrivacy(perturb::NoiseKind::kUniform, 1.0, 1.0, 0.95);
   reconstruct::ReconstructionOptions options;
-  options.binned = true;
+  options.binned = binned;
   const reconstruct::BayesReconstructor rec(noise, options);
   const reconstruct::Partition p(0.0, 1.0, intervals);
-  for (auto _ : state) {
-    benchmark::DoNotOptimize(rec.Fit(w, p));
-  }
-  state.SetItemsProcessed(static_cast<std::int64_t>(n) *
-                          static_cast<std::int64_t>(state.iterations()));
+  char label[64];
+  std::snprintf(label, sizeof(label), "%s n=%zu K=%zu",
+                binned ? "binned" : "exact", n, intervals);
+  reporter->Measure(label, n, "", [&] {
+    const reconstruct::Reconstruction r = rec.Fit(w, p);
+    (void)r;
+  });
 }
-BENCHMARK(BM_ReconstructBinned)
-    ->Args({10000, 20})
-    ->Args({100000, 20})
-    ->Args({100000, 50})
-    ->Args({100000, 100});
-
-void BM_ReconstructExact(benchmark::State& state) {
-  const auto n = static_cast<std::size_t>(state.range(0));
-  const std::vector<double> w = MakePerturbed(n);
-  const perturb::NoiseModel noise =
-      perturb::NoiseForPrivacy(perturb::NoiseKind::kUniform, 1.0, 1.0, 0.95);
-  reconstruct::ReconstructionOptions options;
-  options.binned = false;
-  const reconstruct::BayesReconstructor rec(noise, options);
-  const reconstruct::Partition p(0.0, 1.0, 20);
-  for (auto _ : state) {
-    benchmark::DoNotOptimize(rec.Fit(w, p));
-  }
-  state.SetItemsProcessed(static_cast<std::int64_t>(n) *
-                          static_cast<std::int64_t>(state.iterations()));
-}
-BENCHMARK(BM_ReconstructExact)->Arg(10000)->Arg(50000);
 
 }  // namespace
 
-BENCHMARK_MAIN();
+int main() {
+  bench::PrintBanner("P1", "EM reconstruction timing: binned vs exact");
+  bench::ThroughputReporter reporter("records");
+  RunCase(&reporter, /*binned=*/true, 10000, 20);
+  RunCase(&reporter, /*binned=*/true, 100000, 20);
+  RunCase(&reporter, /*binned=*/true, 100000, 50);
+  RunCase(&reporter, /*binned=*/true, 100000, 100);
+  RunCase(&reporter, /*binned=*/false, 10000, 20);
+  RunCase(&reporter, /*binned=*/false, 50000, 20);
+  return 0;
+}

@@ -5,7 +5,11 @@
 #ifndef PPDM_BENCH_BENCH_UTIL_H_
 #define PPDM_BENCH_BENCH_UTIL_H_
 
+#include <chrono>
+#include <cstddef>
 #include <cstdio>
+#include <functional>
+#include <map>
 #include <string>
 #include <vector>
 
@@ -43,6 +47,62 @@ inline void PrintBanner(const std::string& experiment_id,
 
 /// "85.3" from 0.853.
 inline double Pct(double fraction) { return 100.0 * fraction; }
+
+/// Wall-clock seconds spent running `fn` once.
+inline double WallSeconds(const std::function<void()>& fn) {
+  const auto start = std::chrono::steady_clock::now();
+  fn();
+  const auto stop = std::chrono::steady_clock::now();
+  return std::chrono::duration<double>(stop - start).count();
+}
+
+/// Shared wall-clock/throughput reporter for the perf benches: each
+/// Measure() times one run, prints seconds, items/sec, and the speedup
+/// relative to the first measurement labelled `baseline_of` (pass the
+/// current label itself, or "" for an absolute row). Repeats each run
+/// `repeats` times and keeps the fastest, the usual guard against noisy
+/// neighbours on shared machines.
+class ThroughputReporter {
+ public:
+  explicit ThroughputReporter(std::string unit = "records", int repeats = 3)
+      : unit_(std::move(unit)), repeats_(repeats) {
+    std::printf("%-36s %10s %16s %9s\n", "case", "seconds",
+                (unit_ + "/sec").c_str(), "speedup");
+  }
+
+  /// Times fn, records `items` processed under `label`; returns seconds.
+  double Measure(const std::string& label, std::size_t items,
+                 const std::string& baseline_of,
+                 const std::function<void()>& fn) {
+    double seconds = WallSeconds(fn);
+    for (int r = 1; r < repeats_; ++r) {
+      const double again = WallSeconds(fn);
+      if (again < seconds) seconds = again;
+    }
+    // A sub-clock-resolution run (seconds == 0) can neither anchor nor
+    // receive a meaningful speedup; such rows print "-" instead.
+    if (!baseline_of.empty() && seconds > 0.0 &&
+        baselines_.count(baseline_of) == 0) {
+      baselines_[baseline_of] = seconds;
+    }
+    const double throughput =
+        seconds > 0.0 ? static_cast<double>(items) / seconds : 0.0;
+    if (baseline_of.empty() || seconds <= 0.0 ||
+        baselines_.count(baseline_of) == 0) {
+      std::printf("%-36s %10.4f %16.0f %9s\n", label.c_str(), seconds,
+                  throughput, "-");
+    } else {
+      std::printf("%-36s %10.4f %16.0f %8.2fx\n", label.c_str(), seconds,
+                  throughput, baselines_[baseline_of] / seconds);
+    }
+    return seconds;
+  }
+
+ private:
+  std::string unit_;
+  int repeats_;
+  std::map<std::string, double> baselines_;
+};
 
 }  // namespace ppdm::bench
 

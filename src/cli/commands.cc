@@ -5,6 +5,7 @@
 #include "common/strings.h"
 #include "core/metrics.h"
 #include "data/csv.h"
+#include "engine/batch.h"
 #include "perturb/randomizer.h"
 #include "reconstruct/by_class.h"
 #include "reconstruct/reconstructor.h"
@@ -67,6 +68,25 @@ Result<perturb::Randomizer> RandomizerFromFlags(const Args& args,
   return perturb::Randomizer(schema, options);
 }
 
+// --threads / --shard-size: the parallel execution engine. --threads=0
+// (the default) keeps the sequential reference code paths.
+Result<engine::BatchOptions> BatchFromFlags(const Args& args) {
+  Result<long long> threads = args.GetInt("threads", 0);
+  if (!threads.ok()) return threads.status();
+  if (threads.value() < 0) {
+    return Status::InvalidArgument("--threads must be >= 0");
+  }
+  Result<long long> shard_size = args.GetInt("shard-size", 16384);
+  if (!shard_size.ok()) return shard_size.status();
+  if (shard_size.value() < 0) {
+    return Status::InvalidArgument("--shard-size must be >= 0");
+  }
+  engine::BatchOptions options;
+  options.num_threads = static_cast<std::size_t>(threads.value());
+  options.shard_size = static_cast<std::size_t>(shard_size.value());
+  return options;
+}
+
 }  // namespace
 
 const char* UsageText() {
@@ -78,15 +98,25 @@ const char* UsageText() {
       "              [--label-noise=P]\n"
       "  perturb     --in=FILE --out=FILE [--noise=uniform|gaussian]\n"
       "              [--privacy=F] [--confidence=C] [--seed=S]\n"
+      "              [--threads=T] [--shard-size=N]\n"
       "  reconstruct --in=FILE --attribute=NAME [--noise=...] [--privacy=F]\n"
       "              [--confidence=C] [--intervals=K] [--by-class]\n"
+      "              [--threads=T] [--shard-size=N]\n"
       "  train       --train=FILE --test=FILE [--mode=byclass|...]\n"
       "              [--noise=...] [--privacy=F] [--confidence=C]\n"
       "              [--intervals=K] [--print-tree]\n"
+      "              [--threads=T] [--shard-size=N]\n"
       "\n"
       "All CSV files use the benchmark schema (salary..loan, class).\n"
       "For train/reconstruct, --noise/--privacy must describe the noise\n"
-      "the input file was perturbed with (0 for unperturbed data).\n";
+      "the input file was perturbed with (0 for unperturbed data).\n"
+      "--threads=T runs the parallel engine with T workers; 0 (the\n"
+      "default) keeps the sequential reference implementation, whose\n"
+      "stream/summation layout differs from the engine's. For any\n"
+      "T >= 1 results are identical for a fixed --shard-size.\n"
+      "--shard-size shapes the perturb and single-attribute\n"
+      "reconstruct decompositions; train and --by-class parallelize\n"
+      "the per-attribute/per-class fan-out and do not use it.\n";
 }
 
 Status RunGenerate(const Args& args, std::ostream& out) {
@@ -122,8 +152,9 @@ Status RunGenerate(const Args& args, std::ostream& out) {
 }
 
 Status RunPerturb(const Args& args, std::ostream& out) {
-  if (Status s = args.CheckKnown(
-          {"in", "out", "noise", "privacy", "confidence", "seed"});
+  if (Status s = args.CheckKnown({"in", "out", "noise", "privacy",
+                                  "confidence", "seed", "threads",
+                                  "shard-size"});
       !s.ok()) {
     return s;
   }
@@ -132,6 +163,8 @@ Status RunPerturb(const Args& args, std::ostream& out) {
   if (in.empty() || out_path.empty()) {
     return Status::InvalidArgument("perturb needs --in and --out");
   }
+  Result<engine::BatchOptions> batch_options = BatchFromFlags(args);
+  if (!batch_options.ok()) return batch_options.status();
   Result<data::Dataset> dataset =
       data::ReadCsv(synth::BenchmarkSchema(), 2, in);
   if (!dataset.ok()) return dataset.status();
@@ -140,7 +173,10 @@ Status RunPerturb(const Args& args, std::ostream& out) {
   if (!randomizer.ok()) return randomizer.status();
 
   const data::Dataset perturbed =
-      randomizer.value().Perturb(dataset.value());
+      batch_options.value().num_threads == 0
+          ? randomizer.value().Perturb(dataset.value())
+          : engine::Batch(batch_options.value())
+                .PerturbShards(randomizer.value(), dataset.value());
   if (Status s = data::WriteCsv(perturbed, out_path); !s.ok()) return s;
   out << StrFormat(
       "perturbed %zu records (%s noise, privacy %.0f%% @%.0f%% conf.) -> %s\n",
@@ -154,10 +190,12 @@ Status RunPerturb(const Args& args, std::ostream& out) {
 Status RunReconstruct(const Args& args, std::ostream& out) {
   if (Status s = args.CheckKnown({"in", "attribute", "noise", "privacy",
                                   "confidence", "intervals", "by-class",
-                                  "seed"});
+                                  "seed", "threads", "shard-size"});
       !s.ok()) {
     return s;
   }
+  Result<engine::BatchOptions> batch_options = BatchFromFlags(args);
+  if (!batch_options.ok()) return batch_options.status();
   const std::string in = args.GetString("in", "");
   const std::string attribute = args.GetString("attribute", "");
   if (in.empty() || attribute.empty()) {
@@ -183,13 +221,17 @@ Status RunReconstruct(const Args& args, std::ostream& out) {
   const reconstruct::BayesReconstructor reconstructor(
       randomizer.value().ModelFor(col.value()), {});
 
+  const engine::Batch batch(batch_options.value());
   std::vector<reconstruct::Reconstruction> recons;
   if (args.Has("by-class")) {
-    recons = reconstruct::ReconstructByClass(dataset.value(), col.value(),
-                                             partition, reconstructor);
-  } else {
+    recons = batch.ReconstructByClassParallel(dataset.value(), col.value(),
+                                              partition, reconstructor);
+  } else if (batch.pool() == nullptr) {
     recons.push_back(reconstruct::ReconstructCombined(
         dataset.value(), col.value(), partition, reconstructor));
+  } else {
+    recons.push_back(batch.ReconstructParallel(
+        dataset.value().Column(col.value()), partition, reconstructor));
   }
   for (std::size_t c = 0; c < recons.size(); ++c) {
     if (recons.size() > 1) out << StrFormat("class %zu:\n", c);
@@ -206,10 +248,13 @@ Status RunReconstruct(const Args& args, std::ostream& out) {
 Status RunTrain(const Args& args, std::ostream& out) {
   if (Status s = args.CheckKnown({"train", "test", "mode", "noise",
                                   "privacy", "confidence", "intervals",
-                                  "print-tree", "seed"});
+                                  "print-tree", "seed", "threads",
+                                  "shard-size"});
       !s.ok()) {
     return s;
   }
+  Result<engine::BatchOptions> batch_options = BatchFromFlags(args);
+  if (!batch_options.ok()) return batch_options.status();
   const std::string train_path = args.GetString("train", "");
   const std::string test_path = args.GetString("test", "");
   if (train_path.empty() || test_path.empty()) {
@@ -233,10 +278,12 @@ Status RunTrain(const Args& args, std::ostream& out) {
 
   tree::TreeOptions options;
   options.intervals = static_cast<std::size_t>(intervals.value());
+  const engine::Batch batch(batch_options.value());
   const tree::DecisionTree model = tree::TrainDecisionTree(
       train.value(), mode.value(), options,
       tree::ModeUsesReconstruction(mode.value()) ? &randomizer.value()
-                                                 : nullptr);
+                                                 : nullptr,
+      batch.pool());
   const core::ConfusionMatrix cm = core::EvaluateTree(model, test.value());
   out << StrFormat("%s: accuracy %.2f%% on %zu test records "
                    "(%zu nodes, depth %zu)\n",

@@ -7,6 +7,11 @@
 namespace ppdm::core {
 
 ExperimentData PrepareData(const ExperimentConfig& config) {
+  return PrepareData(config, engine::Batch(config.batch));
+}
+
+ExperimentData PrepareData(const ExperimentConfig& config,
+                           const engine::Batch& batch) {
   synth::GeneratorOptions train_gen;
   train_gen.num_records = config.train_records;
   train_gen.function = config.function;
@@ -28,20 +33,27 @@ ExperimentData PrepareData(const ExperimentConfig& config) {
   noise_options.seed = config.seed + 0x9E1517BULL;
   perturb::Randomizer randomizer(train.schema(), noise_options);
 
-  data::Dataset perturbed = randomizer.Perturb(train);
+  // The engine's sharded perturbation lays noise streams out per
+  // (attribute, shard) instead of per attribute, so it is only used when
+  // the config opts into parallel execution — the default reproduces the
+  // sequential reference bit for bit.
+  data::Dataset perturbed = config.batch.num_threads == 0
+                                ? randomizer.Perturb(train)
+                                : batch.PerturbShards(randomizer, train);
   return ExperimentData{std::move(train), std::move(perturbed),
                         std::move(test), std::move(randomizer)};
 }
 
 ModeResult RunMode(const ExperimentData& data, tree::TrainingMode mode,
-                   const ExperimentConfig& config) {
+                   const ExperimentConfig& config,
+                   engine::ThreadPool* pool) {
   const data::Dataset& training = mode == tree::TrainingMode::kOriginal
                                       ? data.train
                                       : data.perturbed_train;
   const perturb::Randomizer* randomizer =
       tree::ModeUsesReconstruction(mode) ? &data.randomizer : nullptr;
   const tree::DecisionTree model =
-      tree::TrainDecisionTree(training, mode, config.tree, randomizer);
+      tree::TrainDecisionTree(training, mode, config.tree, randomizer, pool);
 
   ModeResult result;
   result.mode = mode;
@@ -54,11 +66,14 @@ ModeResult RunMode(const ExperimentData& data, tree::TrainingMode mode,
 std::vector<ModeResult> RunModes(
     const ExperimentConfig& config,
     const std::vector<tree::TrainingMode>& modes) {
-  const ExperimentData data = PrepareData(config);
+  // One pool shared by the perturbation and every mode; null when the
+  // config stays sequential.
+  const engine::Batch batch(config.batch);
+  const ExperimentData data = PrepareData(config, batch);
   std::vector<ModeResult> results;
   results.reserve(modes.size());
   for (tree::TrainingMode mode : modes) {
-    results.push_back(RunMode(data, mode, config));
+    results.push_back(RunMode(data, mode, config, batch.pool()));
   }
   return results;
 }

@@ -10,6 +10,7 @@
 
 #include "core/metrics.h"
 #include "data/dataset.h"
+#include "engine/batch.h"
 #include "perturb/randomizer.h"
 #include "synth/generator.h"
 #include "tree/trainer.h"
@@ -30,6 +31,13 @@ struct ExperimentConfig {
 
   tree::TreeOptions tree;
   std::uint64_t seed = 1;
+
+  /// Parallel execution engine configuration. num_threads == 0 (default)
+  /// keeps the sequential reference paths, bit-identical to the original
+  /// single-threaded implementation; num_threads >= 1 routes perturbation
+  /// and the reconstruction fan-out through the engine, whose results are
+  /// identical for every positive thread count.
+  engine::BatchOptions batch;
 };
 
 /// Result of training one mode within an experiment.
@@ -52,12 +60,19 @@ struct ExperimentData {
 
 /// Materializes the datasets for a config. Every mode evaluated against the
 /// same config sees identical data and identical noise draws, so mode
-/// comparisons are paired.
+/// comparisons are paired. The overload taking a `batch` reuses its pool
+/// (the batch must have been built from config.batch); the other constructs
+/// one on demand.
 ExperimentData PrepareData(const ExperimentConfig& config);
+ExperimentData PrepareData(const ExperimentConfig& config,
+                           const engine::Batch& batch);
 
-/// Trains and evaluates one mode on prepared data.
+/// Trains and evaluates one mode on prepared data. `pool` (may be null)
+/// fans the trainer's per-attribute reconstructions out; the result is
+/// bit-identical for every pool size.
 ModeResult RunMode(const ExperimentData& data, tree::TrainingMode mode,
-                   const ExperimentConfig& config);
+                   const ExperimentConfig& config,
+                   engine::ThreadPool* pool = nullptr);
 
 /// Trains and evaluates several modes on one shared prepared dataset.
 std::vector<ModeResult> RunModes(const ExperimentConfig& config,

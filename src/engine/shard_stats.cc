@@ -1,0 +1,97 @@
+#include "engine/shard_stats.h"
+
+#include "common/check.h"
+
+namespace ppdm::engine {
+
+ShardStats::ShardStats(std::size_t num_bins, std::size_t num_classes)
+    : num_bins_(num_bins),
+      num_classes_(num_classes),
+      counts_(num_bins * num_classes, 0) {
+  PPDM_CHECK_GT(num_bins, 0u);
+  PPDM_CHECK_GT(num_classes, 0u);
+}
+
+void ShardStats::Add(std::size_t bin, std::size_t klass) {
+  PPDM_CHECK_LT(bin, num_bins_);
+  PPDM_CHECK_LT(klass, num_classes_);
+  ++counts_[klass * num_bins_ + bin];
+  ++record_count_;
+}
+
+void ShardStats::MergeFrom(const ShardStats& other) {
+  PPDM_CHECK_EQ(num_bins_, other.num_bins_);
+  PPDM_CHECK_EQ(num_classes_, other.num_classes_);
+  for (std::size_t i = 0; i < counts_.size(); ++i) {
+    counts_[i] += other.counts_[i];
+  }
+  record_count_ += other.record_count_;
+}
+
+std::uint64_t ShardStats::BinCount(std::size_t bin) const {
+  PPDM_CHECK_LT(bin, num_bins_);
+  std::uint64_t total = 0;
+  for (std::size_t c = 0; c < num_classes_; ++c) {
+    total += counts_[c * num_bins_ + bin];
+  }
+  return total;
+}
+
+std::uint64_t ShardStats::ClassCount(std::size_t klass) const {
+  PPDM_CHECK_LT(klass, num_classes_);
+  std::uint64_t total = 0;
+  for (std::size_t b = 0; b < num_bins_; ++b) {
+    total += counts_[klass * num_bins_ + b];
+  }
+  return total;
+}
+
+std::uint64_t ShardStats::BinClassCount(std::size_t bin,
+                                        std::size_t klass) const {
+  PPDM_CHECK_LT(bin, num_bins_);
+  PPDM_CHECK_LT(klass, num_classes_);
+  return counts_[klass * num_bins_ + bin];
+}
+
+std::vector<double> ShardStats::BinWeights() const {
+  std::vector<double> weights(num_bins_, 0.0);
+  for (std::size_t b = 0; b < num_bins_; ++b) {
+    weights[b] = static_cast<double>(BinCount(b));
+  }
+  return weights;
+}
+
+std::vector<double> ShardStats::BinWeightsForClass(std::size_t klass) const {
+  PPDM_CHECK_LT(klass, num_classes_);
+  std::vector<double> weights(num_bins_, 0.0);
+  for (std::size_t b = 0; b < num_bins_; ++b) {
+    weights[b] = static_cast<double>(counts_[klass * num_bins_ + b]);
+  }
+  return weights;
+}
+
+ShardStats IngestSharded(const std::vector<double>& values,
+                         const std::vector<int>* labels,
+                         std::size_t num_classes,
+                         const std::function<std::size_t(double)>& bin_of,
+                         std::size_t num_bins, ThreadPool* pool,
+                         std::size_t shard_size) {
+  if (labels != nullptr) PPDM_CHECK_EQ(labels->size(), values.size());
+  const std::vector<ChunkRange> shards = MakeChunks(values.size(), shard_size);
+  ShardStats init(num_bins, num_classes);
+  if (shards.empty()) return init;
+  return ChunkedReduce<ShardStats>(
+      pool, shards, std::move(init),
+      [&](std::size_t /*shard*/, const ChunkRange& range) {
+        ShardStats local(num_bins, num_classes);
+        for (std::size_t i = range.begin; i < range.end; ++i) {
+          const std::size_t klass =
+              labels == nullptr ? 0 : static_cast<std::size_t>((*labels)[i]);
+          local.Add(bin_of(values[i]), klass);
+        }
+        return local;
+      },
+      [](ShardStats* acc, const ShardStats& shard) { acc->MergeFrom(shard); });
+}
+
+}  // namespace ppdm::engine

@@ -1,0 +1,78 @@
+// Mergeable per-shard sufficient statistics for the server-side aggregate
+// workload: per-interval perturbed-value bin counts, per-class partial
+// counts, and their cross table. Each ingestion shard accumulates its own
+// ShardStats; merging the shards in ascending shard order reproduces the
+// single-pass result exactly (counts are integers, so the merge is not just
+// associative but bit-exact), which is what makes the parallel ingestion
+// deterministic for every thread count.
+
+#ifndef PPDM_ENGINE_SHARD_STATS_H_
+#define PPDM_ENGINE_SHARD_STATS_H_
+
+#include <cstddef>
+#include <cstdint>
+#include <vector>
+
+#include "engine/thread_pool.h"
+
+namespace ppdm::engine {
+
+/// Binned sufficient statistics of one shard of perturbed observations.
+class ShardStats {
+ public:
+  ShardStats() = default;
+
+  /// Statistics over `num_bins` value bins and `num_classes` class labels
+  /// (use num_classes = 1 when labels are ignored).
+  ShardStats(std::size_t num_bins, std::size_t num_classes);
+
+  std::size_t num_bins() const { return num_bins_; }
+  std::size_t num_classes() const { return num_classes_; }
+  std::uint64_t record_count() const { return record_count_; }
+
+  /// Records one observation falling in `bin` with class `klass`.
+  void Add(std::size_t bin, std::size_t klass);
+
+  /// Accumulates another shard's statistics into this one. Shapes must
+  /// match. Exact (integer addition): any merge order yields identical
+  /// counts, and merging shards 0..S-1 equals single-pass ingestion.
+  void MergeFrom(const ShardStats& other);
+
+  /// Count of observations in `bin`, summed over classes.
+  std::uint64_t BinCount(std::size_t bin) const;
+
+  /// Count of observations with class `klass`, summed over bins.
+  std::uint64_t ClassCount(std::size_t klass) const;
+
+  /// Count of observations in `bin` with class `klass`.
+  std::uint64_t BinClassCount(std::size_t bin, std::size_t klass) const;
+
+  /// All-class bin counts as EM weights (doubles).
+  std::vector<double> BinWeights() const;
+
+  /// One class's bin counts as EM weights (doubles).
+  std::vector<double> BinWeightsForClass(std::size_t klass) const;
+
+ private:
+  std::size_t num_bins_ = 0;
+  std::size_t num_classes_ = 0;
+  std::uint64_t record_count_ = 0;
+  /// Flattened [klass * num_bins_ + bin].
+  std::vector<std::uint64_t> counts_;
+};
+
+/// Sharded ingestion of a value column: bins `values[i]` via `bin_of` and
+/// labels it `labels[i]` (or class 0 when `labels` is null). Shards of
+/// `shard_size` records are accumulated independently over the pool and
+/// merged in shard order; the result is identical for every pool size and
+/// equal to a single sequential pass. shard_size == 0 means one shard.
+ShardStats IngestSharded(const std::vector<double>& values,
+                         const std::vector<int>* labels,
+                         std::size_t num_classes,
+                         const std::function<std::size_t(double)>& bin_of,
+                         std::size_t num_bins, ThreadPool* pool,
+                         std::size_t shard_size);
+
+}  // namespace ppdm::engine
+
+#endif  // PPDM_ENGINE_SHARD_STATS_H_

@@ -1,0 +1,133 @@
+#include "engine/thread_pool.h"
+
+#include <algorithm>
+#include <atomic>
+#include <memory>
+#include <utility>
+
+#include "common/check.h"
+
+namespace ppdm::engine {
+namespace {
+
+thread_local bool t_on_worker_thread = false;
+
+}  // namespace
+
+ThreadPool::ThreadPool(std::size_t num_threads) {
+  workers_.reserve(num_threads);
+  for (std::size_t i = 0; i < num_threads; ++i) {
+    workers_.emplace_back([this] { WorkerLoop(); });
+  }
+}
+
+ThreadPool::~ThreadPool() {
+  {
+    std::lock_guard<std::mutex> lock(mu_);
+    stop_ = true;
+  }
+  cv_.notify_all();
+  for (std::thread& worker : workers_) worker.join();
+}
+
+void ThreadPool::Submit(std::function<void()> task) {
+  PPDM_CHECK(task != nullptr);
+  {
+    std::lock_guard<std::mutex> lock(mu_);
+    PPDM_CHECK_MSG(!stop_, "Submit on a stopping ThreadPool");
+    queue_.push_back(std::move(task));
+  }
+  cv_.notify_one();
+}
+
+bool ThreadPool::OnWorkerThread() { return t_on_worker_thread; }
+
+void ThreadPool::WorkerLoop() {
+  t_on_worker_thread = true;
+  for (;;) {
+    std::function<void()> task;
+    {
+      std::unique_lock<std::mutex> lock(mu_);
+      cv_.wait(lock, [this] { return stop_ || !queue_.empty(); });
+      if (queue_.empty()) return;  // stop_ set and nothing left to drain
+      task = std::move(queue_.front());
+      queue_.pop_front();
+    }
+    task();
+  }
+}
+
+void ParallelFor(ThreadPool* pool, std::size_t n,
+                 const std::function<void(std::size_t)>& fn) {
+  if (n == 0) return;
+  if (pool == nullptr || pool->size() == 0 || n == 1 ||
+      ThreadPool::OnWorkerThread()) {
+    for (std::size_t i = 0; i < n; ++i) fn(i);
+    return;
+  }
+
+  // Shared completion state. Kept on the heap so stray queued helper tasks
+  // that wake after the call returned only touch refcounted memory.
+  struct State {
+    std::atomic<std::size_t> next{0};
+    std::atomic<std::size_t> done{0};
+    std::mutex mu;
+    std::condition_variable cv;
+    std::exception_ptr error;  // first fn exception, guarded by mu
+  };
+  auto state = std::make_shared<State>();
+
+  // Helpers (and the caller) claim indices until the space is exhausted.
+  // `fn` is only dereferenced for claimed indices, all of which are counted
+  // done (success or throw) before ParallelFor returns, so capturing it by
+  // pointer is safe: the caller cannot unwind while any thread still holds
+  // it. A throwing fn poisons the run — remaining indices are abandoned,
+  // every claimed index is still accounted for, and the first exception
+  // rethrows on the caller after the barrier.
+  const auto* fn_ptr = &fn;
+  auto work = [state, fn_ptr, n] {
+    for (;;) {
+      const std::size_t i = state->next.fetch_add(1);
+      if (i >= n) break;
+      try {
+        (*fn_ptr)(i);
+      } catch (...) {
+        std::lock_guard<std::mutex> lock(state->mu);
+        if (state->error == nullptr) state->error = std::current_exception();
+        // Stop claiming further indices; count the abandoned ones so the
+        // barrier still releases. fetch_add past n leaves next >= n.
+        const std::size_t claimed = state->next.exchange(n);
+        const std::size_t abandoned = claimed < n ? n - claimed : 0;
+        if (state->done.fetch_add(abandoned + 1) + abandoned + 1 == n) {
+          state->cv.notify_all();
+        }
+        break;
+      }
+      if (state->done.fetch_add(1) + 1 == n) {
+        std::lock_guard<std::mutex> lock(state->mu);
+        state->cv.notify_all();
+      }
+    }
+  };
+
+  const std::size_t helpers = std::min(pool->size(), n - 1);
+  for (std::size_t h = 0; h < helpers; ++h) pool->Submit(work);
+  work();  // caller participates — guarantees forward progress
+
+  std::unique_lock<std::mutex> lock(state->mu);
+  state->cv.wait(lock, [&] { return state->done.load() >= n; });
+  if (state->error != nullptr) std::rethrow_exception(state->error);
+}
+
+std::vector<ChunkRange> MakeChunks(std::size_t n, std::size_t chunk_size) {
+  std::vector<ChunkRange> chunks;
+  if (n == 0) return chunks;
+  if (chunk_size == 0) chunk_size = n;
+  chunks.reserve((n + chunk_size - 1) / chunk_size);
+  for (std::size_t begin = 0; begin < n; begin += chunk_size) {
+    chunks.push_back(ChunkRange{begin, std::min(begin + chunk_size, n)});
+  }
+  return chunks;
+}
+
+}  // namespace ppdm::engine

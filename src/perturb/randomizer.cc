@@ -46,6 +46,31 @@ data::Dataset Randomizer::Perturb(const data::Dataset& dataset) const {
   return out;
 }
 
+data::Dataset Randomizer::Perturb(const data::Dataset& dataset,
+                                  engine::ThreadPool* pool,
+                                  std::size_t shard_size) const {
+  PPDM_CHECK_EQ(models_.size(), dataset.NumCols());
+  data::Dataset out = dataset;  // copy schema, labels and values
+  const Rng master(seed_);
+  const std::vector<engine::ChunkRange> shards =
+      engine::MakeChunks(dataset.NumRows(), shard_size);
+  const std::size_t num_shards = shards.size();
+  // One task per (attribute, shard) cell; each writes a disjoint slice of
+  // one column, so tasks are independent and the result is deterministic.
+  engine::ParallelFor(
+      pool, dataset.NumCols() * num_shards, [&](std::size_t task) {
+        const std::size_t c = task / num_shards;
+        const std::size_t s = task % num_shards;
+        if (models_[c].kind() == NoiseKind::kNone) return;
+        Rng rng = master.Fork(task);
+        std::vector<double>* column = out.MutableColumn(c);
+        for (std::size_t r = shards[s].begin; r < shards[s].end; ++r) {
+          (*column)[r] += models_[c].Sample(&rng);
+        }
+      });
+  return out;
+}
+
 void Randomizer::PerturbRecord(std::vector<double>* record, Rng* rng) const {
   PPDM_CHECK(record != nullptr && rng != nullptr);
   PPDM_CHECK_EQ(record->size(), models_.size());

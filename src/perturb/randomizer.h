@@ -9,6 +9,7 @@
 #include <vector>
 
 #include "data/dataset.h"
+#include "engine/thread_pool.h"
 #include "perturb/noise_model.h"
 
 namespace ppdm::perturb {
@@ -38,7 +39,17 @@ class Randomizer {
   const NoiseModel& ModelFor(std::size_t col) const;
 
   /// Returns a perturbed copy; labels are never perturbed (paper setting).
+  /// Sequential reference implementation: one noise stream per attribute.
   data::Dataset Perturb(const data::Dataset& dataset) const;
+
+  /// Sharded perturbation: rows are cut into shards of `shard_size`
+  /// (0 = one shard) and each (attribute, shard) cell draws from its own
+  /// stream, derived via Rng::Fork(stream_index) so no two cells ever share
+  /// one. Output depends only on (seed, shard_size) — identical for every
+  /// pool size — but differs from the sequential overload's stream layout.
+  data::Dataset Perturb(const data::Dataset& dataset,
+                        engine::ThreadPool* pool,
+                        std::size_t shard_size) const;
 
   /// Perturbs a single record in place (the data-provider side).
   void PerturbRecord(std::vector<double>* record, Rng* rng) const;

@@ -1,5 +1,8 @@
 #include "reconstruct/by_class.h"
 
+#include "common/check.h"
+#include "engine/thread_pool.h"
+
 namespace ppdm::reconstruct {
 
 Reconstruction ReconstructCombined(const data::Dataset& perturbed,
@@ -9,19 +12,42 @@ Reconstruction ReconstructCombined(const data::Dataset& perturbed,
   return reconstructor.Fit(perturbed.Column(col), partition);
 }
 
+namespace {
+
+// Splits attribute `col` into per-class value vectors (entry c holds the
+// column values of records labelled c) — the fan-out's shared input.
+std::vector<std::vector<double>> SplitColumnByClass(
+    const data::Dataset& perturbed, std::size_t col) {
+  std::vector<std::vector<double>> values(
+      static_cast<std::size_t>(perturbed.num_classes()));
+  const std::vector<double>& column = perturbed.Column(col);
+  for (std::size_t r = 0; r < perturbed.NumRows(); ++r) {
+    values[static_cast<std::size_t>(perturbed.Label(r))].push_back(column[r]);
+  }
+  return values;
+}
+
+}  // namespace
+
 std::vector<Reconstruction> ReconstructByClass(
     const data::Dataset& perturbed, std::size_t col,
     const Partition& partition, const BayesReconstructor& reconstructor) {
-  std::vector<Reconstruction> out;
-  out.reserve(static_cast<std::size_t>(perturbed.num_classes()));
-  const std::vector<double>& column = perturbed.Column(col);
-  for (int c = 0; c < perturbed.num_classes(); ++c) {
-    std::vector<double> values;
-    for (std::size_t r = 0; r < perturbed.NumRows(); ++r) {
-      if (perturbed.Label(r) == c) values.push_back(column[r]);
-    }
-    out.push_back(reconstructor.Fit(values, partition));
-  }
+  return ReconstructByClassParallel(perturbed, col, partition, reconstructor,
+                                    nullptr);
+}
+
+std::vector<Reconstruction> ReconstructByClassParallel(
+    const data::Dataset& perturbed, std::size_t col,
+    const Partition& partition, const BayesReconstructor& reconstructor,
+    engine::ThreadPool* pool) {
+  const std::vector<std::vector<double>> values =
+      SplitColumnByClass(perturbed, col);
+  std::vector<Reconstruction> out(values.size());
+  // One task per class; each fit is the sequential reference path writing
+  // its own slot, so the fan-out cannot perturb any output bit.
+  engine::ParallelFor(pool, values.size(), [&](std::size_t c) {
+    out[c] = reconstructor.Fit(values[c], partition);
+  });
   return out;
 }
 

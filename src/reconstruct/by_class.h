@@ -25,6 +25,15 @@ std::vector<Reconstruction> ReconstructByClass(
     const data::Dataset& perturbed, std::size_t col,
     const Partition& partition, const BayesReconstructor& reconstructor);
 
+/// Per-class fan-out of ReconstructByClass over a pool: each class's EM runs
+/// as one independent task. Every per-class fit uses the sequential
+/// reference path, so the result is bit-identical to ReconstructByClass for
+/// any pool size (nullptr runs inline).
+std::vector<Reconstruction> ReconstructByClassParallel(
+    const data::Dataset& perturbed, std::size_t col,
+    const Partition& partition, const BayesReconstructor& reconstructor,
+    engine::ThreadPool* pool);
+
 }  // namespace ppdm::reconstruct
 
 #endif  // PPDM_RECONSTRUCT_BY_CLASS_H_

@@ -4,12 +4,22 @@
 #include <cmath>
 
 #include "common/check.h"
+#include "engine/shard_stats.h"
+#include "engine/thread_pool.h"
 #include "stats/histogram.h"
 
 namespace ppdm::reconstruct {
 namespace {
 
 constexpr double kTinyDensity = 1e-300;
+
+// E-step grain of the parallel binned path: w-bins per chunk. Fixed (never
+// derived from the thread count) so the partial-sum tree — and therefore
+// every output bit — is invariant under the pool size.
+constexpr std::size_t kEmChunkBins = 32;
+
+// Row grain for embarrassingly parallel per-row work (kernel rows).
+constexpr std::size_t kKernelChunkRows = 64;
 
 std::vector<double> UniformMasses(std::size_t k) {
   return std::vector<double>(k, 1.0 / static_cast<double>(k));
@@ -35,36 +45,64 @@ Reconstruction HistogramMasses(const std::vector<double>& values,
 // `kernel[j*K + k]` holds f_Y(points[j] − m_k). `fallback[j]` is the
 // interval that absorbs observation j if every component density vanishes
 // (possible only at the clamped edges of the binned variant).
+//
+// The E-step is decomposed into fixed chunks of `em_chunk` observations;
+// per-chunk partial sums are folded in ascending chunk order, so for a
+// fixed em_chunk the output is bit-identical regardless of `pool` (nullptr
+// runs the identical decomposition inline). em_chunk == 0 keeps everything
+// in one chunk, reproducing the sequential accumulation order exactly.
 Reconstruction RunEm(const std::vector<double>& weights,
                      const std::vector<double>& kernel,
                      const std::vector<std::size_t>& fallback,
                      std::size_t num_intervals, double total_weight,
-                     const ReconstructionOptions& options) {
+                     const ReconstructionOptions& options,
+                     engine::ThreadPool* pool, std::size_t em_chunk) {
   Reconstruction out;
   out.sample_count = static_cast<std::size_t>(total_weight + 0.5);
   std::vector<double> p = UniformMasses(num_intervals);
   std::vector<double> next(num_intervals, 0.0);
 
+  const std::vector<engine::ChunkRange> chunks =
+      engine::MakeChunks(weights.size(), em_chunk);
+  // Per-chunk workspaces, allocated once and reused across iterations.
+  std::vector<std::vector<double>> partial_next(
+      chunks.size(), std::vector<double>(num_intervals, 0.0));
+  std::vector<double> partial_ll(chunks.size(), 0.0);
+
   for (std::size_t iter = 0; iter < options.max_iterations; ++iter) {
+    engine::ParallelFor(pool, chunks.size(), [&](std::size_t c) {
+      std::vector<double>& local = partial_next[c];
+      std::fill(local.begin(), local.end(), 0.0);
+      double ll = 0.0;
+      for (std::size_t j = chunks[c].begin; j < chunks[c].end; ++j) {
+        if (weights[j] == 0.0) continue;
+        const double* row = &kernel[j * num_intervals];
+        double denom = 0.0;
+        for (std::size_t k = 0; k < num_intervals; ++k) denom += row[k] * p[k];
+        if (denom <= kTinyDensity) {
+          // No component reaches this observation (clamped edge bin under
+          // bounded noise): attribute it wholly to the nearest interval.
+          local[fallback[j]] += weights[j];
+          ll += weights[j] * std::log(kTinyDensity);
+          continue;
+        }
+        ll += weights[j] * std::log(denom);
+        const double scale = weights[j] / denom;
+        for (std::size_t k = 0; k < num_intervals; ++k) {
+          local[k] += scale * row[k] * p[k];
+        }
+      }
+      partial_ll[c] = ll;
+    });
+    // Ordered fold of the chunk partials — the only place chunk results
+    // meet, and it is sequential in chunk index by construction.
     std::fill(next.begin(), next.end(), 0.0);
     double log_likelihood = 0.0;
-    for (std::size_t j = 0; j < weights.size(); ++j) {
-      if (weights[j] == 0.0) continue;
-      const double* row = &kernel[j * num_intervals];
-      double denom = 0.0;
-      for (std::size_t k = 0; k < num_intervals; ++k) denom += row[k] * p[k];
-      if (denom <= kTinyDensity) {
-        // No component reaches this observation (clamped edge bin under
-        // bounded noise): attribute it wholly to the nearest interval.
-        next[fallback[j]] += weights[j];
-        log_likelihood += weights[j] * std::log(kTinyDensity);
-        continue;
-      }
-      log_likelihood += weights[j] * std::log(denom);
-      const double scale = weights[j] / denom;
+    for (std::size_t c = 0; c < chunks.size(); ++c) {
       for (std::size_t k = 0; k < num_intervals; ++k) {
-        next[k] += scale * row[k] * p[k];
+        next[k] += partial_next[c][k];
       }
+      log_likelihood += partial_ll[c];
     }
     for (std::size_t k = 0; k < num_intervals; ++k) next[k] /= total_weight;
 
@@ -111,12 +149,32 @@ Reconstruction BayesReconstructor::Fit(const std::vector<double>& perturbed,
     out.masses = UniformMasses(partition.intervals());
     return out;
   }
-  return options_.binned ? FitBinned(perturbed, partition)
-                         : FitExact(perturbed, partition);
+  // em_chunk 0 = one chunk: reproduces the sequential reference bitwise.
+  return options_.binned
+             ? FitBinned(perturbed, partition, nullptr, 0, 0)
+             : FitExact(perturbed, partition, nullptr, 0);
+}
+
+Reconstruction BayesReconstructor::FitParallel(
+    const std::vector<double>& perturbed, const Partition& partition,
+    engine::ThreadPool* pool, std::size_t shard_size) const {
+  if (noise_.kind() == perturb::NoiseKind::kNone) {
+    return HistogramMasses(perturbed, partition);
+  }
+  if (perturbed.empty()) {
+    Reconstruction out;
+    out.masses = UniformMasses(partition.intervals());
+    return out;
+  }
+  return options_.binned
+             ? FitBinned(perturbed, partition, pool, shard_size, kEmChunkBins)
+             : FitExact(perturbed, partition, pool, shard_size);
 }
 
 Reconstruction BayesReconstructor::FitBinned(
-    const std::vector<double>& perturbed, const Partition& partition) const {
+    const std::vector<double>& perturbed, const Partition& partition,
+    engine::ThreadPool* pool, std::size_t shard_size,
+    std::size_t em_chunk) const {
   const std::size_t num_intervals = partition.intervals();
   const double width = partition.width();
 
@@ -128,49 +186,64 @@ Reconstruction BayesReconstructor::FitBinned(
   const double wlo = partition.lo() - width * static_cast<double>(extension);
   const double whi = partition.hi() + width * static_cast<double>(extension);
 
-  stats::Histogram whist(wlo, whi, num_wbins);
-  whist.AddAll(perturbed);
+  // Sharded ingestion: per-shard integer bin counts merged in shard order
+  // are exactly the sequential histogram, for every pool size.
+  const stats::Histogram whist(wlo, whi, num_wbins);
+  const engine::ShardStats ingested = engine::IngestSharded(
+      perturbed, /*labels=*/nullptr, /*num_classes=*/1,
+      [&whist](double v) { return whist.BinOf(v); }, num_wbins, pool,
+      shard_size);
+  const std::vector<double> weights = ingested.BinWeights();
 
   // Component j-given-k likelihood: P(W ∈ bin j | X = m_k), integrated
   // exactly over the w bin via the noise CDF. Integration (rather than a
   // midpoint pdf evaluation) kills the half-bin boundary bias that bounded
   // noise would otherwise exhibit.
-  std::vector<double> weights(num_wbins);
   std::vector<std::size_t> fallback(num_wbins);
   std::vector<double> kernel(num_wbins * num_intervals);
-  for (std::size_t j = 0; j < num_wbins; ++j) {
-    weights[j] = static_cast<double>(whist.counts()[j]);
-    const double bin_lo = whist.BinLo(j);
-    const double bin_hi = whist.BinHi(j);
-    fallback[j] = partition.IntervalOf(whist.BinMid(j));
-    for (std::size_t k = 0; k < num_intervals; ++k) {
-      const double mid = partition.Mid(k);
-      // The outermost bins also absorb the clamped tails.
-      const double upper = j + 1 == num_wbins ? 1.0
-                                              : noise_.Cdf(bin_hi - mid);
-      const double lower = j == 0 ? 0.0 : noise_.Cdf(bin_lo - mid);
-      kernel[j * num_intervals + k] = upper - lower;
+  const std::vector<engine::ChunkRange> rows =
+      engine::MakeChunks(num_wbins, pool == nullptr ? 0 : kKernelChunkRows);
+  engine::ParallelFor(pool, rows.size(), [&](std::size_t c) {
+    for (std::size_t j = rows[c].begin; j < rows[c].end; ++j) {
+      const double bin_lo = whist.BinLo(j);
+      const double bin_hi = whist.BinHi(j);
+      fallback[j] = partition.IntervalOf(whist.BinMid(j));
+      for (std::size_t k = 0; k < num_intervals; ++k) {
+        const double mid = partition.Mid(k);
+        // The outermost bins also absorb the clamped tails.
+        const double upper = j + 1 == num_wbins ? 1.0
+                                                : noise_.Cdf(bin_hi - mid);
+        const double lower = j == 0 ? 0.0 : noise_.Cdf(bin_lo - mid);
+        kernel[j * num_intervals + k] = upper - lower;
+      }
     }
-  }
+  });
   return RunEm(weights, kernel, fallback, num_intervals,
-               static_cast<double>(perturbed.size()), options_);
+               static_cast<double>(perturbed.size()), options_, pool,
+               em_chunk);
 }
 
 Reconstruction BayesReconstructor::FitExact(
-    const std::vector<double>& perturbed, const Partition& partition) const {
+    const std::vector<double>& perturbed, const Partition& partition,
+    engine::ThreadPool* pool, std::size_t em_chunk) const {
   const std::size_t num_intervals = partition.intervals();
   std::vector<double> weights(perturbed.size(), 1.0);
   std::vector<std::size_t> fallback(perturbed.size());
   std::vector<double> kernel(perturbed.size() * num_intervals);
-  for (std::size_t j = 0; j < perturbed.size(); ++j) {
-    fallback[j] = partition.IntervalOf(perturbed[j]);
-    for (std::size_t k = 0; k < num_intervals; ++k) {
-      kernel[j * num_intervals + k] =
-          noise_.Pdf(perturbed[j] - partition.Mid(k));
+  const std::vector<engine::ChunkRange> rows = engine::MakeChunks(
+      perturbed.size(), pool == nullptr ? 0 : kKernelChunkRows);
+  engine::ParallelFor(pool, rows.size(), [&](std::size_t c) {
+    for (std::size_t j = rows[c].begin; j < rows[c].end; ++j) {
+      fallback[j] = partition.IntervalOf(perturbed[j]);
+      for (std::size_t k = 0; k < num_intervals; ++k) {
+        kernel[j * num_intervals + k] =
+            noise_.Pdf(perturbed[j] - partition.Mid(k));
+      }
     }
-  }
+  });
   return RunEm(weights, kernel, fallback, num_intervals,
-               static_cast<double>(perturbed.size()), options_);
+               static_cast<double>(perturbed.size()), options_, pool,
+               em_chunk);
 }
 
 }  // namespace ppdm::reconstruct

@@ -14,6 +14,7 @@
 #include <cstddef>
 #include <vector>
 
+#include "engine/thread_pool.h"
 #include "perturb/noise_model.h"
 #include "reconstruct/partition.h"
 
@@ -73,14 +74,30 @@ class BayesReconstructor {
   Reconstruction Fit(const std::vector<double>& perturbed,
                      const Partition& partition) const;
 
+  /// Engine entry point: sharded ingestion plus a fixed-grain chunked
+  /// E-step. For a given `shard_size` the result is bit-identical for every
+  /// pool size (including pool == nullptr, which runs the same decomposition
+  /// inline) — per-chunk partial sums are folded in chunk order, so the
+  /// floating-point summation tree never depends on the thread count. The
+  /// regrouped summation makes the masses differ from Fit()'s sequential
+  /// accumulation by at most rounding noise.
+  Reconstruction FitParallel(const std::vector<double>& perturbed,
+                             const Partition& partition,
+                             engine::ThreadPool* pool,
+                             std::size_t shard_size) const;
+
   const perturb::NoiseModel& noise() const { return noise_; }
   const ReconstructionOptions& options() const { return options_; }
 
  private:
   Reconstruction FitBinned(const std::vector<double>& perturbed,
-                           const Partition& partition) const;
+                           const Partition& partition,
+                           engine::ThreadPool* pool, std::size_t shard_size,
+                           std::size_t em_chunk) const;
   Reconstruction FitExact(const std::vector<double>& perturbed,
-                          const Partition& partition) const;
+                          const Partition& partition,
+                          engine::ThreadPool* pool,
+                          std::size_t em_chunk) const;
 
   perturb::NoiseModel noise_;
   ReconstructionOptions options_;

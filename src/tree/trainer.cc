@@ -27,11 +27,13 @@ using Bounds = std::vector<std::pair<std::size_t, std::size_t>>;
 class Builder {
  public:
   Builder(const data::Dataset& dataset, TrainingMode mode,
-          const TreeOptions& options, const perturb::Randomizer* randomizer)
+          const TreeOptions& options, const perturb::Randomizer* randomizer,
+          engine::ThreadPool* pool)
       : dataset_(dataset),
         mode_(mode),
         options_(options),
         randomizer_(randomizer),
+        pool_(pool),
         num_classes_(static_cast<std::size_t>(dataset.num_classes())) {
     PPDM_CHECK_GT(dataset.NumRows(), 0u);
     PPDM_CHECK_GT(options.intervals, 1u);
@@ -100,41 +102,47 @@ class Builder {
   void PrecomputeAssignments() {
     assigned_.assign(dataset_.NumCols(),
                      std::vector<std::uint16_t>(dataset_.NumRows(), 0));
-    for (std::size_t col = 0; col < dataset_.NumCols(); ++col) {
-      switch (mode_) {
-        case TrainingMode::kOriginal:
-        case TrainingMode::kRandomized: {
-          // Values used as-is: clamp into the domain partition.
-          const std::vector<double>& column = dataset_.Column(col);
-          for (std::size_t r = 0; r < column.size(); ++r) {
-            assigned_[col][r] =
-                static_cast<std::uint16_t>(partitions_[col].IntervalOf(
-                    column[r]));
-          }
-          break;
+    // Fan the per-attribute reconstructions out over the pool: each column
+    // writes only assigned_[col] and runs the sequential reference
+    // reconstruction, so the result is independent of the pool size.
+    engine::ParallelFor(pool_, dataset_.NumCols(), [this](std::size_t col) {
+      PrecomputeColumn(col);
+    });
+  }
+
+  void PrecomputeColumn(std::size_t col) {
+    switch (mode_) {
+      case TrainingMode::kOriginal:
+      case TrainingMode::kRandomized: {
+        // Values used as-is: clamp into the domain partition.
+        const std::vector<double>& column = dataset_.Column(col);
+        for (std::size_t r = 0; r < column.size(); ++r) {
+          assigned_[col][r] =
+              static_cast<std::uint16_t>(partitions_[col].IntervalOf(
+                  column[r]));
         }
-        case TrainingMode::kGlobal: {
-          const BayesReconstructor reconstructor(randomizer_->ModelFor(col),
-                                                 options_.reconstruction);
-          const Reconstruction recon = reconstruct::ReconstructCombined(
-              dataset_, col, partitions_[col], reconstructor);
-          const std::vector<std::size_t> assignment =
-              AssignByOrderStatistics(dataset_.Column(col), recon.masses);
-          for (std::size_t r = 0; r < assignment.size(); ++r) {
-            assigned_[col][r] = static_cast<std::uint16_t>(assignment[r]);
-          }
-          break;
-        }
-        case TrainingMode::kByClass: {
-          PrecomputeByClassColumn(col);
-          break;
-        }
-        case TrainingMode::kLocal:
-          // ByClass-style root assignments, used only to route holdout
-          // records during reduced-error pruning.
-          PrecomputeByClassColumn(col);
-          break;
+        break;
       }
+      case TrainingMode::kGlobal: {
+        const BayesReconstructor reconstructor(randomizer_->ModelFor(col),
+                                               options_.reconstruction);
+        const Reconstruction recon = reconstruct::ReconstructCombined(
+            dataset_, col, partitions_[col], reconstructor);
+        const std::vector<std::size_t> assignment =
+            AssignByOrderStatistics(dataset_.Column(col), recon.masses);
+        for (std::size_t r = 0; r < assignment.size(); ++r) {
+          assigned_[col][r] = static_cast<std::uint16_t>(assignment[r]);
+        }
+        break;
+      }
+      case TrainingMode::kByClass:
+        PrecomputeByClassColumn(col);
+        break;
+      case TrainingMode::kLocal:
+        // ByClass-style root assignments, used only to route holdout
+        // records during reduced-error pruning.
+        PrecomputeByClassColumn(col);
+        break;
     }
   }
 
@@ -344,6 +352,7 @@ class Builder {
   const TrainingMode mode_;
   const TreeOptions options_;
   const perturb::Randomizer* randomizer_;
+  engine::ThreadPool* pool_;
   const std::size_t num_classes_;
   std::vector<Partition> partitions_;
   std::vector<std::vector<std::uint16_t>> assigned_;  // [col][row]
@@ -376,8 +385,9 @@ bool ModeUsesReconstruction(TrainingMode mode) {
 
 DecisionTree TrainDecisionTree(const data::Dataset& dataset,
                                TrainingMode mode, const TreeOptions& options,
-                               const perturb::Randomizer* randomizer) {
-  Builder builder(dataset, mode, options, randomizer);
+                               const perturb::Randomizer* randomizer,
+                               engine::ThreadPool* pool) {
+  Builder builder(dataset, mode, options, randomizer, pool);
   return builder.Build();
 }
 

@@ -21,6 +21,7 @@
 #include <vector>
 
 #include "data/dataset.h"
+#include "engine/thread_pool.h"
 #include "perturb/randomizer.h"
 #include "reconstruct/reconstructor.h"
 #include "tree/decision_tree.h"
@@ -100,10 +101,16 @@ struct TreeOptions {
 /// `dataset` is the original data for kOriginal and the *perturbed* data
 /// for every other mode. `randomizer` supplies the per-attribute noise
 /// models and is required exactly for the reconstruction modes.
+///
+/// `pool` parallelizes the root-time per-attribute reconstruction fan-out
+/// (the dominant cost of the reconstruction modes). Each attribute's work
+/// is independent and internally sequential, so the trained tree is
+/// bit-identical for every pool size (nullptr = inline).
 DecisionTree TrainDecisionTree(const data::Dataset& dataset,
                                TrainingMode mode, const TreeOptions& options,
                                const perturb::Randomizer* randomizer =
-                                   nullptr);
+                                   nullptr,
+                               engine::ThreadPool* pool = nullptr);
 
 }  // namespace ppdm::tree
 

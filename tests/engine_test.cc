@@ -1,0 +1,422 @@
+// Tests for the parallel execution engine: the thread pool and its
+// data-parallel primitives, mergeable shard statistics, and — the contract
+// everything else leans on — thread-count invariance: every engine job
+// yields byte-identical results for every number of worker threads.
+
+#include <atomic>
+#include <cstring>
+#include <memory>
+#include <optional>
+#include <stdexcept>
+#include <vector>
+
+#include <gtest/gtest.h>
+
+#include "engine/batch.h"
+#include "engine/shard_stats.h"
+#include "engine/thread_pool.h"
+#include "perturb/noise_model.h"
+#include "perturb/randomizer.h"
+#include "reconstruct/by_class.h"
+#include "reconstruct/reconstructor.h"
+#include "synth/generator.h"
+#include "tree/trainer.h"
+
+namespace ppdm::engine {
+namespace {
+
+// ------------------------------------------------------------- ThreadPool
+
+TEST(ThreadPoolTest, ParallelForVisitsEveryIndexExactlyOnce) {
+  for (std::size_t threads : {std::size_t{0}, std::size_t{1},
+                              std::size_t{4}}) {
+    ThreadPool pool(threads);
+    constexpr std::size_t kN = 1000;
+    std::vector<std::atomic<int>> visits(kN);
+    for (auto& v : visits) v = 0;
+    ParallelFor(&pool, kN, [&](std::size_t i) { ++visits[i]; });
+    for (std::size_t i = 0; i < kN; ++i) {
+      EXPECT_EQ(visits[i].load(), 1) << "index " << i << " with " << threads
+                                     << " threads";
+    }
+  }
+}
+
+TEST(ThreadPoolTest, ParallelForWithNullPoolRunsInline) {
+  std::size_t count = 0;
+  ParallelFor(nullptr, 17, [&](std::size_t) { ++count; });
+  EXPECT_EQ(count, 17u);
+}
+
+TEST(ThreadPoolTest, ParallelForZeroItemsIsANoop) {
+  ThreadPool pool(2);
+  bool ran = false;
+  ParallelFor(&pool, 0, [&](std::size_t) { ran = true; });
+  EXPECT_FALSE(ran);
+}
+
+TEST(ThreadPoolTest, PoolIsReusableAcrossCalls) {
+  ThreadPool pool(3);
+  for (int round = 0; round < 20; ++round) {
+    std::atomic<int> sum{0};
+    ParallelFor(&pool, 50, [&](std::size_t i) {
+      sum += static_cast<int>(i);
+    });
+    EXPECT_EQ(sum.load(), 49 * 50 / 2);
+  }
+}
+
+TEST(ThreadPoolTest, ParallelForPropagatesExceptionsAndKeepsPoolUsable) {
+  ThreadPool pool(3);
+  EXPECT_THROW(
+      ParallelFor(&pool, 100,
+                  [](std::size_t i) {
+                    if (i == 37) throw std::runtime_error("poisoned");
+                  }),
+      std::runtime_error);
+  // The barrier released cleanly: the pool still works afterwards.
+  std::atomic<int> sum{0};
+  ParallelFor(&pool, 10, [&](std::size_t) { ++sum; });
+  EXPECT_EQ(sum.load(), 10);
+}
+
+TEST(ThreadPoolTest, MakeChunksCoversRangeWithoutOverlap) {
+  const std::vector<ChunkRange> chunks = MakeChunks(10, 3);
+  ASSERT_EQ(chunks.size(), 4u);
+  std::size_t expected_begin = 0;
+  for (const ChunkRange& c : chunks) {
+    EXPECT_EQ(c.begin, expected_begin);
+    expected_begin = c.end;
+  }
+  EXPECT_EQ(chunks.back().end, 10u);
+}
+
+TEST(ThreadPoolTest, MakeChunksEdgeCases) {
+  EXPECT_TRUE(MakeChunks(0, 4).empty());
+  EXPECT_TRUE(MakeChunks(0, 0).empty());
+  // chunk_size 0 = one chunk spanning everything.
+  const std::vector<ChunkRange> whole = MakeChunks(7, 0);
+  ASSERT_EQ(whole.size(), 1u);
+  EXPECT_EQ(whole[0].begin, 0u);
+  EXPECT_EQ(whole[0].end, 7u);
+  // chunk_size > n also yields a single chunk.
+  EXPECT_EQ(MakeChunks(7, 100).size(), 1u);
+}
+
+TEST(ThreadPoolTest, ChunkedReduceFoldsInChunkOrder) {
+  ThreadPool pool(4);
+  const std::vector<ChunkRange> chunks = MakeChunks(100, 7);
+  // Concatenating chunk indices in fold order must yield 0,1,2,...
+  const std::vector<std::size_t> order = ChunkedReduce<std::vector<std::size_t>>(
+      &pool, chunks, {},
+      [](std::size_t c, const ChunkRange&) {
+        return std::vector<std::size_t>{c};
+      },
+      [](std::vector<std::size_t>* acc, const std::vector<std::size_t>& v) {
+        acc->insert(acc->end(), v.begin(), v.end());
+      });
+  ASSERT_EQ(order.size(), chunks.size());
+  for (std::size_t c = 0; c < order.size(); ++c) EXPECT_EQ(order[c], c);
+}
+
+// ------------------------------------------------------------- ShardStats
+
+ShardStats RandomStats(std::uint64_t seed, std::size_t bins,
+                       std::size_t classes, std::size_t n) {
+  Rng rng(seed);
+  ShardStats stats(bins, classes);
+  for (std::size_t i = 0; i < n; ++i) {
+    stats.Add(static_cast<std::size_t>(
+                  rng.UniformInt(0, static_cast<std::int64_t>(bins) - 1)),
+              static_cast<std::size_t>(
+                  rng.UniformInt(0, static_cast<std::int64_t>(classes) - 1)));
+  }
+  return stats;
+}
+
+bool StatsEqual(const ShardStats& a, const ShardStats& b) {
+  if (a.num_bins() != b.num_bins() || a.num_classes() != b.num_classes() ||
+      a.record_count() != b.record_count()) {
+    return false;
+  }
+  for (std::size_t bin = 0; bin < a.num_bins(); ++bin) {
+    for (std::size_t c = 0; c < a.num_classes(); ++c) {
+      if (a.BinClassCount(bin, c) != b.BinClassCount(bin, c)) return false;
+    }
+  }
+  return true;
+}
+
+TEST(ShardStatsTest, CountsAndAccessorsAgree) {
+  ShardStats stats(4, 2);
+  stats.Add(0, 0);
+  stats.Add(0, 1);
+  stats.Add(3, 1);
+  EXPECT_EQ(stats.record_count(), 3u);
+  EXPECT_EQ(stats.BinCount(0), 2u);
+  EXPECT_EQ(stats.BinCount(3), 1u);
+  EXPECT_EQ(stats.ClassCount(0), 1u);
+  EXPECT_EQ(stats.ClassCount(1), 2u);
+  EXPECT_EQ(stats.BinClassCount(0, 1), 1u);
+  EXPECT_EQ(stats.BinWeights()[0], 2.0);
+  EXPECT_EQ(stats.BinWeightsForClass(1)[3], 1.0);
+}
+
+TEST(ShardStatsTest, MergeIsAssociative) {
+  const ShardStats a = RandomStats(1, 8, 3, 500);
+  const ShardStats b = RandomStats(2, 8, 3, 700);
+  const ShardStats c = RandomStats(3, 8, 3, 300);
+
+  ShardStats left(8, 3);  // (a ⊕ b) ⊕ c
+  left.MergeFrom(a);
+  left.MergeFrom(b);
+  ShardStats left_then_c = left;
+  left_then_c.MergeFrom(c);
+
+  ShardStats bc(8, 3);  // a ⊕ (b ⊕ c)
+  bc.MergeFrom(b);
+  bc.MergeFrom(c);
+  ShardStats a_then_bc = a;
+  a_then_bc.MergeFrom(bc);
+
+  EXPECT_TRUE(StatsEqual(left_then_c, a_then_bc));
+}
+
+TEST(ShardStatsTest, ShardedIngestEqualsSequentialPass) {
+  Rng rng(7);
+  std::vector<double> values(5000);
+  std::vector<int> labels(values.size());
+  for (std::size_t i = 0; i < values.size(); ++i) {
+    values[i] = rng.UniformReal(-1.0, 2.0);
+    labels[i] = static_cast<int>(rng.UniformInt(0, 1));
+  }
+  const auto bin_of = [](double v) {
+    return static_cast<std::size_t>(v < 0.0 ? 0 : (v < 1.0 ? 1 : 2));
+  };
+
+  const ShardStats sequential =
+      IngestSharded(values, &labels, 2, bin_of, 3, nullptr, 0);
+  ThreadPool pool(4);
+  for (std::size_t shard_size : {std::size_t{1}, std::size_t{333},
+                                 std::size_t{10000}}) {
+    const ShardStats sharded =
+        IngestSharded(values, &labels, 2, bin_of, 3, &pool, shard_size);
+    EXPECT_TRUE(StatsEqual(sequential, sharded))
+        << "shard_size " << shard_size;
+  }
+}
+
+TEST(ShardStatsTest, IngestEmptyInput) {
+  const std::vector<double> values;
+  const ShardStats stats =
+      IngestSharded(values, nullptr, 1, [](double) { return 0u; }, 4,
+                    nullptr, 16);
+  EXPECT_EQ(stats.record_count(), 0u);
+  EXPECT_EQ(stats.BinCount(0), 0u);
+}
+
+// ------------------------------------------------------------------ Batch
+
+// Perturbed benchmark data shared by the reconstruction tests.
+struct EngineFixture {
+  EngineFixture() {
+    synth::GeneratorOptions gen;
+    gen.num_records = 4000;
+    gen.seed = 11;
+    original = synth::Generate(gen);
+    perturb::RandomizerOptions noise;
+    noise.kind = perturb::NoiseKind::kUniform;
+    noise.privacy_fraction = 1.0;
+    noise.seed = 99;
+    randomizer = std::make_unique<perturb::Randomizer>(original->schema(),
+                                                       noise);
+    perturbed = randomizer->Perturb(*original);
+  }
+  std::optional<data::Dataset> original;
+  std::optional<data::Dataset> perturbed;
+  std::unique_ptr<perturb::Randomizer> randomizer;
+};
+
+bool ReconstructionsIdentical(const reconstruct::Reconstruction& a,
+                              const reconstruct::Reconstruction& b) {
+  return a.masses == b.masses && a.iterations == b.iterations &&
+         a.chi_square_trace == b.chi_square_trace &&
+         a.log_likelihood_trace == b.log_likelihood_trace &&
+         a.sample_count == b.sample_count;
+}
+
+TEST(BatchTest, ReconstructParallelIsThreadCountInvariant) {
+  const EngineFixture fx;
+  const reconstruct::Partition partition = reconstruct::Partition::ForField(
+      fx.perturbed->schema().Field(synth::kSalary), 25);
+  const reconstruct::BayesReconstructor reconstructor(
+      fx.randomizer->ModelFor(synth::kSalary), {});
+  const std::vector<double>& column = fx.perturbed->Column(synth::kSalary);
+
+  BatchOptions base;
+  base.shard_size = 512;
+  base.num_threads = 0;  // inline — the reference decomposition
+  const reconstruct::Reconstruction reference =
+      Batch(base).ReconstructParallel(column, partition, reconstructor);
+  EXPECT_GT(reference.iterations, 0u);
+
+  for (std::size_t threads : {std::size_t{1}, std::size_t{2},
+                              std::size_t{8}}) {
+    BatchOptions options = base;
+    options.num_threads = threads;
+    const reconstruct::Reconstruction parallel =
+        Batch(options).ReconstructParallel(column, partition, reconstructor);
+    // Byte-identical: same masses, same traces, bit for bit.
+    EXPECT_TRUE(ReconstructionsIdentical(reference, parallel))
+        << "num_threads " << threads;
+    ASSERT_EQ(parallel.masses.size(), reference.masses.size());
+    EXPECT_EQ(std::memcmp(parallel.masses.data(), reference.masses.data(),
+                          reference.masses.size() * sizeof(double)),
+              0)
+        << "num_threads " << threads;
+  }
+}
+
+TEST(BatchTest, ReconstructParallelTracksSequentialFitClosely) {
+  // The chunked summation regroups floating-point adds, so the engine is
+  // not bit-equal to the sequential Fit — but it must agree to rounding
+  // noise on every mass.
+  const EngineFixture fx;
+  const reconstruct::Partition partition = reconstruct::Partition::ForField(
+      fx.perturbed->schema().Field(synth::kAge), 20);
+  const reconstruct::BayesReconstructor reconstructor(
+      fx.randomizer->ModelFor(synth::kAge), {});
+  const std::vector<double>& column = fx.perturbed->Column(synth::kAge);
+
+  const reconstruct::Reconstruction sequential =
+      reconstructor.Fit(column, partition);
+  BatchOptions options;
+  options.num_threads = 4;
+  options.shard_size = 256;
+  const reconstruct::Reconstruction parallel =
+      Batch(options).ReconstructParallel(column, partition, reconstructor);
+  ASSERT_EQ(parallel.masses.size(), sequential.masses.size());
+  for (std::size_t k = 0; k < sequential.masses.size(); ++k) {
+    EXPECT_NEAR(parallel.masses[k], sequential.masses[k], 1e-9);
+  }
+}
+
+TEST(BatchTest, ReconstructParallelEmptyInputYieldsUniform) {
+  const perturb::NoiseModel noise = perturb::NoiseModel::Uniform(0.5);
+  const reconstruct::BayesReconstructor reconstructor(noise, {});
+  const reconstruct::Partition partition(0.0, 1.0, 8);
+  BatchOptions options;
+  options.num_threads = 2;
+  const reconstruct::Reconstruction r = Batch(options).ReconstructParallel(
+      {}, partition, reconstructor);
+  ASSERT_EQ(r.masses.size(), 8u);
+  for (double m : r.masses) EXPECT_DOUBLE_EQ(m, 0.125);
+  EXPECT_EQ(r.sample_count, 0u);
+}
+
+TEST(BatchTest, ReconstructParallelSingleShard) {
+  // shard_size 0 = one shard; must agree with the multi-shard run up to
+  // EM summation regrouping and bit-exactly with the sequential Fit.
+  const EngineFixture fx;
+  const reconstruct::Partition partition = reconstruct::Partition::ForField(
+      fx.perturbed->schema().Field(synth::kLoan), 15);
+  const reconstruct::BayesReconstructor reconstructor(
+      fx.randomizer->ModelFor(synth::kLoan), {});
+  const std::vector<double>& column = fx.perturbed->Column(synth::kLoan);
+
+  BatchOptions options;
+  options.num_threads = 3;
+  options.shard_size = 0;
+  const reconstruct::Reconstruction single_shard =
+      Batch(options).ReconstructParallel(column, partition, reconstructor);
+  EXPECT_GT(single_shard.iterations, 0u);
+  ASSERT_EQ(single_shard.masses.size(), 15u);
+  double total = 0.0;
+  for (double m : single_shard.masses) total += m;
+  EXPECT_NEAR(total, 1.0, 1e-9);
+}
+
+TEST(BatchTest, ReconstructByClassParallelMatchesSequentialBitwise) {
+  const EngineFixture fx;
+  const reconstruct::Partition partition = reconstruct::Partition::ForField(
+      fx.perturbed->schema().Field(synth::kSalary), 20);
+  const reconstruct::BayesReconstructor reconstructor(
+      fx.randomizer->ModelFor(synth::kSalary), {});
+
+  const std::vector<reconstruct::Reconstruction> sequential =
+      reconstruct::ReconstructByClass(*fx.perturbed, synth::kSalary,
+                                      partition, reconstructor);
+  for (std::size_t threads : {std::size_t{1}, std::size_t{8}}) {
+    BatchOptions options;
+    options.num_threads = threads;
+    const std::vector<reconstruct::Reconstruction> parallel =
+        Batch(options).ReconstructByClassParallel(*fx.perturbed,
+                                                  synth::kSalary, partition,
+                                                  reconstructor);
+    ASSERT_EQ(parallel.size(), sequential.size());
+    for (std::size_t c = 0; c < sequential.size(); ++c) {
+      EXPECT_TRUE(ReconstructionsIdentical(sequential[c], parallel[c]))
+          << "class " << c << " num_threads " << threads;
+    }
+  }
+}
+
+TEST(BatchTest, PerturbShardsIsThreadCountInvariantAndDeterministic) {
+  const EngineFixture fx;
+  BatchOptions base;
+  base.shard_size = 777;
+  base.num_threads = 0;
+  const data::Dataset reference =
+      Batch(base).PerturbShards(*fx.randomizer, *fx.original);
+  // Perturbation did something.
+  EXPECT_NE(reference.At(0, synth::kSalary),
+            fx.original->At(0, synth::kSalary));
+
+  for (std::size_t threads : {std::size_t{1}, std::size_t{2},
+                              std::size_t{8}}) {
+    BatchOptions options = base;
+    options.num_threads = threads;
+    const data::Dataset perturbed =
+        Batch(options).PerturbShards(*fx.randomizer, *fx.original);
+    for (std::size_t c = 0; c < reference.NumCols(); ++c) {
+      EXPECT_EQ(perturbed.Column(c), reference.Column(c))
+          << "column " << c << " num_threads " << threads;
+    }
+  }
+}
+
+TEST(BatchTest, IngestShardsCountsPerClass) {
+  std::vector<double> values{0.1, 0.9, 0.5, 0.2, 0.8};
+  std::vector<int> labels{0, 1, 0, 1, 1};
+  BatchOptions options;
+  options.num_threads = 2;
+  options.shard_size = 2;
+  const ShardStats stats =
+      Batch(options).IngestShards(values, labels, 2, 0.0, 1.0, 2);
+  EXPECT_EQ(stats.record_count(), 5u);
+  EXPECT_EQ(stats.ClassCount(0), 2u);
+  EXPECT_EQ(stats.ClassCount(1), 3u);
+  EXPECT_EQ(stats.BinCount(0), 2u);          // 0.1, 0.2 → [0, 0.5)
+  EXPECT_EQ(stats.BinCount(1), 3u);          // 0.5, 0.8, 0.9 → [0.5, 1]
+  EXPECT_EQ(stats.BinClassCount(1, 1), 2u);  // 0.9, 0.8
+  EXPECT_EQ(stats.BinClassCount(1, 0), 1u);  // 0.5
+}
+
+TEST(BatchTest, TrainedTreeIsPoolInvariant) {
+  const EngineFixture fx;
+  tree::TreeOptions options;
+  options.intervals = 20;
+  const tree::DecisionTree sequential = tree::TrainDecisionTree(
+      *fx.perturbed, tree::TrainingMode::kByClass, options,
+      fx.randomizer.get(), nullptr);
+  ThreadPool pool(4);
+  const tree::DecisionTree parallel = tree::TrainDecisionTree(
+      *fx.perturbed, tree::TrainingMode::kByClass, options,
+      fx.randomizer.get(), &pool);
+  EXPECT_EQ(sequential.NumNodes(), parallel.NumNodes());
+  EXPECT_EQ(sequential.Describe(fx.perturbed->schema()),
+            parallel.Describe(fx.perturbed->schema()));
+}
+
+}  // namespace
+}  // namespace ppdm::engine
