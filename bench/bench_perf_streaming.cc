@@ -1,0 +1,166 @@
+// P5 — streaming serving API: ingest throughput (records/s) of the
+// session's fold-on-arrival path at 1/2/4/8 threads, time-to-first-estimate
+// for a client that polls early vs. waiting for the whole batch, and the
+// cost of a warm-started refresh vs. a cold batch fit. Honours
+// PPDM_PAPER_SCALE=1 for the paper's 100k-record runs, and cross-checks
+// that the streamed estimate is byte-identical to the batch FitParallel
+// (the streaming determinism contract).
+
+#include <cstdio>
+#include <cstring>
+#include <thread>
+#include <vector>
+
+#include "api/service.h"
+#include "api/session.h"
+#include "bench/bench_util.h"
+#include "engine/batch.h"
+#include "perturb/randomizer.h"
+#include "reconstruct/reconstructor.h"
+#include "synth/generator.h"
+
+namespace {
+
+using namespace ppdm;
+
+constexpr std::size_t kIntervals = 100;
+constexpr std::size_t kBatchRecords = 2048;
+
+api::SessionSpec SalarySpec(const data::Schema& schema,
+                            std::size_t shard_size) {
+  const data::FieldSpec& field = schema.Field(synth::kSalary);
+  api::SessionSpec spec;
+  spec.lo = field.lo;
+  spec.hi = field.hi;
+  spec.intervals = kIntervals;
+  spec.noise = perturb::NoiseKind::kUniform;
+  spec.privacy_fraction = 1.0;
+  spec.shard_size = shard_size;
+  return spec;
+}
+
+}  // namespace
+
+int main() {
+  bench::PrintBanner("P5", "streaming session ingest + refresh throughput");
+  const core::ExperimentConfig config = bench::DefaultConfig(
+      synth::Function::kF1);
+  std::printf("records=%zu  batch=%zu  K=%zu  hardware threads=%u\n\n",
+              config.train_records, kBatchRecords, kIntervals,
+              std::thread::hardware_concurrency());
+
+  synth::GeneratorOptions gen;
+  gen.num_records = config.train_records;
+  gen.function = config.function;
+  gen.seed = config.seed;
+  const data::Dataset train = synth::Generate(gen);
+
+  perturb::RandomizerOptions noise;
+  noise.kind = perturb::NoiseKind::kUniform;
+  noise.privacy_fraction = 1.0;
+  noise.seed = config.seed + 0x9E1517BULL;
+  const perturb::Randomizer randomizer(train.schema(), noise);
+  const data::Dataset perturbed = randomizer.Perturb(train);
+  const std::vector<double>& stream = perturbed.Column(synth::kSalary);
+
+  const reconstruct::Partition partition = reconstruct::Partition::ForField(
+      train.schema().Field(synth::kSalary), kIntervals);
+  const reconstruct::BayesReconstructor reconstructor(
+      randomizer.ModelFor(synth::kSalary), {});
+
+  const std::vector<std::size_t> thread_counts{1, 2, 4, 8};
+  bench::ThroughputReporter reporter("records");
+  char label[64];
+
+  // -------------------------------------------------- ingest throughput
+  // Fold-on-arrival cost alone: batches of kBatchRecords through
+  // Session::Ingest, no reconstruction.
+  for (std::size_t threads : thread_counts) {
+    engine::BatchOptions options;
+    options.num_threads = threads;
+    auto service = api::Service::Create(options);
+    if (!service.ok()) return 1;
+    std::snprintf(label, sizeof(label), "ingest b=%zu t=%zu", kBatchRecords,
+                  threads);
+    reporter.Measure(label, stream.size(), "ingest", [&] {
+      auto session =
+          service.value()->OpenSession(SalarySpec(train.schema(), 512));
+      for (std::size_t offset = 0; offset < stream.size();
+           offset += kBatchRecords) {
+        const std::size_t take =
+            std::min(kBatchRecords, stream.size() - offset);
+        if (!session.value()->Ingest(stream.data() + offset, take).ok()) {
+          std::abort();
+        }
+      }
+    });
+  }
+
+  // --------------------------------------------- time-to-first-estimate
+  // A client polling after the first batch: the batch path must ingest
+  // and fit everything; the session fits from one batch's counts.
+  reporter.Measure("first estimate: batch all", stream.size(), "", [&] {
+    const reconstruct::Reconstruction r =
+        reconstructor.FitParallel(stream, partition, nullptr, 512);
+    (void)r;
+  });
+  reporter.Measure("first estimate: stream 1 batch", kBatchRecords, "", [&] {
+    auto session = api::ReconstructionSession::Open(
+        SalarySpec(train.schema(), 512));
+    if (!session.value()->Ingest(stream.data(), kBatchRecords).ok()) {
+      std::abort();
+    }
+    const auto r = session.value()->Reconstruct();
+    (void)r;
+  });
+
+  // ---------------------------------------- refresh: warm vs. cold fit
+  // The steady-state serving cost: all records ingested, one more
+  // Reconstruct(). Warm-started EM restarts from the previous estimate.
+  auto warm_session =
+      api::ReconstructionSession::Open(SalarySpec(train.schema(), 512));
+  if (!warm_session.ok() || !warm_session.value()->Ingest(stream).ok()) {
+    return 1;
+  }
+  (void)warm_session.value()->Reconstruct();  // prime the estimate
+  reporter.Measure("refresh: cold batch fit", stream.size(), "refresh", [&] {
+    const reconstruct::Reconstruction r =
+        reconstructor.FitParallel(stream, partition, nullptr, 512);
+    (void)r;
+  });
+  reporter.Measure("refresh: warm-started", stream.size(), "refresh", [&] {
+    const auto r = warm_session.value()->Reconstruct();
+    (void)r;
+  });
+
+  // ------------------------------------------------ determinism check
+  // Streamed (many batches) == batch FitParallel, byte for byte, with and
+  // without a pool.
+  const reconstruct::Reconstruction batch_fit =
+      reconstructor.FitParallel(stream, partition, nullptr, 512);
+  bool identical = true;
+  for (std::size_t threads : {std::size_t{0}, std::size_t{4}}) {
+    engine::BatchOptions options;
+    options.num_threads = threads;
+    auto service = api::Service::Create(options);
+    auto session =
+        service.value()->OpenSession(SalarySpec(train.schema(), 512));
+    for (std::size_t offset = 0; offset < stream.size();
+         offset += kBatchRecords) {
+      const std::size_t take = std::min(kBatchRecords,
+                                        stream.size() - offset);
+      if (!session.value()->Ingest(stream.data() + offset, take).ok()) {
+        return 1;
+      }
+    }
+    const auto streamed = session.value()->Reconstruct();
+    identical = identical && streamed.ok() &&
+                streamed.value().masses.size() == batch_fit.masses.size() &&
+                std::memcmp(streamed.value().masses.data(),
+                            batch_fit.masses.data(),
+                            batch_fit.masses.size() * sizeof(double)) == 0;
+  }
+  std::printf("\nstreamed masses byte-identical to batch fit: %s\n",
+              identical ? "yes" : "NO — DETERMINISM VIOLATION");
+  return identical ? 0 : 1;
+}

@@ -3,10 +3,13 @@
 // and prints the accuracy curve for both noise models, plus the
 // information-theoretic account of what respondents actually disclose —
 // the numbers needed to choose a point on the privacy/accuracy frontier.
+//
+// Every cell of the sweep goes through the validated experiment façade
+// api::RunExperiment, so a bad sweep point is a Status, not a crash.
 
 #include <cstdio>
 
-#include "core/experiment.h"
+#include "api/spec.h"
 #include "core/infotheory.h"
 #include "reconstruct/partition.h"
 #include "stats/histogram.h"
@@ -24,14 +27,20 @@ int main() {
     double bits[2];
     int i = 0;
     for (NoiseKind kind : {NoiseKind::kUniform, NoiseKind::kGaussian}) {
-      core::ExperimentConfig config;
-      config.function = synth::Function::kF3;
-      config.train_records = 20000;
-      config.test_records = 5000;
-      config.noise = kind;
-      config.privacy_fraction = privacy;
-      acc[i] = core::RunModes(config,
-                              {tree::TrainingMode::kByClass})[0].accuracy;
+      api::Spec spec;
+      spec.function = synth::Function::kF3;
+      spec.train_records = 20000;
+      spec.test_records = 5000;
+      spec.noise.kind = kind;
+      spec.noise.privacy_fraction = privacy;
+      const auto results =
+          api::RunExperiment(spec, {tree::TrainingMode::kByClass});
+      if (!results.ok()) {
+        std::fprintf(stderr, "sweep point rejected: %s\n",
+                     results.status().ToString().c_str());
+        return 1;
+      }
+      acc[i] = results.value()[0].accuracy;
 
       // Disclosure accounting on the age attribute (range 60, uniform).
       const reconstruct::Partition part(20.0, 80.0, 30);

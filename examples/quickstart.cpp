@@ -5,10 +5,15 @@
 //    values) and trains a ByClass decision tree.
 // 3. The tree classifies fresh, unperturbed records.
 //
+// Requests enter through the validated api::Spec — a malformed request
+// (negative privacy, confidence outside (0,1), zero intervals) is
+// rejected with a Status before any work starts.
+//
 // Build & run:  cmake --build build && ./build/examples/quickstart
 
 #include <cstdio>
 
+#include "api/spec.h"
 #include "core/experiment.h"
 
 int main() {
@@ -18,16 +23,22 @@ int main() {
   // bands), 20k providers, uniform noise at the paper's "100% privacy"
   // setting — each disclosed value only pins the true value to an
   // interval as wide as the whole attribute range (95% confidence).
-  core::ExperimentConfig config;
-  config.function = synth::Function::kF2;
-  config.train_records = 20000;
-  config.test_records = 5000;
-  config.noise = perturb::NoiseKind::kUniform;
-  config.privacy_fraction = 1.0;
+  api::Spec spec;
+  spec.function = synth::Function::kF2;
+  spec.train_records = 20000;
+  spec.test_records = 5000;
+  spec.noise.kind = perturb::NoiseKind::kUniform;
+  spec.noise.privacy_fraction = 1.0;
+
+  if (Status s = spec.Validate(); !s.ok()) {
+    std::fprintf(stderr, "invalid spec: %s\n", s.ToString().c_str());
+    return 1;
+  }
+  const core::ExperimentConfig config = spec.ToExperimentConfig();
 
   std::printf("Generating %zu provider records and perturbing them at "
               "%.0f%% privacy...\n",
-              config.train_records, 100.0 * config.privacy_fraction);
+              spec.train_records, 100.0 * spec.noise.privacy_fraction);
   const core::ExperimentData data = core::PrepareData(config);
 
   // What one provider actually discloses:

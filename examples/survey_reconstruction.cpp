@@ -4,15 +4,21 @@
 // age distribution — accurately — while each individual's age stays
 // hidden inside a ±31-year window.
 //
-// Demonstrates: NoiseForPrivacy, per-record perturbation, EM
-// reconstruction, and the information-theoretic privacy accounting.
+// Responses arrive over days, not all at once, so the server side uses
+// the streaming serving API: an api::ReconstructionSession folds each
+// day's batch in as it lands and refreshes the estimate (EM warm-started
+// from yesterday's) — no need to keep or re-scan the raw submissions.
+//
+// Demonstrates: NoiseForPrivacy, per-record perturbation, the validated
+// session spec, streaming ingestion + warm-started EM reconstruction, and
+// the information-theoretic privacy accounting.
 
 #include <cstdio>
 #include <vector>
 
+#include "api/session.h"
 #include "core/infotheory.h"
 #include "perturb/noise_model.h"
-#include "reconstruct/reconstructor.h"
 #include "stats/distribution.h"
 #include "stats/histogram.h"
 
@@ -25,43 +31,73 @@ int main() {
                                                                   0.3);
   const stats::MixtureDistribution population({young, older}, {2.0, 1.0});
 
-  // 100% privacy at 95% confidence over the age domain [18, 80].
-  const double range = 80.0 - 18.0;
-  const perturb::NoiseModel noise = perturb::NoiseForPrivacy(
-      perturb::NoiseKind::kUniform, 1.0, range, 0.95);
+  // 100% privacy at 95% confidence over the age domain [18, 80]. The
+  // session validates the whole spec up front: a negative privacy
+  // fraction or zero intervals would come back as InvalidArgument here
+  // instead of misbehaving later.
+  api::SessionSpec spec;
+  spec.lo = 18.0;
+  spec.hi = 80.0;
+  spec.intervals = 31;
+  spec.noise = perturb::NoiseKind::kUniform;
+  spec.privacy_fraction = 1.0;
+  spec.confidence = 0.95;
+  auto session = api::ReconstructionSession::Open(spec);
+  if (!session.ok()) {
+    std::fprintf(stderr, "bad session spec: %s\n",
+                 session.status().ToString().c_str());
+    return 1;
+  }
+  const perturb::NoiseModel& noise = session.value()->noise_model();
   std::printf("Survey noise: uniform ±%.1f years (95%% confidence interval "
               "width %.1f years)\n\n",
               noise.scale(), noise.PrivacyAtConfidence(0.95));
 
-  // Each respondent perturbs locally; the server sees only w = age + y.
-  const std::size_t respondents = 30000;
+  // Five "days" of 6000 respondents each. Every respondent perturbs
+  // locally; the server sees only w = age + y, folds each day's batch into
+  // the session on arrival, and refreshes its estimate overnight.
+  const std::size_t days = 5;
+  const std::size_t per_day = 6000;
   Rng rng(2024);
   stats::Histogram truth(18.0, 80.0, 31);
-  std::vector<double> submitted(respondents);
-  for (std::size_t i = 0; i < respondents; ++i) {
-    const double age = population.Sample(&rng);
-    truth.Add(age);
-    submitted[i] = age + noise.Sample(&rng);
+  std::printf("%-6s %12s %10s %12s\n", "day", "respondents", "EM iter",
+              "tv(truth)");
+  for (std::size_t day = 0; day < days; ++day) {
+    std::vector<double> submitted(per_day);
+    for (double& w : submitted) {
+      const double age = population.Sample(&rng);
+      truth.Add(age);
+      w = age + noise.Sample(&rng);
+    }
+    if (Status s = session.value()->Ingest(submitted); !s.ok()) {
+      std::fprintf(stderr, "ingest failed: %s\n", s.ToString().c_str());
+      return 1;
+    }
+    const auto estimate = session.value()->Reconstruct();
+    if (!estimate.ok()) return 1;
+    std::printf("%-6zu %12zu %10zu %12.4f\n", day + 1,
+                static_cast<std::size_t>(session.value()->record_count()),
+                estimate.value().iterations,
+                stats::TotalVariation(estimate.value().masses,
+                                      truth.Masses()));
   }
 
-  // Server-side reconstruction.
-  const reconstruct::Partition partition(18.0, 80.0, 31);
-  const reconstruct::BayesReconstructor reconstructor(noise, {});
-  const reconstruct::Reconstruction recon =
-      reconstructor.Fit(submitted, partition);
-
-  std::printf("%-9s %-12s %-14s\n", "age", "true share", "reconstructed");
+  // Final estimate vs. the truth the server never saw.
+  const auto final_estimate = session.value()->Reconstruct();
+  if (!final_estimate.ok()) return 1;
+  const reconstruct::Reconstruction& recon = final_estimate.value();
+  const reconstruct::Partition& partition = session.value()->partition();
   const auto true_masses = truth.Masses();
+  std::printf("\n%-9s %-12s %-14s\n", "age", "true share", "reconstructed");
   for (std::size_t k = 0; k < partition.intervals(); k += 3) {
     std::printf("%4.0f-%-4.0f %9.2f%% %12.2f%%\n", partition.Lo(k),
                 partition.Hi(k), 100.0 * true_masses[k],
                 100.0 * recon.masses[k]);
   }
-
-  std::printf("\nreconstruction error (total variation): %.4f after %zu EM "
-              "iterations\n",
+  std::printf("\nreconstruction error (total variation): %.4f from %zu "
+              "streamed responses\n",
               stats::TotalVariation(recon.masses, true_masses),
-              recon.iterations);
+              recon.sample_count);
 
   // How much did each respondent actually give away?
   const double h_x = core::DiscreteEntropyBits(true_masses);

@@ -1,0 +1,17 @@
+#include "api/service.h"
+
+namespace ppdm::api {
+
+Service::Service(const engine::BatchOptions& options)
+    : options_(options),
+      pool_(options.num_threads == 0
+                ? nullptr
+                : std::make_unique<engine::ThreadPool>(options.num_threads)) {}
+
+Result<std::unique_ptr<Service>> Service::Create(
+    const engine::BatchOptions& options) {
+  PPDM_RETURN_IF_ERROR(ValidateEngine(options));
+  return std::unique_ptr<Service>(new Service(options));
+}
+
+}  // namespace ppdm::api

@@ -1,0 +1,172 @@
+// Async job front of the serving API: a server loop submits
+// reconstruction / perturbation / training jobs and interleaves them,
+// instead of blocking on each engine call in turn.
+//
+// api::Service owns the engine thread pool. Submit(job) enqueues the job
+// on the pool's request queue and returns a JobHandle<T> immediately; the
+// handle delivers the job's Result<T> via Poll() / Wait() / OnComplete().
+// Jobs must be self-contained callables returning Result<T> — errors
+// travel through the Result, never as exceptions.
+//
+// Scheduling model: each job occupies one pool worker for its duration;
+// engine primitives invoked inside a job (ParallelFor et al.) run inline
+// on that worker by the pool's no-nested-fan-out rule. Concurrency
+// therefore comes from many in-flight jobs, which is exactly the serving
+// workload. Every job is deterministic in its inputs, so N concurrent
+// submissions return the same results as running them sequentially.
+//
+// Do not Wait() on a handle from inside another job: a worker blocked in
+// Wait() cannot drain the queue in front of the awaited job. Frontend
+// threads (outside the pool) may always Wait().
+
+#ifndef PPDM_API_SERVICE_H_
+#define PPDM_API_SERVICE_H_
+
+#include <condition_variable>
+#include <cstddef>
+#include <functional>
+#include <memory>
+#include <mutex>
+#include <optional>
+#include <utility>
+
+#include "api/session.h"
+#include "api/spec.h"
+#include "common/status.h"
+#include "engine/batch.h"
+#include "engine/thread_pool.h"
+
+namespace ppdm::api {
+
+namespace internal {
+
+/// Shared completion state of one submitted job.
+template <typename T>
+struct JobState {
+  std::mutex mu;
+  std::condition_variable cv;
+  std::optional<Result<T>> result;                // set exactly once
+  std::function<void(const Result<T>&)> callback; // chained registrations
+};
+
+}  // namespace internal
+
+/// Handle to one in-flight job. Cheap to copy; all copies observe the same
+/// completion.
+template <typename T>
+class JobHandle {
+ public:
+  /// True once the job has finished (successfully or not). Never blocks.
+  bool Poll() const {
+    std::lock_guard<std::mutex> lock(state_->mu);
+    return state_->result.has_value();
+  }
+
+  /// Blocks until the job finishes and returns its Result. Must not be
+  /// called from inside another job (see the header comment).
+  Result<T> Wait() const {
+    std::unique_lock<std::mutex> lock(state_->mu);
+    state_->cv.wait(lock, [this] { return state_->result.has_value(); });
+    return *state_->result;
+  }
+
+  /// Registers a completion callback, invoked exactly once with the
+  /// job's Result — immediately if the job already finished, otherwise on
+  /// the worker that completes it. Multiple registrations (including via
+  /// handle copies) all fire, in registration order.
+  void OnComplete(std::function<void(const Result<T>&)> callback) {
+    std::unique_lock<std::mutex> lock(state_->mu);
+    if (state_->result.has_value()) {
+      const Result<T>& result = *state_->result;
+      lock.unlock();
+      callback(result);
+      return;
+    }
+    if (state_->callback) {
+      state_->callback = [prev = std::move(state_->callback),
+                          next = std::move(callback)](const Result<T>& r) {
+        prev(r);
+        next(r);
+      };
+    } else {
+      state_->callback = std::move(callback);
+    }
+  }
+
+ private:
+  friend class Service;
+  explicit JobHandle(std::shared_ptr<internal::JobState<T>> state)
+      : state_(std::move(state)) {}
+
+  std::shared_ptr<internal::JobState<T>> state_;
+};
+
+/// The session-oriented service facade: owns the pool, accepts jobs.
+class Service {
+ public:
+  /// Validates the engine options and builds the service. num_threads == 0
+  /// yields a synchronous service: Submit runs the job inline and returns
+  /// an already-completed handle — same API, no concurrency.
+  static Result<std::unique_ptr<Service>> Create(
+      const engine::BatchOptions& options);
+
+  /// Destruction drains the request queue: every submitted job completes
+  /// before the pool joins.
+  ~Service() = default;
+
+  Service(const Service&) = delete;
+  Service& operator=(const Service&) = delete;
+
+  const engine::BatchOptions& options() const { return options_; }
+
+  /// The pool jobs run on; nullptr for a synchronous service. Borrow it
+  /// for session-parallel work (e.g. ReconstructionSession ingestion).
+  engine::ThreadPool* pool() const { return pool_.get(); }
+
+  /// Enqueues `job` and returns its handle. The job runs at most once, on
+  /// one pool worker (inline for a synchronous service).
+  template <typename T>
+  JobHandle<T> Submit(std::function<Result<T>()> job) {
+    auto state = std::make_shared<internal::JobState<T>>();
+    auto run = [state, job = std::move(job)] {
+      Complete(state, job());
+    };
+    if (pool_ == nullptr) {
+      run();
+    } else {
+      pool_->Submit(std::move(run));
+    }
+    return JobHandle<T>(std::move(state));
+  }
+
+  /// Opens a streaming reconstruction session backed by this service's
+  /// pool (Ingest fans out; Reconstruct's EM runs chunked over it).
+  Result<std::unique_ptr<ReconstructionSession>> OpenSession(
+      const SessionSpec& spec) const {
+    return ReconstructionSession::Open(spec, pool_.get());
+  }
+
+ private:
+  explicit Service(const engine::BatchOptions& options);
+
+  template <typename T>
+  static void Complete(const std::shared_ptr<internal::JobState<T>>& state,
+                       Result<T> result) {
+    std::function<void(const Result<T>&)> callback;
+    {
+      std::lock_guard<std::mutex> lock(state->mu);
+      state->result.emplace(std::move(result));
+      callback = std::move(state->callback);
+      state->callback = nullptr;
+    }
+    state->cv.notify_all();
+    if (callback) callback(*state->result);
+  }
+
+  engine::BatchOptions options_;
+  std::unique_ptr<engine::ThreadPool> pool_;
+};
+
+}  // namespace ppdm::api
+
+#endif  // PPDM_API_SERVICE_H_

@@ -1,7 +1,12 @@
 #include "cli/commands.h"
 
+#include <algorithm>
+#include <chrono>
 #include <ostream>
 
+#include "api/service.h"
+#include "api/session.h"
+#include "api/spec.h"
 #include "common/strings.h"
 #include "core/metrics.h"
 #include "data/csv.h"
@@ -9,6 +14,7 @@
 #include "perturb/randomizer.h"
 #include "reconstruct/by_class.h"
 #include "reconstruct/reconstructor.h"
+#include "stats/histogram.h"
 #include "synth/generator.h"
 #include "tree/trainer.h"
 
@@ -43,47 +49,48 @@ Result<tree::TrainingMode> ModeFromFlag(const Args& args) {
       "--mode must be original|randomized|global|byclass|local");
 }
 
-Result<perturb::Randomizer> RandomizerFromFlags(const Args& args,
-                                                const data::Schema& schema) {
-  Result<perturb::NoiseKind> kind = NoiseFromFlag(args);
-  if (!kind.ok()) return kind.status();
-  Result<double> privacy = args.GetDouble("privacy", 1.0);
-  if (!privacy.ok()) return privacy.status();
-  Result<double> confidence = args.GetDouble("confidence", 0.95);
-  if (!confidence.ok()) return confidence.status();
-  Result<long long> seed = args.GetInt("seed", 7);
-  if (!seed.ok()) return seed.status();
+// Noise flags validated through the api spec layer: a bad --privacy or
+// --confidence is a kInvalidArgument here, not a CHECK abort deeper down.
+Result<perturb::RandomizerOptions> NoiseOptionsFromFlags(const Args& args) {
+  PPDM_ASSIGN_OR_RETURN(const perturb::NoiseKind kind, NoiseFromFlag(args));
+  PPDM_ASSIGN_OR_RETURN(const double privacy,
+                        args.GetDouble("privacy", 1.0));
+  PPDM_ASSIGN_OR_RETURN(const double confidence,
+                        args.GetDouble("confidence", 0.95));
+  PPDM_ASSIGN_OR_RETURN(const long long seed, args.GetInt("seed", 7));
 
   perturb::RandomizerOptions options;
-  options.kind = kind.value();
-  options.privacy_fraction = privacy.value();
-  options.confidence = confidence.value();
-  options.seed = static_cast<std::uint64_t>(seed.value());
-  if (options.privacy_fraction < 0.0) {
-    return Status::InvalidArgument("--privacy must be >= 0");
-  }
-  if (options.privacy_fraction == 0.0) {
-    options.kind = perturb::NoiseKind::kNone;
-  }
+  options.kind = privacy == 0.0 ? perturb::NoiseKind::kNone : kind;
+  options.privacy_fraction = privacy;
+  options.confidence = confidence;
+  options.seed = static_cast<std::uint64_t>(seed);
+  PPDM_RETURN_IF_ERROR(api::ValidateNoise(options));
+  return options;
+}
+
+Result<perturb::Randomizer> RandomizerFromFlags(const Args& args,
+                                                const data::Schema& schema) {
+  PPDM_ASSIGN_OR_RETURN(const perturb::RandomizerOptions options,
+                        NoiseOptionsFromFlags(args));
   return perturb::Randomizer(schema, options);
 }
 
 // --threads / --shard-size: the parallel execution engine. --threads=0
 // (the default) keeps the sequential reference code paths.
 Result<engine::BatchOptions> BatchFromFlags(const Args& args) {
-  Result<long long> threads = args.GetInt("threads", 0);
-  if (!threads.ok()) return threads.status();
-  if (threads.value() < 0) {
+  PPDM_ASSIGN_OR_RETURN(const long long threads, args.GetInt("threads", 0));
+  if (threads < 0) {
     return Status::InvalidArgument("--threads must be >= 0");
   }
-  Result<long long> shard_size = args.GetInt("shard-size", 16384);
-  if (!shard_size.ok()) return shard_size.status();
-  if (shard_size.value() < 0) {
+  PPDM_ASSIGN_OR_RETURN(const long long shard_size,
+                        args.GetInt("shard-size", 16384));
+  if (shard_size < 0) {
     return Status::InvalidArgument("--shard-size must be >= 0");
   }
   engine::BatchOptions options;
-  options.num_threads = static_cast<std::size_t>(threads.value());
-  options.shard_size = static_cast<std::size_t>(shard_size.value());
+  options.num_threads = static_cast<std::size_t>(threads);
+  options.shard_size = static_cast<std::size_t>(shard_size);
+  PPDM_RETURN_IF_ERROR(api::ValidateEngine(options));
   return options;
 }
 
@@ -106,6 +113,16 @@ const char* UsageText() {
       "              [--noise=...] [--privacy=F] [--confidence=C]\n"
       "              [--intervals=K] [--print-tree]\n"
       "              [--threads=T] [--shard-size=N]\n"
+      "  serve-sim   [--records=N] [--batch-records=B] [--refresh=R]\n"
+      "              [--attribute=NAME] [--function=1..5] [--noise=...]\n"
+      "              [--privacy=F] [--confidence=C] [--intervals=K]\n"
+      "              [--seed=S] [--threads=T] [--shard-size=N]\n"
+      "\n"
+      "serve-sim simulates the paper's server: providers submit perturbed\n"
+      "records in batches of B; a streaming ReconstructionSession folds\n"
+      "each batch in on arrival and the estimate is refreshed every R\n"
+      "batches (EM warm-started from the previous estimate), reporting\n"
+      "reconstruction error against the true distribution.\n"
       "\n"
       "All CSV files use the benchmark schema (salary..loan, class).\n"
       "For train/reconstruct, --noise/--privacy must describe the noise\n"
@@ -277,7 +294,9 @@ Status RunTrain(const Args& args, std::ostream& out) {
   if (!test.ok()) return test.status();
 
   tree::TreeOptions options;
-  options.intervals = static_cast<std::size_t>(intervals.value());
+  options.intervals = static_cast<std::size_t>(
+      std::max<long long>(intervals.value(), 0));
+  PPDM_RETURN_IF_ERROR(api::ValidateTree(options));
   const engine::Batch batch(batch_options.value());
   const tree::DecisionTree model = tree::TrainDecisionTree(
       train.value(), mode.value(), options,
@@ -297,11 +316,133 @@ Status RunTrain(const Args& args, std::ostream& out) {
   return Status::Ok();
 }
 
+Status RunServeSim(const Args& args, std::ostream& out) {
+  if (Status s = args.CheckKnown({"records", "batch-records", "refresh",
+                                  "attribute", "function", "noise",
+                                  "privacy", "confidence", "intervals",
+                                  "seed", "threads", "shard-size"});
+      !s.ok()) {
+    return s;
+  }
+  PPDM_ASSIGN_OR_RETURN(const long long records,
+                        args.GetInt("records", 20000));
+  PPDM_ASSIGN_OR_RETURN(const long long batch_records,
+                        args.GetInt("batch-records", 1000));
+  PPDM_ASSIGN_OR_RETURN(const long long refresh, args.GetInt("refresh", 5));
+  if (records <= 0 || batch_records <= 0 || refresh <= 0) {
+    return Status::InvalidArgument(
+        "--records, --batch-records and --refresh must be positive");
+  }
+  PPDM_ASSIGN_OR_RETURN(const long long intervals,
+                        args.GetInt("intervals", 30));
+  PPDM_ASSIGN_OR_RETURN(const synth::Function function,
+                        FunctionFromFlag(args));
+  PPDM_ASSIGN_OR_RETURN(const engine::BatchOptions batch_options,
+                        BatchFromFlags(args));
+  PPDM_ASSIGN_OR_RETURN(const perturb::RandomizerOptions noise_options,
+                        NoiseOptionsFromFlags(args));
+  const std::string attribute = args.GetString("attribute", "salary");
+  const data::Schema schema = synth::BenchmarkSchema();
+  PPDM_ASSIGN_OR_RETURN(const std::size_t col, schema.IndexOf(attribute));
+
+  // The session spec is the validated contract; everything below it is
+  // deterministic in (seed, shard_size).
+  api::SessionSpec session_spec;
+  session_spec.lo = schema.Field(col).lo;
+  session_spec.hi = schema.Field(col).hi;
+  session_spec.intervals =
+      static_cast<std::size_t>(std::max<long long>(intervals, 0));
+  session_spec.noise = noise_options.kind;
+  session_spec.privacy_fraction = noise_options.privacy_fraction;
+  session_spec.confidence = noise_options.confidence;
+  session_spec.shard_size = batch_options.shard_size;
+
+  PPDM_ASSIGN_OR_RETURN(const std::unique_ptr<api::Service> service,
+                        api::Service::Create(batch_options));
+  PPDM_ASSIGN_OR_RETURN(std::unique_ptr<api::ReconstructionSession> session,
+                        service->OpenSession(session_spec));
+
+  // Provider side, simulated: generate true records, perturb them all up
+  // front (the noise the providers would add locally), then replay the
+  // perturbed column as an arrival stream.
+  synth::GeneratorOptions gen;
+  gen.num_records = static_cast<std::size_t>(records);
+  gen.function = function;
+  gen.seed = noise_options.seed;
+  const data::Dataset original = synth::Generate(gen);
+  const perturb::Randomizer randomizer(schema, noise_options);
+  const data::Dataset perturbed =
+      service->pool() == nullptr
+          ? randomizer.Perturb(original)
+          : randomizer.Perturb(original, service->pool(),
+                               batch_options.shard_size);
+  const std::vector<double>& stream = perturbed.Column(col);
+
+  // True distribution, for the error column of the report.
+  stats::Histogram truth(session_spec.lo, session_spec.hi,
+                         session_spec.intervals);
+  truth.AddAll(original.Column(col));
+  const std::vector<double> truth_masses = truth.Masses();
+
+  out << StrFormat(
+      "serving '%s' (%s noise, privacy %.0f%%): %lld records in batches "
+      "of %lld, refresh every %lld batches\n",
+      attribute.c_str(), perturb::NoiseKindName(noise_options.kind).c_str(),
+      100.0 * noise_options.privacy_fraction, records, batch_records,
+      refresh);
+  out << StrFormat("%10s %10s %8s %10s %12s\n", "batch", "records",
+                   "EM iter", "tv(truth)", "refresh ms");
+
+  const auto t0 = std::chrono::steady_clock::now();
+  std::size_t batch_index = 0;
+  std::size_t offset = 0;
+  while (offset < stream.size()) {
+    const std::size_t take = std::min(
+        static_cast<std::size_t>(batch_records), stream.size() - offset);
+    PPDM_RETURN_IF_ERROR(session->Ingest(stream.data() + offset, take));
+    offset += take;
+    ++batch_index;
+
+    const bool last = offset >= stream.size();
+    if (batch_index % static_cast<std::size_t>(refresh) != 0 && !last) {
+      continue;
+    }
+    // Refresh from the frontend thread: the EM E-step fans out over the
+    // service pool this way. (A real server would Submit() the refresh
+    // and keep ingesting — see api_test's StreamingSessionDrivenByAsync-
+    // Jobs — but this loop blocks on the estimate anyway, and a job
+    // occupies one worker with engine primitives running inline, which
+    // would both serialize the EM and misreport the refresh latency.)
+    const auto fit_start = std::chrono::steady_clock::now();
+    PPDM_ASSIGN_OR_RETURN(const reconstruct::Reconstruction estimate,
+                          session->Reconstruct());
+    const double fit_ms =
+        std::chrono::duration<double, std::milli>(
+            std::chrono::steady_clock::now() - fit_start)
+            .count();
+    out << StrFormat("%10zu %10zu %8zu %10.4f %12.2f\n", batch_index,
+                     static_cast<std::size_t>(session->record_count()),
+                     estimate.iterations,
+                     stats::TotalVariation(estimate.masses, truth_masses),
+                     fit_ms);
+  }
+  const double total_ms = std::chrono::duration<double, std::milli>(
+                              std::chrono::steady_clock::now() - t0)
+                              .count();
+  out << StrFormat(
+      "stream complete: %zu records, %zu batches, %.2f ms total "
+      "(threads=%zu, warm-started refreshes)\n",
+      static_cast<std::size_t>(session->record_count()), batch_index,
+      total_ms, batch_options.num_threads);
+  return Status::Ok();
+}
+
 Status RunCommand(const Args& args, std::ostream& out) {
   if (args.command() == "generate") return RunGenerate(args, out);
   if (args.command() == "perturb") return RunPerturb(args, out);
   if (args.command() == "reconstruct") return RunReconstruct(args, out);
   if (args.command() == "train") return RunTrain(args, out);
+  if (args.command() == "serve-sim") return RunServeSim(args, out);
   if (args.command() == "help") {
     out << UsageText();
     return Status::Ok();

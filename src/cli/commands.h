@@ -4,10 +4,16 @@
 //   perturb      provider-side randomization of a CSV
 //   reconstruct  recover one attribute's distribution from perturbed CSV
 //   train        train + evaluate a classifier from (perturbed) CSV
+//   serve-sim    simulate the streaming server: batches of perturbed
+//                records arrive over time, a ReconstructionSession folds
+//                them in, and periodic refreshes re-estimate by
+//                warm-started EM
 //
-// Each command validates its flags, performs the work, writes any output
-// file, prints a short report to `out`, and returns a Status. Commands
-// are plain functions so they are unit-testable without a process spawn.
+// Each command validates its flags through the api spec layer (invalid
+// requests come back as kInvalidArgument, never a CHECK abort), performs
+// the work, writes any output file, prints a short report to `out`, and
+// returns a Status. Commands are plain functions so they are
+// unit-testable without a process spawn.
 
 #ifndef PPDM_CLI_COMMANDS_H_
 #define PPDM_CLI_COMMANDS_H_
@@ -31,6 +37,7 @@ Status RunGenerate(const Args& args, std::ostream& out);
 Status RunPerturb(const Args& args, std::ostream& out);
 Status RunReconstruct(const Args& args, std::ostream& out);
 Status RunTrain(const Args& args, std::ostream& out);
+Status RunServeSim(const Args& args, std::ostream& out);
 
 }  // namespace ppdm::cli
 

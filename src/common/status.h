@@ -123,4 +123,29 @@ class Result {
 
 }  // namespace ppdm
 
+/// Propagates a non-OK Status out of the enclosing function:
+///   PPDM_RETURN_IF_ERROR(dataset.WriteCsv(path));
+/// replaces the hand-rolled `if (Status s = ...; !s.ok()) return s;`.
+#define PPDM_RETURN_IF_ERROR(expr)                 \
+  do {                                             \
+    ::ppdm::Status _ppdm_status_ = (expr);         \
+    if (!_ppdm_status_.ok()) return _ppdm_status_; \
+  } while (false)
+
+/// Unwraps a Result<T> into `lhs`, propagating the error Status out of the
+/// enclosing function on failure:
+///   PPDM_ASSIGN_OR_RETURN(const double value, ParseDouble(token));
+/// `lhs` may declare a new variable or assign to an existing one.
+#define PPDM_ASSIGN_OR_RETURN(lhs, rexpr) \
+  PPDM_ASSIGN_OR_RETURN_IMPL_(            \
+      PPDM_STATUS_CONCAT_(_ppdm_result_, __LINE__), lhs, rexpr)
+
+#define PPDM_ASSIGN_OR_RETURN_IMPL_(result, lhs, rexpr) \
+  auto result = (rexpr);                                \
+  if (!result.ok()) return result.status();             \
+  lhs = std::move(result).value()
+
+#define PPDM_STATUS_CONCAT_(a, b) PPDM_STATUS_CONCAT_IMPL_(a, b)
+#define PPDM_STATUS_CONCAT_IMPL_(a, b) a##b
+
 #endif  // PPDM_COMMON_STATUS_H_

@@ -67,18 +67,15 @@ Result<Dataset> ReadCsv(const Schema& schema, int num_classes,
                     fields.size(), schema.NumFields() + 1));
     }
     for (std::size_t c = 0; c < schema.NumFields(); ++c) {
-      Result<double> value = ParseDouble(fields[c]);
-      if (!value.ok()) return value.status();
-      row[c] = value.value();
+      PPDM_ASSIGN_OR_RETURN(row[c], ParseDouble(fields[c]));
     }
-    Result<long long> label = ParseInt(fields.back());
-    if (!label.ok()) return label.status();
-    if (label.value() < 0 || label.value() >= num_classes) {
+    PPDM_ASSIGN_OR_RETURN(const long long label, ParseInt(fields.back()));
+    if (label < 0 || label >= num_classes) {
       return Status::InvalidArgument(
           StrFormat("line %zu: label %lld out of range [0, %d)", line_no,
-                    label.value(), num_classes));
+                    label, num_classes));
     }
-    dataset.AddRow(row, static_cast<int>(label.value()));
+    dataset.AddRow(row, static_cast<int>(label));
   }
   return dataset;
 }

@@ -21,6 +21,11 @@ constexpr std::size_t kEmChunkBins = 32;
 // Row grain for embarrassingly parallel per-row work (kernel rows).
 constexpr std::size_t kKernelChunkRows = 64;
 
+// Floor applied to warm-start masses before renormalization: EM can never
+// resurrect an exactly-zero component, so a stale zero in a previous
+// session estimate must not permanently absorb an interval.
+constexpr double kWarmStartFloor = 1e-12;
+
 std::vector<double> UniformMasses(std::size_t k) {
   return std::vector<double>(k, 1.0 / static_cast<double>(k));
 }
@@ -51,15 +56,32 @@ Reconstruction HistogramMasses(const std::vector<double>& values,
 // fixed em_chunk the output is bit-identical regardless of `pool` (nullptr
 // runs the identical decomposition inline). em_chunk == 0 keeps everything
 // in one chunk, reproducing the sequential accumulation order exactly.
+//
+// `initial` (optional) seeds the iteration in place of the uniform prior —
+// the warm-start path of streaming sessions. Floored and renormalized so no
+// component starts at exactly zero.
 Reconstruction RunEm(const std::vector<double>& weights,
                      const std::vector<double>& kernel,
                      const std::vector<std::size_t>& fallback,
                      std::size_t num_intervals, double total_weight,
                      const ReconstructionOptions& options,
-                     engine::ThreadPool* pool, std::size_t em_chunk) {
+                     engine::ThreadPool* pool, std::size_t em_chunk,
+                     const std::vector<double>* initial = nullptr) {
   Reconstruction out;
   out.sample_count = static_cast<std::size_t>(total_weight + 0.5);
-  std::vector<double> p = UniformMasses(num_intervals);
+  std::vector<double> p;
+  if (initial != nullptr) {
+    PPDM_CHECK_EQ(initial->size(), num_intervals);
+    p = *initial;
+    double start_mass = 0.0;
+    for (double& m : p) {
+      m = std::max(m, kWarmStartFloor);
+      start_mass += m;
+    }
+    for (double& m : p) m /= start_mass;
+  } else {
+    p = UniformMasses(num_intervals);
+  }
   std::vector<double> next(num_intervals, 0.0);
 
   const std::vector<engine::ChunkRange> chunks =
@@ -123,6 +145,42 @@ Reconstruction RunEm(const std::vector<double>& weights,
   return out;
 }
 
+// Component likelihood table of the binned EM: kernel[j*K + k] is
+// P(W ∈ w-bin j | X = m_k), integrated exactly over the w bin via the
+// noise CDF. Integration (rather than a midpoint pdf evaluation) kills the
+// half-bin boundary bias that bounded noise would otherwise exhibit.
+// fallback[j] is the interval absorbing bin j if every component density
+// vanishes there (possible only at the clamped edges of bounded noise).
+// Each row is independent and writes only its own slots, so the table is
+// identical for every pool size.
+void BuildBinnedKernel(const stats::Histogram& whist,
+                       const Partition& partition,
+                       const perturb::NoiseModel& noise,
+                       engine::ThreadPool* pool, std::vector<double>* kernel,
+                       std::vector<std::size_t>* fallback) {
+  const std::size_t num_wbins = whist.bins();
+  const std::size_t num_intervals = partition.intervals();
+  fallback->resize(num_wbins);
+  kernel->resize(num_wbins * num_intervals);
+  const std::vector<engine::ChunkRange> rows =
+      engine::MakeChunks(num_wbins, pool == nullptr ? 0 : kKernelChunkRows);
+  engine::ParallelFor(pool, rows.size(), [&](std::size_t c) {
+    for (std::size_t j = rows[c].begin; j < rows[c].end; ++j) {
+      const double bin_lo = whist.BinLo(j);
+      const double bin_hi = whist.BinHi(j);
+      (*fallback)[j] = partition.IntervalOf(whist.BinMid(j));
+      for (std::size_t k = 0; k < num_intervals; ++k) {
+        const double mid = partition.Mid(k);
+        // The outermost bins also absorb the clamped tails.
+        const double upper = j + 1 == num_wbins ? 1.0
+                                                : noise.Cdf(bin_hi - mid);
+        const double lower = j == 0 ? 0.0 : noise.Cdf(bin_lo - mid);
+        (*kernel)[j * num_intervals + k] = upper - lower;
+      }
+    }
+  });
+}
+
 }  // namespace
 
 double Reconstruction::CdfAtEdge(std::size_t k) const {
@@ -171,56 +229,66 @@ Reconstruction BayesReconstructor::FitParallel(
              : FitExact(perturbed, partition, pool, shard_size);
 }
 
+stats::Histogram BayesReconstructor::PerturbedBinning(
+    const Partition& partition) const {
+  // Perturbed values live on a range widened by the noise support; bin them
+  // with the same width so kernel evaluations use aligned midpoints.
+  const double width = partition.width();
+  const auto extension = static_cast<std::size_t>(
+      std::ceil(noise_.EffectiveHalfWidth() / width));
+  return stats::Histogram(
+      partition.lo() - width * static_cast<double>(extension),
+      partition.hi() + width * static_cast<double>(extension),
+      partition.intervals() + 2 * extension);
+}
+
 Reconstruction BayesReconstructor::FitBinned(
     const std::vector<double>& perturbed, const Partition& partition,
     engine::ThreadPool* pool, std::size_t shard_size,
     std::size_t em_chunk) const {
-  const std::size_t num_intervals = partition.intervals();
-  const double width = partition.width();
-
-  // Perturbed values live on a range widened by the noise support; bin them
-  // with the same width so kernel evaluations use aligned midpoints.
-  const auto extension = static_cast<std::size_t>(
-      std::ceil(noise_.EffectiveHalfWidth() / width));
-  const std::size_t num_wbins = num_intervals + 2 * extension;
-  const double wlo = partition.lo() - width * static_cast<double>(extension);
-  const double whi = partition.hi() + width * static_cast<double>(extension);
-
   // Sharded ingestion: per-shard integer bin counts merged in shard order
   // are exactly the sequential histogram, for every pool size.
-  const stats::Histogram whist(wlo, whi, num_wbins);
+  const stats::Histogram whist = PerturbedBinning(partition);
   const engine::ShardStats ingested = engine::IngestSharded(
       perturbed, /*labels=*/nullptr, /*num_classes=*/1,
-      [&whist](double v) { return whist.BinOf(v); }, num_wbins, pool,
+      [&whist](double v) { return whist.BinOf(v); }, whist.bins(), pool,
       shard_size);
-  const std::vector<double> weights = ingested.BinWeights();
 
-  // Component j-given-k likelihood: P(W ∈ bin j | X = m_k), integrated
-  // exactly over the w bin via the noise CDF. Integration (rather than a
-  // midpoint pdf evaluation) kills the half-bin boundary bias that bounded
-  // noise would otherwise exhibit.
-  std::vector<std::size_t> fallback(num_wbins);
-  std::vector<double> kernel(num_wbins * num_intervals);
-  const std::vector<engine::ChunkRange> rows =
-      engine::MakeChunks(num_wbins, pool == nullptr ? 0 : kKernelChunkRows);
-  engine::ParallelFor(pool, rows.size(), [&](std::size_t c) {
-    for (std::size_t j = rows[c].begin; j < rows[c].end; ++j) {
-      const double bin_lo = whist.BinLo(j);
-      const double bin_hi = whist.BinHi(j);
-      fallback[j] = partition.IntervalOf(whist.BinMid(j));
-      for (std::size_t k = 0; k < num_intervals; ++k) {
-        const double mid = partition.Mid(k);
-        // The outermost bins also absorb the clamped tails.
-        const double upper = j + 1 == num_wbins ? 1.0
-                                                : noise_.Cdf(bin_hi - mid);
-        const double lower = j == 0 ? 0.0 : noise_.Cdf(bin_lo - mid);
-        kernel[j * num_intervals + k] = upper - lower;
-      }
-    }
-  });
-  return RunEm(weights, kernel, fallback, num_intervals,
-               static_cast<double>(perturbed.size()), options_, pool,
-               em_chunk);
+  std::vector<std::size_t> fallback;
+  std::vector<double> kernel;
+  BuildBinnedKernel(whist, partition, noise_, pool, &kernel, &fallback);
+  return RunEm(ingested.BinWeights(), kernel, fallback,
+               partition.intervals(), static_cast<double>(perturbed.size()),
+               options_, pool, em_chunk);
+}
+
+Reconstruction BayesReconstructor::FitFromCounts(
+    const std::vector<double>& weights, double total_weight,
+    const Partition& partition, engine::ThreadPool* pool,
+    const std::vector<double>* initial) const {
+  const stats::Histogram whist = PerturbedBinning(partition);
+  PPDM_CHECK_EQ(weights.size(), whist.bins());
+  if (total_weight <= 0.0) {
+    Reconstruction out;
+    out.masses = UniformMasses(partition.intervals());
+    return out;
+  }
+  if (noise_.kind() == perturb::NoiseKind::kNone) {
+    // No noise: the w bins are the partition intervals and the estimate is
+    // the exact histogram — the same degenerate path FitParallel takes.
+    Reconstruction out;
+    out.sample_count = static_cast<std::size_t>(total_weight + 0.5);
+    out.masses.assign(weights.begin(), weights.end());
+    for (double& m : out.masses) m /= total_weight;
+    return out;
+  }
+  std::vector<std::size_t> fallback;
+  std::vector<double> kernel;
+  BuildBinnedKernel(whist, partition, noise_, pool, &kernel, &fallback);
+  // kEmChunkBins matches FitParallel's decomposition, so a cold start
+  // (initial == nullptr) reproduces the batch masses bit for bit.
+  return RunEm(weights, kernel, fallback, partition.intervals(),
+               total_weight, options_, pool, kEmChunkBins, initial);
 }
 
 Reconstruction BayesReconstructor::FitExact(

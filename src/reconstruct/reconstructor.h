@@ -17,6 +17,7 @@
 #include "engine/thread_pool.h"
 #include "perturb/noise_model.h"
 #include "reconstruct/partition.h"
+#include "stats/histogram.h"
 
 namespace ppdm::reconstruct {
 
@@ -85,6 +86,31 @@ class BayesReconstructor {
                              const Partition& partition,
                              engine::ThreadPool* pool,
                              std::size_t shard_size) const;
+
+  /// The perturbed-value binning the binned engine path uses for
+  /// `partition`: the partition's grid extended on each side by
+  /// ceil(EffectiveHalfWidth / width) bins, so overshooting perturbed
+  /// values land in aligned edge bins. Streaming ingestion bins arriving
+  /// observations with exactly this layout (the counts it accumulates are
+  /// the ones FitParallel would ingest from the full column).
+  stats::Histogram PerturbedBinning(const Partition& partition) const;
+
+  /// Streaming entry point: fits from pre-binned perturbed-value counts —
+  /// `weights[j]` observations fell in bin j of PerturbedBinning(partition),
+  /// `total_weight` observations in all. Counts are integers, so any
+  /// ingestion split (one batch, many batches, sharded) yields the same
+  /// weights, and with `initial == nullptr` the result is byte-identical
+  /// to FitParallel on the equivalent raw column for every pool size.
+  /// A non-null `initial` (length partition.intervals(), summing to ~1)
+  /// warm-starts EM from a previous estimate instead of the uniform prior:
+  /// masses are floored at a tiny positive value and renormalized so a
+  /// zero in the old estimate can never absorb an interval permanently.
+  Reconstruction FitFromCounts(const std::vector<double>& weights,
+                               double total_weight,
+                               const Partition& partition,
+                               engine::ThreadPool* pool,
+                               const std::vector<double>* initial =
+                                   nullptr) const;
 
   const perturb::NoiseModel& noise() const { return noise_; }
   const ReconstructionOptions& options() const { return options_; }

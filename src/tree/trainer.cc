@@ -305,18 +305,44 @@ class Builder {
       return index;
     }
 
-    // Search every attribute for the best boundary split.
+    // Search every attribute for the best boundary split. Building the
+    // per-attribute counts tables dominates a Local node that
+    // re-reconstructs (one EM fit per class per attribute), so those fan
+    // out over the pool: each column computes an independent table into
+    // its own slot, and the selection scan stays sequential in column
+    // order, so the chosen split is identical for every pool size.
+    // Precomputed modes (and frozen small Local nodes) only count
+    // assigned records — too cheap to amortize a fan-out or the buffered
+    // tables — and keep the original lazy one-table-at-a-time loop.
     SplitCandidate best;
     std::size_t best_col = 0;
-    for (std::size_t col = 0; col < dataset_.NumCols(); ++col) {
-      if (bounds[col].second - bounds[col].first < 2) continue;
-      const std::vector<std::vector<double>> table =
-          CountsTable(col, rows, class_counts, bounds[col]);
-      const SplitCandidate candidate =
-          BestBoundarySplit(table, options_.min_leaf_records);
-      if (candidate.valid && (!best.valid || candidate.gain > best.gain)) {
-        best = candidate;
-        best_col = col;
+    if (UseLocalReconstruction(rows)) {
+      std::vector<std::vector<std::vector<double>>> tables(
+          dataset_.NumCols());
+      engine::ParallelFor(pool_, dataset_.NumCols(), [&](std::size_t col) {
+        if (bounds[col].second - bounds[col].first < 2) return;
+        tables[col] = CountsTable(col, rows, class_counts, bounds[col]);
+      });
+      for (std::size_t col = 0; col < dataset_.NumCols(); ++col) {
+        if (bounds[col].second - bounds[col].first < 2) continue;
+        const SplitCandidate candidate =
+            BestBoundarySplit(tables[col], options_.min_leaf_records);
+        if (candidate.valid && (!best.valid || candidate.gain > best.gain)) {
+          best = candidate;
+          best_col = col;
+        }
+      }
+    } else {
+      for (std::size_t col = 0; col < dataset_.NumCols(); ++col) {
+        if (bounds[col].second - bounds[col].first < 2) continue;
+        const std::vector<std::vector<double>> table =
+            CountsTable(col, rows, class_counts, bounds[col]);
+        const SplitCandidate candidate =
+            BestBoundarySplit(table, options_.min_leaf_records);
+        if (candidate.valid && (!best.valid || candidate.gain > best.gain)) {
+          best = candidate;
+          best_col = col;
+        }
       }
     }
     if (!best.valid || best.gain < options_.min_gain) return index;

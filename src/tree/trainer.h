@@ -103,8 +103,10 @@ struct TreeOptions {
 /// models and is required exactly for the reconstruction modes.
 ///
 /// `pool` parallelizes the root-time per-attribute reconstruction fan-out
-/// (the dominant cost of the reconstruction modes). Each attribute's work
-/// is independent and internally sequential, so the trained tree is
+/// (the dominant cost of the reconstruction modes) and, for kLocal, the
+/// per-node split search: every node large enough to re-reconstruct fans
+/// its per-attribute counts tables out too. Each unit of work is
+/// independent and internally sequential, so the trained tree is
 /// bit-identical for every pool size (nullptr = inline).
 DecisionTree TrainDecisionTree(const data::Dataset& dataset,
                                TrainingMode mode, const TreeOptions& options,

@@ -1,0 +1,586 @@
+// Tests for the session-oriented serving API: spec validation (invalid
+// requests come back as kInvalidArgument, never a PPDM_CHECK abort),
+// streaming ingest equivalence (Ingest in 1 batch == many batches ==
+// batch FitParallel, byte for byte, at every thread count), EM warm-start
+// behaviour, and the async job service (N concurrent submissions return
+// exactly the sequential results).
+
+#include <atomic>
+#include <cmath>
+#include <cstring>
+#include <memory>
+#include <optional>
+#include <thread>
+#include <vector>
+
+#include <gtest/gtest.h>
+
+#include "api/service.h"
+#include "api/session.h"
+#include "api/spec.h"
+#include "perturb/randomizer.h"
+#include "reconstruct/reconstructor.h"
+#include "synth/generator.h"
+
+namespace ppdm::api {
+namespace {
+
+// ------------------------------------------------------------- validation
+
+TEST(SpecValidationTest, DefaultSpecIsValid) {
+  EXPECT_TRUE(Spec{}.Validate().ok());
+}
+
+TEST(SpecValidationTest, RejectsNegativePrivacyFraction) {
+  Spec spec;
+  spec.noise.privacy_fraction = -0.5;
+  const Status s = spec.Validate();
+  EXPECT_EQ(s.code(), StatusCode::kInvalidArgument);
+}
+
+TEST(SpecValidationTest, RejectsConfidenceOutsideOpenUnitInterval) {
+  for (double confidence : {0.0, 1.0, 1.5, -0.1}) {
+    Spec spec;
+    spec.noise.confidence = confidence;
+    EXPECT_EQ(spec.Validate().code(), StatusCode::kInvalidArgument)
+        << "confidence " << confidence;
+  }
+}
+
+TEST(SpecValidationTest, RejectsNoneKindWithNonzeroFraction) {
+  Spec spec;
+  spec.noise.kind = perturb::NoiseKind::kNone;
+  spec.noise.privacy_fraction = 1.0;
+  EXPECT_EQ(spec.Validate().code(), StatusCode::kInvalidArgument);
+}
+
+TEST(SpecValidationTest, RejectsZeroIntervals) {
+  Spec spec;
+  spec.tree.intervals = 0;
+  EXPECT_EQ(spec.Validate().code(), StatusCode::kInvalidArgument);
+  spec.tree.intervals = 1;
+  EXPECT_EQ(spec.Validate().code(), StatusCode::kInvalidArgument);
+}
+
+TEST(SpecValidationTest, RejectsZeroEmIterations) {
+  Spec spec;
+  spec.tree.reconstruction.max_iterations = 0;
+  EXPECT_EQ(spec.Validate().code(), StatusCode::kInvalidArgument);
+}
+
+TEST(SpecValidationTest, RejectsHoldoutFractionAtOne) {
+  Spec spec;
+  spec.tree.holdout_fraction = 1.0;
+  EXPECT_EQ(spec.Validate().code(), StatusCode::kInvalidArgument);
+}
+
+TEST(SpecValidationTest, RejectsAbsurdThreadCount) {
+  Spec spec;
+  spec.engine.num_threads = 1u << 20;
+  EXPECT_EQ(spec.Validate().code(), StatusCode::kInvalidArgument);
+}
+
+TEST(SpecValidationTest, RejectsZeroRecords) {
+  Spec spec;
+  spec.train_records = 0;
+  EXPECT_EQ(spec.Validate().code(), StatusCode::kInvalidArgument);
+}
+
+TEST(SpecValidationTest, ExperimentConfigRoundTrip) {
+  Spec spec;
+  spec.function = synth::Function::kF3;
+  spec.train_records = 777;
+  spec.seed = 42;
+  spec.noise.kind = perturb::NoiseKind::kGaussian;
+  spec.noise.privacy_fraction = 0.25;
+  spec.tree.intervals = 12;
+  spec.engine.num_threads = 2;
+  spec.engine.shard_size = 128;
+
+  const core::ExperimentConfig config = spec.ToExperimentConfig();
+  EXPECT_EQ(config.train_records, 777u);
+  EXPECT_EQ(config.noise, perturb::NoiseKind::kGaussian);
+  EXPECT_DOUBLE_EQ(config.privacy_fraction, 0.25);
+  EXPECT_EQ(config.tree.intervals, 12u);
+  EXPECT_EQ(config.batch.num_threads, 2u);
+
+  const Spec back = Spec::FromExperimentConfig(config);
+  EXPECT_EQ(back.function, spec.function);
+  EXPECT_EQ(back.seed, 42u);
+  EXPECT_DOUBLE_EQ(back.noise.privacy_fraction, 0.25);
+  EXPECT_EQ(back.engine.shard_size, 128u);
+  EXPECT_TRUE(back.Validate().ok());
+}
+
+TEST(SpecValidationTest, ValidateExperimentChecksConfigsDirectly) {
+  core::ExperimentConfig config;
+  EXPECT_TRUE(ValidateExperiment(config).ok());
+  config.confidence = 1.0;
+  EXPECT_EQ(ValidateExperiment(config).code(),
+            StatusCode::kInvalidArgument);
+  config.confidence = 0.95;
+  config.tree.intervals = 0;
+  EXPECT_EQ(ValidateExperiment(config).code(),
+            StatusCode::kInvalidArgument);
+  config.tree.intervals = 30;
+  // The driver coerces privacy 0 to kNone itself, so that combination is
+  // acceptable here, unlike ValidateNoise.
+  config.privacy_fraction = 0.0;
+  EXPECT_TRUE(ValidateExperiment(config).ok());
+  config.privacy_fraction = -1.0;
+  EXPECT_EQ(ValidateExperiment(config).code(),
+            StatusCode::kInvalidArgument);
+}
+
+TEST(SpecValidationTest, ValidateDomainRejectsDegenerateRanges) {
+  EXPECT_EQ(ValidateDomain(1.0, 1.0, 10).code(),
+            StatusCode::kInvalidArgument);
+  EXPECT_EQ(ValidateDomain(2.0, 1.0, 10).code(),
+            StatusCode::kInvalidArgument);
+  EXPECT_EQ(ValidateDomain(0.0, 1.0, 0).code(),
+            StatusCode::kInvalidArgument);
+  EXPECT_TRUE(ValidateDomain(0.0, 1.0, 2).ok());
+}
+
+TEST(SessionSpecValidationTest, RejectsBadSpecsWithStatusNotAbort) {
+  SessionSpec bad_domain;
+  bad_domain.lo = 5.0;
+  bad_domain.hi = 5.0;
+  EXPECT_EQ(bad_domain.Validate().code(), StatusCode::kInvalidArgument);
+
+  SessionSpec zero_intervals;
+  zero_intervals.intervals = 0;
+  EXPECT_EQ(zero_intervals.Validate().code(), StatusCode::kInvalidArgument);
+
+  SessionSpec bad_privacy;
+  bad_privacy.privacy_fraction = -1.0;
+  EXPECT_EQ(bad_privacy.Validate().code(), StatusCode::kInvalidArgument);
+
+  // Streaming cannot honour the per-sample exact EM path: the session
+  // would silently diverge from FitParallel, so the spec is rejected.
+  SessionSpec exact_path;
+  exact_path.reconstruction.binned = false;
+  EXPECT_EQ(exact_path.Validate().code(), StatusCode::kInvalidArgument);
+
+  // Open surfaces the same status instead of crashing.
+  const auto session = ReconstructionSession::Open(zero_intervals);
+  EXPECT_FALSE(session.ok());
+  EXPECT_EQ(session.status().code(), StatusCode::kInvalidArgument);
+}
+
+// -------------------------------------------------------------- streaming
+
+// Perturbed benchmark data shared by the streaming tests.
+struct StreamFixture {
+  StreamFixture() {
+    synth::GeneratorOptions gen;
+    gen.num_records = 4000;
+    gen.seed = 23;
+    original = synth::Generate(gen);
+    perturb::RandomizerOptions noise;
+    noise.kind = perturb::NoiseKind::kUniform;
+    noise.privacy_fraction = 1.0;
+    noise.seed = 5;
+    randomizer = std::make_unique<perturb::Randomizer>(original->schema(),
+                                                       noise);
+    perturbed = randomizer->Perturb(*original);
+  }
+
+  /// A session spec matching the salary attribute's noise calibration.
+  SessionSpec SalarySpec(std::size_t intervals = 24) const {
+    const data::FieldSpec& field =
+        original->schema().Field(synth::kSalary);
+    SessionSpec spec;
+    spec.lo = field.lo;
+    spec.hi = field.hi;
+    spec.intervals = intervals;
+    spec.noise = perturb::NoiseKind::kUniform;
+    spec.privacy_fraction = 1.0;
+    spec.confidence = 0.95;
+    spec.shard_size = 512;
+    return spec;
+  }
+
+  std::optional<data::Dataset> original;
+  std::optional<data::Dataset> perturbed;
+  std::unique_ptr<perturb::Randomizer> randomizer;
+};
+
+bool ReconstructionsIdentical(const reconstruct::Reconstruction& a,
+                              const reconstruct::Reconstruction& b) {
+  return a.masses == b.masses && a.iterations == b.iterations &&
+         a.chi_square_trace == b.chi_square_trace &&
+         a.log_likelihood_trace == b.log_likelihood_trace &&
+         a.sample_count == b.sample_count;
+}
+
+// The acceptance property: Ingest in 1 batch vs. many batches vs. batch
+// FitParallel produce identical masses, at 1, 2, and 8 threads (and with
+// no pool at all).
+TEST(ReconstructionSessionTest, IngestEquivalenceProperty) {
+  const StreamFixture fx;
+  const SessionSpec spec = fx.SalarySpec();
+  const std::vector<double>& column = fx.perturbed->Column(synth::kSalary);
+  const reconstruct::Partition partition(spec.lo, spec.hi, spec.intervals);
+  const reconstruct::BayesReconstructor reconstructor(
+      fx.randomizer->ModelFor(synth::kSalary), spec.reconstruction);
+
+  // Batch reference: the engine's parallel fit, reference decomposition.
+  const reconstruct::Reconstruction batch =
+      reconstructor.FitParallel(column, partition, nullptr, spec.shard_size);
+  EXPECT_GT(batch.iterations, 0u);
+
+  for (std::size_t threads : {std::size_t{0}, std::size_t{1},
+                              std::size_t{2}, std::size_t{8}}) {
+    std::optional<engine::ThreadPool> pool;
+    if (threads > 0) pool.emplace(threads);
+    engine::ThreadPool* p = threads > 0 ? &*pool : nullptr;
+
+    // One batch.
+    auto one = ReconstructionSession::Open(spec, p);
+    ASSERT_TRUE(one.ok());
+    ASSERT_TRUE(one.value()->Ingest(column).ok());
+    const auto one_est = one.value()->Reconstruct();
+    ASSERT_TRUE(one_est.ok());
+
+    // Many uneven batches.
+    auto many = ReconstructionSession::Open(spec, p);
+    ASSERT_TRUE(many.ok());
+    std::size_t offset = 0, step = 1;
+    while (offset < column.size()) {
+      const std::size_t take = std::min(step, column.size() - offset);
+      ASSERT_TRUE(many.value()->Ingest(column.data() + offset, take).ok());
+      offset += take;
+      step = step * 3 + 1;  // 1, 4, 13, 40, ... uneven on purpose
+    }
+    EXPECT_EQ(many.value()->record_count(), column.size());
+    const auto many_est = many.value()->Reconstruct();
+    ASSERT_TRUE(many_est.ok());
+
+    EXPECT_TRUE(ReconstructionsIdentical(batch, one_est.value()))
+        << "one batch, threads " << threads;
+    EXPECT_TRUE(ReconstructionsIdentical(batch, many_est.value()))
+        << "many batches, threads " << threads;
+    ASSERT_EQ(many_est.value().masses.size(), batch.masses.size());
+    EXPECT_EQ(std::memcmp(many_est.value().masses.data(),
+                          batch.masses.data(),
+                          batch.masses.size() * sizeof(double)),
+              0)
+        << "threads " << threads;
+  }
+}
+
+TEST(ReconstructionSessionTest, EmptySessionYieldsUniformPrior) {
+  const StreamFixture fx;
+  auto session = ReconstructionSession::Open(fx.SalarySpec(16));
+  ASSERT_TRUE(session.ok());
+  const auto estimate = session.value()->Reconstruct();
+  ASSERT_TRUE(estimate.ok());
+  ASSERT_EQ(estimate.value().masses.size(), 16u);
+  for (double m : estimate.value().masses) EXPECT_DOUBLE_EQ(m, 1.0 / 16.0);
+  EXPECT_EQ(estimate.value().sample_count, 0u);
+}
+
+TEST(ReconstructionSessionTest, RejectsNonFiniteValues) {
+  const StreamFixture fx;
+  auto session = ReconstructionSession::Open(fx.SalarySpec());
+  ASSERT_TRUE(session.ok());
+  const std::vector<double> bad{1.0, std::nan(""), 2.0};
+  const Status s = session.value()->Ingest(bad);
+  EXPECT_EQ(s.code(), StatusCode::kInvalidArgument);
+  EXPECT_EQ(session.value()->record_count(), 0u);  // nothing folded
+}
+
+TEST(ReconstructionSessionTest, WarmStartRefreshConvergesFaster) {
+  const StreamFixture fx;
+  const std::vector<double>& column = fx.perturbed->Column(synth::kSalary);
+  auto session = ReconstructionSession::Open(fx.SalarySpec());
+  ASSERT_TRUE(session.ok());
+
+  const std::size_t half = column.size() / 2;
+  ASSERT_TRUE(session.value()->Ingest(column.data(), half).ok());
+  const auto first = session.value()->Reconstruct();
+  ASSERT_TRUE(first.ok());
+  EXPECT_TRUE(session.value()->has_estimate());
+
+  ASSERT_TRUE(
+      session.value()->Ingest(column.data() + half, column.size() - half)
+          .ok());
+  const auto refreshed = session.value()->Reconstruct();
+  ASSERT_TRUE(refreshed.ok());
+
+  // Cold fit over the same full column, for comparison.
+  const SessionSpec spec = fx.SalarySpec();
+  const reconstruct::Partition partition(spec.lo, spec.hi, spec.intervals);
+  const reconstruct::BayesReconstructor reconstructor(
+      fx.randomizer->ModelFor(synth::kSalary), spec.reconstruction);
+  const reconstruct::Reconstruction cold =
+      reconstructor.FitParallel(column, partition, nullptr, spec.shard_size);
+
+  // The warm start begins near the answer: it must not iterate longer
+  // than the cold fit, and must land on (essentially) the same estimate.
+  EXPECT_LE(refreshed.value().iterations, cold.iterations);
+  ASSERT_EQ(refreshed.value().masses.size(), cold.masses.size());
+  for (std::size_t k = 0; k < cold.masses.size(); ++k) {
+    EXPECT_NEAR(refreshed.value().masses[k], cold.masses[k], 5e-3);
+  }
+}
+
+TEST(ReconstructionSessionTest, ColdModeStaysByteIdenticalAcrossRefreshes) {
+  const StreamFixture fx;
+  SessionSpec spec = fx.SalarySpec();
+  spec.warm_start = false;
+  const std::vector<double>& column = fx.perturbed->Column(synth::kSalary);
+  auto session = ReconstructionSession::Open(spec);
+  ASSERT_TRUE(session.ok());
+
+  const reconstruct::Partition partition(spec.lo, spec.hi, spec.intervals);
+  const reconstruct::BayesReconstructor reconstructor(
+      fx.randomizer->ModelFor(synth::kSalary), spec.reconstruction);
+
+  const std::size_t half = column.size() / 2;
+  ASSERT_TRUE(session.value()->Ingest(column.data(), half).ok());
+  ASSERT_TRUE(session.value()->Reconstruct().ok());  // does not perturb later fits
+  ASSERT_TRUE(
+      session.value()->Ingest(column.data() + half, column.size() - half)
+          .ok());
+  const auto second = session.value()->Reconstruct();
+  ASSERT_TRUE(second.ok());
+
+  const reconstruct::Reconstruction batch =
+      reconstructor.FitParallel(column, partition, nullptr, spec.shard_size);
+  EXPECT_TRUE(ReconstructionsIdentical(batch, second.value()));
+}
+
+TEST(ReconstructionSessionTest, NoNoiseSessionIsExactHistogram) {
+  SessionSpec spec;
+  spec.lo = 0.0;
+  spec.hi = 1.0;
+  spec.intervals = 4;
+  spec.noise = perturb::NoiseKind::kNone;
+  spec.privacy_fraction = 0.0;
+  auto session = ReconstructionSession::Open(spec);
+  ASSERT_TRUE(session.ok());
+  ASSERT_TRUE(
+      session.value()->Ingest({0.1, 0.1, 0.4, 0.6, 0.6, 0.6, 0.9, 0.9}).ok());
+  const auto estimate = session.value()->Reconstruct();
+  ASSERT_TRUE(estimate.ok());
+  const std::vector<double> expected{0.25, 0.125, 0.375, 0.25};
+  EXPECT_EQ(estimate.value().masses, expected);
+  EXPECT_EQ(estimate.value().sample_count, 8u);
+}
+
+// ---------------------------------------------------------------- service
+
+TEST(ServiceTest, CreateRejectsInvalidEngineOptions) {
+  engine::BatchOptions options;
+  options.num_threads = 1u << 20;
+  const auto service = Service::Create(options);
+  EXPECT_FALSE(service.ok());
+  EXPECT_EQ(service.status().code(), StatusCode::kInvalidArgument);
+}
+
+TEST(ServiceTest, SynchronousServiceCompletesInline) {
+  auto service = Service::Create(engine::BatchOptions{});  // 0 threads
+  ASSERT_TRUE(service.ok());
+  EXPECT_EQ(service.value()->pool(), nullptr);
+  JobHandle<int> handle = service.value()->Submit<int>(
+      [] { return Result<int>(41 + 1); });
+  EXPECT_TRUE(handle.Poll());
+  ASSERT_TRUE(handle.Wait().ok());
+  EXPECT_EQ(handle.Wait().value(), 42);
+}
+
+TEST(ServiceTest, ErrorsTravelThroughResult) {
+  engine::BatchOptions options;
+  options.num_threads = 2;
+  auto service = Service::Create(options);
+  ASSERT_TRUE(service.ok());
+  JobHandle<int> handle = service.value()->Submit<int>([]() -> Result<int> {
+    return Status::FailedPrecondition("model not loaded");
+  });
+  const Result<int> result = handle.Wait();
+  EXPECT_FALSE(result.ok());
+  EXPECT_EQ(result.status().code(), StatusCode::kFailedPrecondition);
+}
+
+TEST(ServiceTest, OnCompleteFiresExactlyOnce) {
+  engine::BatchOptions options;
+  options.num_threads = 2;
+  auto service = Service::Create(options);
+  ASSERT_TRUE(service.ok());
+  std::atomic<int> fired{0};
+  JobHandle<int> handle =
+      service.value()->Submit<int>([] { return Result<int>(7); });
+  handle.OnComplete([&fired](const Result<int>& r) {
+    if (r.ok() && r.value() == 7) ++fired;
+  });
+  // Wait() returning does not order against the callback (the worker may
+  // still be inside it); synchronize on the callback's own effect.
+  handle.Wait();
+  while (fired.load() == 0) std::this_thread::yield();
+  EXPECT_EQ(fired.load(), 1);
+
+  // Registering after completion fires immediately.
+  std::atomic<int> late{0};
+  handle.OnComplete([&late](const Result<int>&) { ++late; });
+  EXPECT_EQ(late.load(), 1);
+}
+
+TEST(ServiceTest, MultipleOnCompleteRegistrationsAllFire) {
+  engine::BatchOptions options;
+  options.num_threads = 2;
+  auto service = Service::Create(options);
+  ASSERT_TRUE(service.ok());
+  std::atomic<bool> release{false};
+  JobHandle<int> handle =
+      service.value()->Submit<int>([&release]() -> Result<int> {
+        while (!release.load()) std::this_thread::yield();
+        return 5;
+      });
+  // Both registrations happen strictly before completion (the job is
+  // gated on `release`), so they must chain, not overwrite.
+  std::atomic<int> first{0};
+  std::atomic<int> second{0};
+  JobHandle<int> copy = handle;
+  handle.OnComplete([&first](const Result<int>& r) {
+    if (r.ok()) first += r.value();
+  });
+  copy.OnComplete([&second](const Result<int>& r) {
+    if (r.ok()) second += r.value();
+  });
+  release = true;
+  handle.Wait();
+  while (first.load() == 0 || second.load() == 0) {
+    std::this_thread::yield();
+  }
+  EXPECT_EQ(first.load(), 5);
+  EXPECT_EQ(second.load(), 5);
+}
+
+// The acceptance property: N concurrent reconstruction jobs return results
+// identical to running the same jobs sequentially.
+TEST(ServiceTest, ConcurrentJobsMatchSequentialExecution) {
+  const StreamFixture fx;
+  engine::BatchOptions options;
+  options.num_threads = 4;
+  options.shard_size = 512;
+  auto service = Service::Create(options);
+  ASSERT_TRUE(service.ok());
+
+  const std::vector<std::size_t> columns{
+      synth::kSalary, synth::kCommission, synth::kAge, synth::kHvalue,
+      synth::kSalary, synth::kAge};
+
+  // Sequential reference.
+  std::vector<reconstruct::Reconstruction> sequential;
+  for (std::size_t col : columns) {
+    const data::FieldSpec& field = fx.original->schema().Field(col);
+    const reconstruct::Partition partition(field.lo, field.hi, 20);
+    const reconstruct::BayesReconstructor reconstructor(
+        fx.randomizer->ModelFor(col), {});
+    sequential.push_back(reconstructor.FitParallel(
+        fx.perturbed->Column(col), partition, nullptr, options.shard_size));
+  }
+
+  // Concurrent submission of the same jobs.
+  std::vector<JobHandle<reconstruct::Reconstruction>> handles;
+  for (std::size_t col : columns) {
+    handles.push_back(service.value()->Submit<reconstruct::Reconstruction>(
+        [&fx, col, &options]() -> Result<reconstruct::Reconstruction> {
+          const data::FieldSpec& field = fx.original->schema().Field(col);
+          const reconstruct::Partition partition(field.lo, field.hi, 20);
+          const reconstruct::BayesReconstructor reconstructor(
+              fx.randomizer->ModelFor(col), {});
+          return reconstructor.FitParallel(fx.perturbed->Column(col),
+                                           partition, nullptr,
+                                           options.shard_size);
+        }));
+  }
+  for (std::size_t j = 0; j < handles.size(); ++j) {
+    const Result<reconstruct::Reconstruction> r = handles[j].Wait();
+    ASSERT_TRUE(r.ok()) << "job " << j;
+    EXPECT_TRUE(ReconstructionsIdentical(sequential[j], r.value()))
+        << "job " << j;
+  }
+}
+
+TEST(ServiceTest, StreamingSessionDrivenByAsyncJobs) {
+  // A miniature server loop: ingest jobs and a final reconstruct job all
+  // flow through Submit; the estimate matches the batch fit bit for bit.
+  const StreamFixture fx;
+  engine::BatchOptions options;
+  options.num_threads = 4;
+  options.shard_size = 512;
+  auto service = Service::Create(options);
+  ASSERT_TRUE(service.ok());
+
+  const SessionSpec spec = fx.SalarySpec();
+  auto opened = service.value()->OpenSession(spec);
+  ASSERT_TRUE(opened.ok());
+  ReconstructionSession* session = opened.value().get();
+  const std::vector<double>& column = fx.perturbed->Column(synth::kSalary);
+
+  std::vector<JobHandle<bool>> ingests;
+  constexpr std::size_t kBatch = 700;
+  for (std::size_t offset = 0; offset < column.size(); offset += kBatch) {
+    const std::size_t take = std::min(kBatch, column.size() - offset);
+    ingests.push_back(service.value()->Submit<bool>(
+        [session, &column, offset, take]() -> Result<bool> {
+          PPDM_RETURN_IF_ERROR(session->Ingest(column.data() + offset, take));
+          return true;
+        }));
+  }
+  for (auto& h : ingests) ASSERT_TRUE(h.Wait().ok());
+  EXPECT_EQ(session->record_count(), column.size());
+
+  JobHandle<reconstruct::Reconstruction> fit =
+      service.value()->Submit<reconstruct::Reconstruction>(
+          [session]() -> Result<reconstruct::Reconstruction> {
+            return session->Reconstruct();
+          });
+  const auto streamed = fit.Wait();
+  ASSERT_TRUE(streamed.ok());
+
+  const reconstruct::Partition partition(spec.lo, spec.hi, spec.intervals);
+  const reconstruct::BayesReconstructor reconstructor(
+      fx.randomizer->ModelFor(synth::kSalary), spec.reconstruction);
+  const reconstruct::Reconstruction batch =
+      reconstructor.FitParallel(column, partition, nullptr, spec.shard_size);
+  EXPECT_TRUE(ReconstructionsIdentical(batch, streamed.value()));
+}
+
+// ------------------------------------------------------------- experiment
+
+TEST(RunExperimentTest, RejectsInvalidSpec) {
+  Spec spec;
+  spec.noise.confidence = 2.0;
+  const auto result = RunExperiment(spec, {tree::TrainingMode::kByClass});
+  EXPECT_FALSE(result.ok());
+  EXPECT_EQ(result.status().code(), StatusCode::kInvalidArgument);
+}
+
+TEST(RunExperimentTest, RejectsEmptyModeList) {
+  const auto result = RunExperiment(Spec{}, {});
+  EXPECT_FALSE(result.ok());
+  EXPECT_EQ(result.status().code(), StatusCode::kInvalidArgument);
+}
+
+TEST(RunExperimentTest, MatchesDirectCoreDriver) {
+  Spec spec;
+  spec.train_records = 1500;
+  spec.test_records = 400;
+  spec.seed = 9;
+  spec.tree.intervals = 10;
+  const auto via_api =
+      RunExperiment(spec, {tree::TrainingMode::kRandomized});
+  ASSERT_TRUE(via_api.ok());
+  const std::vector<core::ModeResult> direct = core::RunModes(
+      spec.ToExperimentConfig(), {tree::TrainingMode::kRandomized});
+  ASSERT_EQ(via_api.value().size(), 1u);
+  EXPECT_DOUBLE_EQ(via_api.value()[0].accuracy, direct[0].accuracy);
+  EXPECT_EQ(via_api.value()[0].tree_nodes, direct[0].tree_nodes);
+}
+
+}  // namespace
+}  // namespace ppdm::api

@@ -215,6 +215,52 @@ TEST_F(CliFixture, TrainRejectsUnknownMode) {
   EXPECT_EQ(s.code(), StatusCode::kInvalidArgument);
 }
 
+TEST_F(CliFixture, ServeSimStreamsAndReports) {
+  std::string output;
+  ASSERT_TRUE(Run({"serve-sim", "--records=3000", "--batch-records=500",
+                   "--refresh=2", "--attribute=age", "--privacy=0.5",
+                   "--intervals=10", "--threads=2"},
+                  &output)
+                  .ok())
+      << output;
+  EXPECT_NE(output.find("tv(truth)"), std::string::npos);
+  EXPECT_NE(output.find("stream complete: 3000 records, 6 batches"),
+            std::string::npos);
+}
+
+TEST_F(CliFixture, ServeSimRejectsInvalidSpec) {
+  std::string output;
+  // Invalid specs come back as kInvalidArgument — not a CHECK abort.
+  EXPECT_EQ(Run({"serve-sim", "--intervals=0"}, &output).code(),
+            StatusCode::kInvalidArgument);
+  EXPECT_EQ(Run({"serve-sim", "--confidence=1.5"}, &output).code(),
+            StatusCode::kInvalidArgument);
+  EXPECT_EQ(Run({"serve-sim", "--privacy=-1"}, &output).code(),
+            StatusCode::kInvalidArgument);
+  EXPECT_EQ(Run({"serve-sim", "--batch-records=0"}, &output).code(),
+            StatusCode::kInvalidArgument);
+}
+
+TEST_F(CliFixture, PerturbRejectsInvalidNoiseSpec) {
+  const std::string raw = Track(Path("v_raw.csv"));
+  std::string output;
+  ASSERT_TRUE(
+      Run({"generate", ("--out=" + raw).c_str(), "--records=20"}, &output)
+          .ok());
+  // --confidence outside (0,1) used to CHECK-abort inside NoiseForPrivacy;
+  // the api validation layer must reject it as a Status instead.
+  EXPECT_EQ(Run({"perturb", ("--in=" + raw).c_str(), "--out=/tmp/x.csv",
+                 "--confidence=1.5"},
+                &output)
+                .code(),
+            StatusCode::kInvalidArgument);
+  EXPECT_EQ(Run({"perturb", ("--in=" + raw).c_str(), "--out=/tmp/x.csv",
+                 "--noise=none"},
+                &output)
+                .code(),
+            StatusCode::kInvalidArgument);
+}
+
 TEST_F(CliFixture, UnknownFlagIsCaught) {
   std::string output;
   const Status s =

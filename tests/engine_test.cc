@@ -402,6 +402,29 @@ TEST(BatchTest, IngestShardsCountsPerClass) {
   EXPECT_EQ(stats.BinClassCount(1, 0), 1u);  // 0.5
 }
 
+TEST(BatchTest, LocalModeTreeIsPoolInvariantWithPerNodeFanOut) {
+  // Local re-reconstructs at every large-enough node, and those per-node
+  // counts tables now fan out over the pool; the tree must still be
+  // identical for every pool size.
+  const EngineFixture fx;
+  tree::TreeOptions options;
+  options.intervals = 15;
+  options.max_depth = 6;
+  options.local_min_records_to_reconstruct = 400;  // force per-node EM
+  const tree::DecisionTree sequential = tree::TrainDecisionTree(
+      *fx.perturbed, tree::TrainingMode::kLocal, options,
+      fx.randomizer.get(), nullptr);
+  for (std::size_t threads : {std::size_t{2}, std::size_t{8}}) {
+    ThreadPool pool(threads);
+    const tree::DecisionTree parallel = tree::TrainDecisionTree(
+        *fx.perturbed, tree::TrainingMode::kLocal, options,
+        fx.randomizer.get(), &pool);
+    EXPECT_EQ(sequential.Describe(fx.perturbed->schema()),
+              parallel.Describe(fx.perturbed->schema()))
+        << "num_threads " << threads;
+  }
+}
+
 TEST(BatchTest, TrainedTreeIsPoolInvariant) {
   const EngineFixture fx;
   tree::TreeOptions options;
