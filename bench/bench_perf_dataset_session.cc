@@ -1,0 +1,210 @@
+// P6 — dataset-level sessions: single-pass record ingest vs. N
+// per-attribute ingest passes over the same arriving batches (the
+// motivating cost of an attribute-shaped serving layer), ReconstructAll
+// latency as the attribute count grows, and a cross-check that the
+// dataset path's estimates are byte-identical to N independent
+// per-attribute sessions (the equivalence contract). Honours
+// PPDM_PAPER_SCALE=1 and PPDM_BENCH_RECORDS=N (CI smoke).
+
+#include <algorithm>
+#include <cstdio>
+#include <cstring>
+#include <memory>
+#include <string>
+#include <thread>
+#include <vector>
+
+#include "api/dataset_session.h"
+#include "api/service.h"
+#include "api/session.h"
+#include "bench/bench_util.h"
+#include "data/row_batch.h"
+#include "perturb/randomizer.h"
+#include "synth/generator.h"
+
+namespace {
+
+using namespace ppdm;
+
+constexpr std::size_t kIntervals = 60;
+constexpr std::size_t kBatchRecords = 2048;
+constexpr std::size_t kShardSize = 512;
+
+api::DatasetSessionSpec SpecFor(const data::Schema& schema,
+                                std::size_t num_attrs) {
+  api::DatasetSessionSpec spec;
+  spec.schema = schema;
+  for (std::size_t column = 0; column < num_attrs; ++column) {
+    api::AttributeSpec attr;
+    attr.column = column;
+    attr.intervals = kIntervals;
+    attr.noise = perturb::NoiseKind::kUniform;
+    attr.privacy_fraction = 1.0;
+    spec.attributes.push_back(attr);
+  }
+  spec.shard_size = kShardSize;
+  return spec;
+}
+
+}  // namespace
+
+int main() {
+  bench::PrintBanner("P6",
+                     "dataset session: single-pass ingest + fit fan-out");
+  core::ExperimentConfig config = bench::DefaultConfig(synth::Function::kF1);
+  config.train_records = bench::BenchRecords(config.train_records);
+  const std::size_t records = config.train_records;
+  std::printf("records=%zu  batch=%zu  K=%zu  hardware threads=%u\n\n",
+              records, kBatchRecords, kIntervals,
+              std::thread::hardware_concurrency());
+
+  // Perturbed records, flattened row-major — the provider arrival shape.
+  synth::GeneratorOptions gen;
+  gen.num_records = records;
+  gen.function = config.function;
+  gen.seed = config.seed;
+  const data::Dataset train = synth::Generate(gen);
+  perturb::RandomizerOptions noise;
+  noise.kind = perturb::NoiseKind::kUniform;
+  noise.privacy_fraction = 1.0;
+  noise.seed = config.seed + 0x9E1517BULL;
+  const perturb::Randomizer randomizer(train.schema(), noise);
+  const data::Dataset perturbed = randomizer.Perturb(train);
+  const std::size_t cols = perturbed.NumCols();
+  std::vector<double> rows(records * cols);
+  for (std::size_t c = 0; c < cols; ++c) {
+    const std::vector<double>& column = perturbed.Column(c);
+    for (std::size_t r = 0; r < records; ++r) {
+      rows[r * cols + c] = column[r];
+    }
+  }
+  const data::RowBatch all_rows(rows.data(), records, cols);
+
+  engine::BatchOptions options;
+  options.num_threads = 4;
+  options.shard_size = kShardSize;
+  auto service = api::Service::Create(options);
+  if (!service.ok()) return 1;
+
+  // ------------------------------------- single-pass vs. N-pass ingest
+  // Record batches of kBatchRecords arrive row-major. The dataset session
+  // folds each batch into all A attributes in one pass; the per-attribute
+  // alternative must scatter each batch into A column buffers and run A
+  // independent ingests — N passes over every arriving batch.
+  bench::ThroughputReporter reporter("records");
+  char label[64];
+  double dataset_seconds_4 = 0.0;
+  double per_attr_seconds_4 = 0.0;
+  for (std::size_t attrs : {std::size_t{2}, std::size_t{4}, std::size_t{8}}) {
+    std::snprintf(label, sizeof(label), "single-pass ingest A=%zu", attrs);
+    const std::string baseline = label;
+    const double dataset_seconds =
+        reporter.Measure(label, records, baseline, [&] {
+          auto session =
+              service.value()->OpenDatasetSession(SpecFor(train.schema(),
+                                                          attrs));
+          for (std::size_t offset = 0; offset < records;
+               offset += kBatchRecords) {
+            const std::size_t take =
+                std::min(kBatchRecords, records - offset);
+            if (!session.value()->Ingest(all_rows.Slice(offset, take)).ok()) {
+              std::abort();
+            }
+          }
+        });
+    std::snprintf(label, sizeof(label), "%zu-pass ingest A=%zu", attrs,
+                  attrs);
+    const double per_attr_seconds =
+        reporter.Measure(label, records, baseline, [&] {
+          std::vector<std::unique_ptr<api::ReconstructionSession>> sessions;
+          const api::DatasetSessionSpec spec = SpecFor(train.schema(), attrs);
+          for (std::size_t a = 0; a < attrs; ++a) {
+            auto session =
+                service.value()->OpenSession(spec.AttributeSession(a));
+            if (!session.ok()) std::abort();
+            sessions.push_back(std::move(session.value()));
+          }
+          std::vector<double> column(kBatchRecords);
+          for (std::size_t offset = 0; offset < records;
+               offset += kBatchRecords) {
+            const std::size_t take =
+                std::min(kBatchRecords, records - offset);
+            for (std::size_t a = 0; a < attrs; ++a) {
+              for (std::size_t r = 0; r < take; ++r) {
+                column[r] = rows[(offset + r) * cols + a];
+              }
+              if (!sessions[a]->Ingest(column.data(), take).ok()) {
+                std::abort();
+              }
+            }
+          }
+        });
+    if (attrs == 4) {
+      dataset_seconds_4 = dataset_seconds;
+      per_attr_seconds_4 = per_attr_seconds;
+    }
+  }
+
+  // ------------------------------- ReconstructAll latency vs. attributes
+  // Steady-state refresh cost: everything ingested, one more warm-started
+  // ReconstructAll() as the tracked attribute count grows.
+  for (std::size_t attrs :
+       {std::size_t{1}, std::size_t{2}, std::size_t{4}, std::size_t{8}}) {
+    auto session =
+        service.value()->OpenDatasetSession(SpecFor(train.schema(), attrs));
+    if (!session.ok() || !session.value()->Ingest(all_rows).ok()) return 1;
+    if (!session.value()->ReconstructAll().ok()) return 1;  // prime warm
+    std::snprintf(label, sizeof(label), "ReconstructAll warm A=%zu", attrs);
+    reporter.Measure(label, attrs, "", [&] {
+      if (!session.value()->ReconstructAll().ok()) std::abort();
+    });
+  }
+
+  // ------------------------------------------------ equivalence check
+  // Dataset-path estimates == N independent per-attribute sessions, byte
+  // for byte, with and without a pool.
+  const std::size_t check_attrs = 4;
+  const api::DatasetSessionSpec spec = SpecFor(train.schema(), check_attrs);
+  bool identical = true;
+  for (std::size_t threads : {std::size_t{0}, std::size_t{4}}) {
+    engine::BatchOptions check_options;
+    check_options.num_threads = threads;
+    check_options.shard_size = kShardSize;
+    auto check_service = api::Service::Create(check_options);
+    auto dataset_session =
+        check_service.value()->OpenDatasetSession(spec);
+    for (std::size_t offset = 0; offset < records;
+         offset += kBatchRecords) {
+      const std::size_t take = std::min(kBatchRecords, records - offset);
+      if (!dataset_session.value()->Ingest(all_rows.Slice(offset, take))
+               .ok()) {
+        return 1;
+      }
+    }
+    const auto estimates = dataset_session.value()->ReconstructAll();
+    if (!estimates.ok()) return 1;
+    for (std::size_t a = 0; a < check_attrs; ++a) {
+      auto session =
+          check_service.value()->OpenSession(spec.AttributeSession(a));
+      if (!session.value()->Ingest(perturbed.Column(a)).ok()) return 1;
+      const auto independent = session.value()->Reconstruct();
+      if (!independent.ok()) return 1;
+      identical =
+          identical &&
+          independent.value().masses.size() ==
+              estimates.value()[a].masses.size() &&
+          std::memcmp(independent.value().masses.data(),
+                      estimates.value()[a].masses.data(),
+                      independent.value().masses.size() * sizeof(double)) ==
+              0;
+    }
+  }
+  std::printf("\ndataset-path masses byte-identical to per-attribute "
+              "sessions: %s\n",
+              identical ? "yes" : "NO — EQUIVALENCE VIOLATION");
+  if (dataset_seconds_4 > 0.0 && per_attr_seconds_4 > 0.0) {
+    std::printf("single-pass vs 4-pass ingest at A=4: %.2fx\n",
+                per_attr_seconds_4 / dataset_seconds_4);
+  }
+  return identical ? 0 : 1;
+}

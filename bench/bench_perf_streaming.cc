@@ -43,8 +43,9 @@ api::SessionSpec SalarySpec(const data::Schema& schema,
 
 int main() {
   bench::PrintBanner("P5", "streaming session ingest + refresh throughput");
-  const core::ExperimentConfig config = bench::DefaultConfig(
+  core::ExperimentConfig config = bench::DefaultConfig(
       synth::Function::kF1);
+  config.train_records = bench::BenchRecords(config.train_records);
   std::printf("records=%zu  batch=%zu  K=%zu  hardware threads=%u\n\n",
               config.train_records, kBatchRecords, kIntervals,
               std::thread::hardware_concurrency());

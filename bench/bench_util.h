@@ -8,6 +8,7 @@
 #include <chrono>
 #include <cstddef>
 #include <cstdio>
+#include <cstdlib>
 #include <functional>
 #include <map>
 #include <string>
@@ -27,6 +28,18 @@ inline core::ExperimentConfig DefaultConfig(synth::Function fn) {
   config.seed = 20000607;  // SIGMOD 2000 vintage
   core::ApplyScale(&config);
   return config;
+}
+
+/// Record-count override for smoke runs: PPDM_BENCH_RECORDS=N replaces
+/// `default_records` (CI runs the perf benches this way so every code
+/// path executes without perf-scale wall time). Wins over
+/// PPDM_PAPER_SCALE when both are set.
+inline std::size_t BenchRecords(std::size_t default_records) {
+  if (const char* env = std::getenv("PPDM_BENCH_RECORDS")) {
+    const long long n = std::atoll(env);
+    if (n > 0) return static_cast<std::size_t>(n);
+  }
+  return default_records;
 }
 
 /// All five benchmark functions.

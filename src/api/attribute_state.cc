@@ -1,0 +1,26 @@
+#include "api/attribute_state.h"
+
+#include <utility>
+
+namespace ppdm::api {
+
+AttributeState::AttributeState(double lo, double hi, std::size_t intervals,
+                               perturb::NoiseModel model,
+                               const reconstruct::ReconstructionOptions&
+                                   options)
+    : partition_(lo, hi, intervals),
+      reconstructor_(std::move(model), options),
+      layout_(reconstructor_.PerturbedBinning(partition_)),
+      stats_(layout_.bins(), /*num_classes=*/1) {}
+
+void AttributeState::set_last_masses(std::vector<double> masses) {
+  last_masses_ = std::move(masses);
+}
+
+std::size_t AttributeState::ApproxHeapBytes() const {
+  return stats_.ApproxHeapBytes() +
+         layout_.bins() * sizeof(std::size_t) +  // histogram counts
+         last_masses_.capacity() * sizeof(double);
+}
+
+}  // namespace ppdm::api

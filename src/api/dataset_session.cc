@@ -1,0 +1,199 @@
+#include "api/dataset_session.h"
+
+#include <atomic>
+#include <cmath>
+#include <utility>
+
+#include "api/spec.h"
+#include "common/strings.h"
+#include "engine/shard_stats.h"
+
+namespace ppdm::api {
+
+Status DatasetSessionSpec::Validate() const {
+  PPDM_RETURN_IF_ERROR(schema.Validate());
+  if (attributes.empty()) {
+    return Status::InvalidArgument(
+        "dataset session needs at least one attribute spec");
+  }
+  std::vector<bool> seen(schema.NumFields(), false);
+  for (std::size_t a = 0; a < attributes.size(); ++a) {
+    const AttributeSpec& attr = attributes[a];
+    if (attr.column >= schema.NumFields()) {
+      return Status::InvalidArgument(
+          StrFormat("attribute %zu: column %zu out of range for a %zu-field "
+                    "schema",
+                    a, attr.column, schema.NumFields()));
+    }
+    if (seen[attr.column]) {
+      return Status::InvalidArgument(StrFormat(
+          "attribute %zu: column %zu appears more than once", a,
+          attr.column));
+    }
+    seen[attr.column] = true;
+    const Status s = AttributeSession(a).Validate();
+    if (!s.ok()) {
+      return Status::InvalidArgument(
+          StrFormat("attribute %zu ('%s'): %s", a,
+                    schema.Field(attr.column).name.c_str(),
+                    s.message().c_str()));
+    }
+  }
+  return Status::Ok();
+}
+
+SessionSpec DatasetSessionSpec::AttributeSession(std::size_t index) const {
+  const AttributeSpec& attr = attributes[index];
+  const data::FieldSpec& field = schema.Field(attr.column);
+  SessionSpec spec;
+  spec.lo = field.lo;
+  spec.hi = field.hi;
+  spec.intervals = attr.intervals;
+  spec.noise = attr.noise;
+  spec.privacy_fraction = attr.privacy_fraction;
+  spec.confidence = attr.confidence;
+  spec.reconstruction = attr.reconstruction;
+  spec.shard_size = shard_size;
+  spec.warm_start = warm_start;
+  return spec;
+}
+
+DatasetSession::DatasetSession(const DatasetSessionSpec& spec,
+                               engine::ThreadPool* pool)
+    : spec_(spec), pool_(pool) {
+  states_.reserve(spec_.attributes.size());
+  columns_.reserve(spec_.attributes.size());
+  for (std::size_t a = 0; a < spec_.attributes.size(); ++a) {
+    const SessionSpec attr = spec_.AttributeSession(a);
+    states_.emplace_back(attr.lo, attr.hi, attr.intervals,
+                         perturb::NoiseForPrivacy(attr.noise,
+                                                  attr.privacy_fraction,
+                                                  attr.hi - attr.lo,
+                                                  attr.confidence),
+                         attr.reconstruction);
+    columns_.push_back(spec_.attributes[a].column);
+  }
+}
+
+Result<std::unique_ptr<DatasetSession>> DatasetSession::Open(
+    const DatasetSessionSpec& spec, engine::ThreadPool* pool) {
+  PPDM_RETURN_IF_ERROR(spec.Validate());
+  return std::unique_ptr<DatasetSession>(new DatasetSession(spec, pool));
+}
+
+Status DatasetSession::Ingest(const data::RowBatch& rows) {
+  if (rows.num_rows() > 0 && rows.num_cols() != spec_.schema.NumFields()) {
+    return Status::InvalidArgument(
+        StrFormat("row batch is %zu columns wide, schema expects %zu",
+                  rows.num_cols(), spec_.schema.NumFields()));
+  }
+
+  // One pass over the arriving records, sharded over the pool and outside
+  // the session lock: each shard bins every tracked attribute of its rows
+  // into its own integer counts. Shard boundaries depend only on
+  // shard_size, and the per-attribute merge below runs in ascending shard
+  // order, so the folded counts are byte-identical to N independent
+  // per-attribute ingests of the same columns, for every pool size.
+  const std::size_t num_attrs = states_.size();
+  const std::vector<engine::ChunkRange> shards =
+      engine::MakeChunks(rows.num_rows(), spec_.shard_size);
+  std::vector<std::vector<engine::ShardStats>> partials(shards.size());
+  for (std::vector<engine::ShardStats>& shard : partials) {
+    shard.reserve(num_attrs);
+    for (std::size_t a = 0; a < num_attrs; ++a) {
+      shard.emplace_back(states_[a].num_bins(), /*num_classes=*/1);
+    }
+  }
+  std::atomic<bool> finite{true};
+  engine::ParallelFor(pool_, shards.size(), [&](std::size_t s) {
+    std::vector<engine::ShardStats>& local = partials[s];
+    for (std::size_t r = shards[s].begin; r < shards[s].end; ++r) {
+      const double* row = rows.row(r);
+      for (std::size_t a = 0; a < num_attrs; ++a) {
+        const double value = row[columns_[a]];
+        if (!std::isfinite(value)) {
+          finite.store(false, std::memory_order_relaxed);
+          return;  // abandon the shard; nothing is folded below
+        }
+        local[a].Add(states_[a].BinOf(value), 0);
+      }
+    }
+  });
+  if (!finite.load(std::memory_order_relaxed)) {
+    return Status::InvalidArgument(
+        "batch contains a non-finite value in a tracked column; batch "
+        "rejected");
+  }
+
+  std::lock_guard<std::mutex> lock(mu_);
+  for (const std::vector<engine::ShardStats>& shard : partials) {
+    for (std::size_t a = 0; a < num_attrs; ++a) {
+      states_[a].stats().MergeFrom(shard[a]);
+    }
+  }
+  rows_ += rows.num_rows();
+  ++batches_;
+  return Status::Ok();
+}
+
+Result<std::vector<reconstruct::Reconstruction>>
+DatasetSession::ReconstructAll() {
+  // Snapshot every attribute's counts (and warm-start masses) under the
+  // lock; run the EM fan-out outside it so ingestion continues while the
+  // estimates refresh.
+  const std::size_t num_attrs = states_.size();
+  std::vector<std::vector<double>> weights(num_attrs);
+  std::vector<double> totals(num_attrs);
+  std::vector<std::vector<double>> warm(num_attrs);  // empty == cold
+  {
+    std::lock_guard<std::mutex> lock(mu_);
+    for (std::size_t a = 0; a < num_attrs; ++a) {
+      weights[a] = states_[a].stats().BinWeights();
+      totals[a] = static_cast<double>(states_[a].stats().record_count());
+      if (spec_.warm_start && states_[a].has_estimate()) {
+        warm[a] = states_[a].last_masses();
+      }
+    }
+  }
+
+  // One warm-started fit per attribute over the pool. FitFromCounts is
+  // thread-count invariant and its nested engine primitives run inline on
+  // a worker, so each attribute's estimate matches a standalone session's
+  // Reconstruct() byte for byte.
+  std::vector<reconstruct::Reconstruction> estimates(num_attrs);
+  engine::ParallelFor(pool_, num_attrs, [&](std::size_t a) {
+    estimates[a] = states_[a].reconstructor().FitFromCounts(
+        weights[a], totals[a], states_[a].partition(), pool_,
+        warm[a].empty() ? nullptr : &warm[a]);
+  });
+
+  {
+    std::lock_guard<std::mutex> lock(mu_);
+    for (std::size_t a = 0; a < num_attrs; ++a) {
+      states_[a].set_last_masses(estimates[a].masses);
+    }
+  }
+  return estimates;
+}
+
+std::uint64_t DatasetSession::record_count() const {
+  std::lock_guard<std::mutex> lock(mu_);
+  return rows_;
+}
+
+std::uint64_t DatasetSession::batch_count() const {
+  std::lock_guard<std::mutex> lock(mu_);
+  return batches_;
+}
+
+std::size_t DatasetSession::ApproxMemoryBytes() const {
+  std::lock_guard<std::mutex> lock(mu_);
+  std::size_t bytes = sizeof(*this) +
+                      columns_.capacity() * sizeof(std::size_t);
+  for (const AttributeState& state : states_) {
+    bytes += state.ApproxMemoryBytes();
+  }
+  return bytes;
+}
+
+}  // namespace ppdm::api

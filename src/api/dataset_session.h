@@ -1,0 +1,148 @@
+// Dataset-level streaming reconstruction — the record-oriented serving
+// shape of the paper's server. Providers submit whole perturbed *records*;
+// an attribute-shaped serving layer (one ReconstructionSession per column)
+// pays N ingest passes over every arriving batch. A DatasetSession owns
+// one AttributeState per tracked attribute and folds a record batch into
+// all of them in a SINGLE pass over the rows: row-major arrival,
+// column-major fold, sharded over the pool.
+//
+// Determinism: each ingestion shard accumulates its own integer ShardStats
+// per attribute and the shards merge in ascending order, so the per-
+// attribute counts — and therefore every ReconstructAll() estimate — are
+// byte-identical to N independent per-attribute sessions fed the same
+// columns, at any thread count (property-tested in tests/api_test.cc).
+//
+// Thread safety: Ingest() and ReconstructAll() may race from different
+// service jobs, and a SessionRegistry may evict (drop) the session while
+// either is in flight — callers hold the session via shared_ptr, so an
+// evicted session simply finishes its in-flight calls and dies with the
+// last reference. Ingestion folds under the session lock; ReconstructAll
+// snapshots counts under the lock and runs the per-attribute EM fan-out
+// outside it.
+
+#ifndef PPDM_API_DATASET_SESSION_H_
+#define PPDM_API_DATASET_SESSION_H_
+
+#include <cstddef>
+#include <cstdint>
+#include <memory>
+#include <mutex>
+#include <vector>
+
+#include "api/attribute_state.h"
+#include "api/session.h"
+#include "common/status.h"
+#include "data/row_batch.h"
+#include "data/schema.h"
+#include "engine/thread_pool.h"
+#include "perturb/noise_model.h"
+#include "reconstruct/reconstructor.h"
+
+namespace ppdm::api {
+
+/// Reconstruction request for one attribute of a dataset session. The
+/// attribute's domain [lo, hi] comes from the shared schema; everything
+/// else (interval count, the noise its providers applied, EM tuning) is
+/// declared here.
+struct AttributeSpec {
+  /// Schema column this spec reconstructs.
+  std::size_t column = 0;
+
+  /// Intervals the attribute's domain is partitioned into.
+  std::size_t intervals = 30;
+
+  /// The providers' noise over this attribute.
+  perturb::NoiseKind noise = perturb::NoiseKind::kUniform;
+  double privacy_fraction = 1.0;
+  double confidence = 0.95;
+
+  /// EM tuning; `binned` must stay true (streaming folds binned counts).
+  reconstruct::ReconstructionOptions reconstruction;
+};
+
+/// Everything a dataset-level session needs up front: the shared record
+/// layout and one AttributeSpec per reconstructed attribute. Validated on
+/// Open.
+struct DatasetSessionSpec {
+  /// Record layout all attribute specs are validated against; arriving
+  /// RowBatches must be exactly this wide.
+  data::Schema schema;
+
+  /// Attributes to reconstruct (need not cover the schema; each column at
+  /// most once).
+  std::vector<AttributeSpec> attributes;
+
+  /// Records per ingestion shard when a batch is folded over the pool.
+  /// Affects only throughput, never the counts.
+  std::size_t shard_size = 16384;
+
+  /// Warm-start refreshes from each attribute's previous estimate.
+  bool warm_start = true;
+
+  /// kOk, or kInvalidArgument naming the offending attribute/field.
+  Status Validate() const;
+
+  /// The per-attribute SessionSpec an independent ReconstructionSession
+  /// over attributes[index] would use — the equivalence contract between
+  /// the dataset path and N single-attribute sessions, and what Open uses
+  /// to build each AttributeState.
+  SessionSpec AttributeSession(std::size_t index) const;
+};
+
+/// A server-side streaming reconstruction of a whole dataset.
+class DatasetSession {
+ public:
+  /// Validates `spec` and opens a session. `pool` (borrowed, may be null)
+  /// parallelizes ingestion and the reconstruction fan-out; results are
+  /// identical for every pool.
+  static Result<std::unique_ptr<DatasetSession>> Open(
+      const DatasetSessionSpec& spec, engine::ThreadPool* pool = nullptr);
+
+  /// Folds one record batch into every attribute state in a single pass
+  /// over the rows. `rows` must be schema-wide. Rejects a non-finite value
+  /// in any tracked column with kInvalidArgument (nothing is folded).
+  /// Safe to call concurrently with ReconstructAll().
+  Status Ingest(const data::RowBatch& rows);
+
+  /// Fans one warm-started FitFromCounts per attribute over the pool and
+  /// returns the estimates in spec order. Byte-identical to calling
+  /// Reconstruct() on N independent per-attribute sessions with the same
+  /// ingestion history, at any thread count.
+  Result<std::vector<reconstruct::Reconstruction>> ReconstructAll();
+
+  /// Records ingested so far.
+  std::uint64_t record_count() const;
+
+  /// Batches ingested so far.
+  std::uint64_t batch_count() const;
+
+  /// Approximate resident bytes of the session (all attribute states plus
+  /// the session itself) — what SessionRegistry budgets account.
+  std::size_t ApproxMemoryBytes() const;
+
+  std::size_t num_attributes() const { return states_.size(); }
+  const DatasetSessionSpec& spec() const { return spec_; }
+  const reconstruct::Partition& partition(std::size_t index) const {
+    return states_[index].partition();
+  }
+  const perturb::NoiseModel& noise_model(std::size_t index) const {
+    return states_[index].noise_model();
+  }
+
+ private:
+  DatasetSession(const DatasetSessionSpec& spec, engine::ThreadPool* pool);
+
+  const DatasetSessionSpec spec_;
+  engine::ThreadPool* const pool_;
+  /// attributes[a].column, hoisted out of the ingest inner loop.
+  std::vector<std::size_t> columns_;
+
+  mutable std::mutex mu_;
+  std::vector<AttributeState> states_;  // counts + masses guarded by mu_
+  std::uint64_t rows_ = 0;              // guarded by mu_
+  std::uint64_t batches_ = 0;           // guarded by mu_
+};
+
+}  // namespace ppdm::api
+
+#endif  // PPDM_API_DATASET_SESSION_H_

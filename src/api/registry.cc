@@ -1,0 +1,130 @@
+#include "api/registry.h"
+
+#include <utility>
+#include <vector>
+
+namespace ppdm::api {
+
+SessionRegistry::SessionRegistry(SessionRegistryOptions options,
+                                 engine::ThreadPool* pool)
+    : options_(std::move(options)), pool_(pool) {}
+
+std::chrono::steady_clock::time_point SessionRegistry::Now() const {
+  return options_.clock ? options_.clock()
+                        : std::chrono::steady_clock::now();
+}
+
+void SessionRegistry::TouchLocked(Entry* entry) {
+  entry->last_used = Now();
+  entry->recency = ++tick_;
+}
+
+std::size_t SessionRegistry::SweepExpiredLocked() {
+  if (options_.ttl.count() <= 0) return 0;
+  const auto now = Now();
+  std::size_t evicted = 0;
+  for (auto it = entries_.begin(); it != entries_.end();) {
+    if (now - it->second.last_used >= options_.ttl) {
+      it = entries_.erase(it);
+      ++evicted;
+    } else {
+      ++it;
+    }
+  }
+  evictions_ += evicted;
+  ttl_evictions_ += evicted;
+  return evicted;
+}
+
+std::size_t SessionRegistry::TotalBytesLocked() const {
+  std::size_t total = 0;
+  for (const auto& [name, entry] : entries_) {
+    total += entry.session->ApproxMemoryBytes();
+  }
+  return total;
+}
+
+void SessionRegistry::EnforceBudgetLocked(const std::string& keep) {
+  if (options_.max_bytes == 0) return;
+  while (entries_.size() > 1 && TotalBytesLocked() > options_.max_bytes) {
+    auto victim = entries_.end();
+    for (auto it = entries_.begin(); it != entries_.end(); ++it) {
+      if (it->first == keep) continue;
+      if (victim == entries_.end() ||
+          it->second.recency < victim->second.recency) {
+        victim = it;
+      }
+    }
+    if (victim == entries_.end()) return;  // only `keep` is left
+    entries_.erase(victim);
+    ++evictions_;
+  }
+}
+
+Result<std::shared_ptr<DatasetSession>> SessionRegistry::Open(
+    const std::string& name, const DatasetSessionSpec& spec) {
+  // Refuse a taken name before paying for session construction (states,
+  // layouts, counts). The name is re-checked under the same lock at
+  // insertion in case a racing Open claimed it in between.
+  {
+    std::lock_guard<std::mutex> lock(mu_);
+    SweepExpiredLocked();
+    if (entries_.count(name) != 0) {
+      return Status::FailedPrecondition("session '" + name +
+                                        "' is already open");
+    }
+  }
+  PPDM_ASSIGN_OR_RETURN(std::unique_ptr<DatasetSession> session,
+                        DatasetSession::Open(spec, pool_));
+  std::shared_ptr<DatasetSession> shared = std::move(session);
+
+  std::lock_guard<std::mutex> lock(mu_);
+  SweepExpiredLocked();
+  if (entries_.count(name) != 0) {
+    return Status::FailedPrecondition("session '" + name +
+                                      "' is already open");
+  }
+  Entry& entry = entries_[name];
+  entry.session = shared;
+  TouchLocked(&entry);
+  EnforceBudgetLocked(name);
+  return shared;
+}
+
+std::shared_ptr<DatasetSession> SessionRegistry::Lookup(
+    const std::string& name) {
+  std::lock_guard<std::mutex> lock(mu_);
+  ++lookups_;
+  SweepExpiredLocked();
+  const auto it = entries_.find(name);
+  if (it == entries_.end()) {
+    ++misses_;
+    return nullptr;
+  }
+  TouchLocked(&it->second);
+  return it->second.session;
+}
+
+bool SessionRegistry::Close(const std::string& name) {
+  std::lock_guard<std::mutex> lock(mu_);
+  return entries_.erase(name) != 0;
+}
+
+std::size_t SessionRegistry::SweepExpired() {
+  std::lock_guard<std::mutex> lock(mu_);
+  return SweepExpiredLocked();
+}
+
+SessionRegistry::Stats SessionRegistry::GetStats() const {
+  std::lock_guard<std::mutex> lock(mu_);
+  Stats stats;
+  stats.open_sessions = entries_.size();
+  stats.approx_bytes = TotalBytesLocked();
+  stats.evictions = evictions_;
+  stats.ttl_evictions = ttl_evictions_;
+  stats.lookups = lookups_;
+  stats.misses = misses_;
+  return stats;
+}
+
+}  // namespace ppdm::api

@@ -1,0 +1,120 @@
+// Bounded registry of named dataset sessions — the memory story for a
+// long-lived service. A server holding thousands of streaming sessions
+// needs an explicit resource bound: the registry accounts every session's
+// ApproxMemoryBytes() against a configurable byte budget and evicts
+// least-recently-used sessions when the budget is exceeded, plus any
+// session idle longer than the TTL.
+//
+// Eviction safety: the registry hands out shared_ptr references, so
+// evicting (or Close()-ing) a session concurrently with an in-flight
+// Ingest()/ReconstructAll() on it is safe — the registry merely drops its
+// reference; the session finishes its in-flight calls and is destroyed
+// with the last reference. Race-checked under ThreadSanitizer in CI.
+//
+// Lock order: registry mutex, then (via ApproxMemoryBytes) a session
+// mutex. Sessions never call back into the registry, so the order never
+// inverts.
+
+#ifndef PPDM_API_REGISTRY_H_
+#define PPDM_API_REGISTRY_H_
+
+#include <chrono>
+#include <cstddef>
+#include <cstdint>
+#include <functional>
+#include <map>
+#include <memory>
+#include <mutex>
+#include <string>
+
+#include "api/dataset_session.h"
+#include "common/status.h"
+#include "engine/thread_pool.h"
+
+namespace ppdm::api {
+
+/// Resource bounds for a SessionRegistry.
+struct SessionRegistryOptions {
+  /// Total ApproxMemoryBytes() budget across registered sessions; 0 means
+  /// unbounded. When an Open pushes the total over the budget, LRU
+  /// sessions are evicted until it fits (the session just opened is never
+  /// evicted by its own Open, so a single over-budget session still
+  /// serves — the budget bounds what the registry *retains*).
+  std::size_t max_bytes = 0;
+
+  /// Evict sessions idle (no Open/Lookup touch) longer than this; zero
+  /// disables TTL eviction. Expiry is enforced on every Open/Lookup and
+  /// via SweepExpired() for callers that want a periodic sweep.
+  std::chrono::milliseconds ttl{0};
+
+  /// Test hook: the clock TTL idleness is measured on. Defaults to
+  /// std::chrono::steady_clock::now.
+  std::function<std::chrono::steady_clock::time_point()> clock;
+};
+
+/// Named open/lookup/close of dataset sessions with LRU + TTL eviction
+/// under a byte budget. All operations are thread-safe.
+class SessionRegistry {
+ public:
+  explicit SessionRegistry(SessionRegistryOptions options,
+                           engine::ThreadPool* pool = nullptr);
+
+  /// Validates `spec`, opens a session backed by the registry's pool, and
+  /// registers it under `name` (kFailedPrecondition if the name is taken).
+  /// May evict LRU/expired sessions to make room.
+  Result<std::shared_ptr<DatasetSession>> Open(const std::string& name,
+                                               const DatasetSessionSpec& spec);
+
+  /// The session registered under `name` (touching its LRU recency), or
+  /// null when absent or expired.
+  std::shared_ptr<DatasetSession> Lookup(const std::string& name);
+
+  /// Drops the registry's reference to `name`. Returns false when absent.
+  /// In-flight users holding the shared_ptr are unaffected.
+  bool Close(const std::string& name);
+
+  /// Evicts every TTL-expired session now; returns how many.
+  std::size_t SweepExpired();
+
+  /// Occupancy and eviction counters.
+  struct Stats {
+    std::size_t open_sessions = 0;  ///< Sessions currently registered.
+    std::size_t approx_bytes = 0;   ///< Sum of ApproxMemoryBytes().
+    std::uint64_t evictions = 0;    ///< Budget + TTL evictions (not Close).
+    std::uint64_t ttl_evictions = 0;///< The TTL share of `evictions`.
+    std::uint64_t lookups = 0;      ///< Lookup() calls.
+    std::uint64_t misses = 0;       ///< Lookups that found nothing.
+  };
+  Stats GetStats() const;
+
+  const SessionRegistryOptions& options() const { return options_; }
+
+ private:
+  struct Entry {
+    std::shared_ptr<DatasetSession> session;
+    std::chrono::steady_clock::time_point last_used;
+    std::uint64_t recency = 0;  ///< Monotone LRU tick of the last touch.
+  };
+
+  std::chrono::steady_clock::time_point Now() const;
+  void TouchLocked(Entry* entry);
+  std::size_t SweepExpiredLocked();
+  /// Evicts LRU entries (never `keep`) until the byte total fits.
+  void EnforceBudgetLocked(const std::string& keep);
+  std::size_t TotalBytesLocked() const;
+
+  const SessionRegistryOptions options_;
+  engine::ThreadPool* const pool_;
+
+  mutable std::mutex mu_;
+  std::map<std::string, Entry> entries_;  // guarded by mu_
+  std::uint64_t tick_ = 0;                // guarded by mu_
+  std::uint64_t evictions_ = 0;           // guarded by mu_
+  std::uint64_t ttl_evictions_ = 0;       // guarded by mu_
+  std::uint64_t lookups_ = 0;             // guarded by mu_
+  std::uint64_t misses_ = 0;              // guarded by mu_
+};
+
+}  // namespace ppdm::api
+
+#endif  // PPDM_API_REGISTRY_H_

@@ -30,6 +30,7 @@
 #include <optional>
 #include <utility>
 
+#include "api/dataset_session.h"
 #include "api/session.h"
 #include "api/spec.h"
 #include "common/status.h"
@@ -144,6 +145,14 @@ class Service {
   Result<std::unique_ptr<ReconstructionSession>> OpenSession(
       const SessionSpec& spec) const {
     return ReconstructionSession::Open(spec, pool_.get());
+  }
+
+  /// Opens a dataset-level session backed by this service's pool: record
+  /// batches fold into every attribute in one pass, ReconstructAll fans
+  /// one warm-started fit per attribute over the workers.
+  Result<std::unique_ptr<DatasetSession>> OpenDatasetSession(
+      const DatasetSessionSpec& spec) const {
+    return DatasetSession::Open(spec, pool_.get());
   }
 
  private:

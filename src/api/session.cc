@@ -30,11 +30,9 @@ ReconstructionSession::ReconstructionSession(const SessionSpec& spec,
                                              perturb::NoiseModel model,
                                              engine::ThreadPool* pool)
     : spec_(spec),
-      partition_(spec.lo, spec.hi, spec.intervals),
-      reconstructor_(model, spec.reconstruction),
-      layout_(reconstructor_.PerturbedBinning(partition_)),
       pool_(pool),
-      stats_(layout_.bins(), /*num_classes=*/1) {}
+      state_(spec.lo, spec.hi, spec.intervals, std::move(model),
+             spec.reconstruction) {}
 
 Result<std::unique_ptr<ReconstructionSession>> ReconstructionSession::Open(
     const SessionSpec& spec, engine::ThreadPool* pool) {
@@ -63,17 +61,17 @@ Status ReconstructionSession::Ingest(const double* values,
   const std::vector<engine::ChunkRange> shards =
       engine::MakeChunks(count, spec_.shard_size);
   std::vector<engine::ShardStats> partials(
-      shards.size(), engine::ShardStats(layout_.bins(), 1));
+      shards.size(), engine::ShardStats(state_.num_bins(), 1));
   engine::ParallelFor(pool_, shards.size(), [&](std::size_t s) {
     engine::ShardStats& local = partials[s];
     for (std::size_t i = shards[s].begin; i < shards[s].end; ++i) {
-      local.Add(layout_.BinOf(values[i]), 0);
+      local.Add(state_.BinOf(values[i]), 0);
     }
   });
 
   std::lock_guard<std::mutex> lock(mu_);
   for (const engine::ShardStats& partial : partials) {
-    stats_.MergeFrom(partial);
+    state_.stats().MergeFrom(partial);
   }
   ++batches_;
   return Status::Ok();
@@ -92,28 +90,28 @@ Result<reconstruct::Reconstruction> ReconstructionSession::Reconstruct() {
   bool warm = false;
   {
     std::lock_guard<std::mutex> lock(mu_);
-    weights = stats_.BinWeights();
-    total_weight = static_cast<double>(stats_.record_count());
-    if (spec_.warm_start && !last_masses_.empty()) {
-      initial = last_masses_;
+    weights = state_.stats().BinWeights();
+    total_weight = static_cast<double>(state_.stats().record_count());
+    if (spec_.warm_start && state_.has_estimate()) {
+      initial = state_.last_masses();
       warm = true;
     }
   }
 
-  reconstruct::Reconstruction recon = reconstructor_.FitFromCounts(
-      weights, total_weight, partition_, pool_,
+  reconstruct::Reconstruction recon = state_.reconstructor().FitFromCounts(
+      weights, total_weight, state_.partition(), pool_,
       warm ? &initial : nullptr);
 
   {
     std::lock_guard<std::mutex> lock(mu_);
-    last_masses_ = recon.masses;
+    state_.set_last_masses(recon.masses);
   }
   return recon;
 }
 
 std::uint64_t ReconstructionSession::record_count() const {
   std::lock_guard<std::mutex> lock(mu_);
-  return stats_.record_count();
+  return state_.stats().record_count();
 }
 
 std::uint64_t ReconstructionSession::batch_count() const {
@@ -123,7 +121,13 @@ std::uint64_t ReconstructionSession::batch_count() const {
 
 bool ReconstructionSession::has_estimate() const {
   std::lock_guard<std::mutex> lock(mu_);
-  return !last_masses_.empty();
+  return state_.has_estimate();
+}
+
+std::size_t ReconstructionSession::ApproxMemoryBytes() const {
+  std::lock_guard<std::mutex> lock(mu_);
+  // state_ is embedded by value, so sizeof(*this) already covers it.
+  return sizeof(*this) + state_.ApproxHeapBytes();
 }
 
 }  // namespace ppdm::api

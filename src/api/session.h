@@ -27,13 +27,12 @@
 #include <mutex>
 #include <vector>
 
+#include "api/attribute_state.h"
 #include "common/status.h"
-#include "engine/shard_stats.h"
 #include "engine/thread_pool.h"
 #include "perturb/noise_model.h"
 #include "reconstruct/partition.h"
 #include "reconstruct/reconstructor.h"
-#include "stats/histogram.h"
 
 namespace ppdm::api {
 
@@ -101,10 +100,16 @@ class ReconstructionSession {
   /// True once Reconstruct() has produced an estimate.
   bool has_estimate() const;
 
+  /// Approximate resident bytes of the session (state plus counts) — the
+  /// unit registry byte budgets account in.
+  std::size_t ApproxMemoryBytes() const;
+
   const SessionSpec& spec() const { return spec_; }
-  const reconstruct::Partition& partition() const { return partition_; }
+  const reconstruct::Partition& partition() const {
+    return state_.partition();
+  }
   const perturb::NoiseModel& noise_model() const {
-    return reconstructor_.noise();
+    return state_.noise_model();
   }
 
  private:
@@ -112,16 +117,11 @@ class ReconstructionSession {
                         engine::ThreadPool* pool);
 
   const SessionSpec spec_;
-  const reconstruct::Partition partition_;
-  const reconstruct::BayesReconstructor reconstructor_;
-  /// Perturbed-value bin layout; fixed for the session's lifetime.
-  const stats::Histogram layout_;
   engine::ThreadPool* const pool_;
 
   mutable std::mutex mu_;
-  engine::ShardStats stats_;        // guarded by mu_
-  std::uint64_t batches_ = 0;       // guarded by mu_
-  std::vector<double> last_masses_; // guarded by mu_; empty until first fit
+  AttributeState state_;       // counts + warm masses guarded by mu_
+  std::uint64_t batches_ = 0;  // guarded by mu_
 };
 
 }  // namespace ppdm::api

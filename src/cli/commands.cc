@@ -4,9 +4,12 @@
 #include <chrono>
 #include <ostream>
 
+#include "api/dataset_session.h"
+#include "api/registry.h"
 #include "api/service.h"
 #include "api/session.h"
 #include "api/spec.h"
+#include "data/row_batch.h"
 #include "common/strings.h"
 #include "core/metrics.h"
 #include "data/csv.h"
@@ -114,15 +117,19 @@ const char* UsageText() {
       "              [--intervals=K] [--print-tree]\n"
       "              [--threads=T] [--shard-size=N]\n"
       "  serve-sim   [--records=N] [--batch-records=B] [--refresh=R]\n"
-      "              [--attribute=NAME] [--function=1..5] [--noise=...]\n"
-      "              [--privacy=F] [--confidence=C] [--intervals=K]\n"
-      "              [--seed=S] [--threads=T] [--shard-size=N]\n"
+      "              [--attribute=NAME | --attrs=A] [--function=1..5]\n"
+      "              [--noise=...] [--privacy=F] [--confidence=C]\n"
+      "              [--intervals=K] [--registry-mb=M] [--seed=S]\n"
+      "              [--threads=T] [--shard-size=N]\n"
       "\n"
       "serve-sim simulates the paper's server: providers submit perturbed\n"
-      "records in batches of B; a streaming ReconstructionSession folds\n"
-      "each batch in on arrival and the estimate is refreshed every R\n"
-      "batches (EM warm-started from the previous estimate), reporting\n"
-      "reconstruction error against the true distribution.\n"
+      "records in batches of B; a DatasetSession folds each record batch\n"
+      "into every tracked attribute in one pass and every R batches all\n"
+      "estimates are refreshed (EM warm-started), reporting reconstruction\n"
+      "error against the true distributions. --attrs=A tracks the first A\n"
+      "benchmark attributes (--attribute tracks one by name); the session\n"
+      "lives in a SessionRegistry whose byte budget --registry-mb=M (0 =\n"
+      "unbounded) is reported with occupancy/evictions at the end.\n"
       "\n"
       "All CSV files use the benchmark schema (salary..loan, class).\n"
       "For train/reconstruct, --noise/--privacy must describe the noise\n"
@@ -318,9 +325,10 @@ Status RunTrain(const Args& args, std::ostream& out) {
 
 Status RunServeSim(const Args& args, std::ostream& out) {
   if (Status s = args.CheckKnown({"records", "batch-records", "refresh",
-                                  "attribute", "function", "noise",
+                                  "attribute", "attrs", "function", "noise",
                                   "privacy", "confidence", "intervals",
-                                  "seed", "threads", "shard-size"});
+                                  "registry-mb", "seed", "threads",
+                                  "shard-size"});
       !s.ok()) {
     return s;
   }
@@ -335,95 +343,147 @@ Status RunServeSim(const Args& args, std::ostream& out) {
   }
   PPDM_ASSIGN_OR_RETURN(const long long intervals,
                         args.GetInt("intervals", 30));
+  PPDM_ASSIGN_OR_RETURN(const long long registry_mb,
+                        args.GetInt("registry-mb", 0));
+  if (registry_mb < 0) {
+    return Status::InvalidArgument("--registry-mb must be >= 0");
+  }
   PPDM_ASSIGN_OR_RETURN(const synth::Function function,
                         FunctionFromFlag(args));
   PPDM_ASSIGN_OR_RETURN(const engine::BatchOptions batch_options,
                         BatchFromFlags(args));
   PPDM_ASSIGN_OR_RETURN(const perturb::RandomizerOptions noise_options,
                         NoiseOptionsFromFlags(args));
-  const std::string attribute = args.GetString("attribute", "salary");
   const data::Schema schema = synth::BenchmarkSchema();
-  PPDM_ASSIGN_OR_RETURN(const std::size_t col, schema.IndexOf(attribute));
 
-  // The session spec is the validated contract; everything below it is
-  // deterministic in (seed, shard_size).
-  api::SessionSpec session_spec;
-  session_spec.lo = schema.Field(col).lo;
-  session_spec.hi = schema.Field(col).hi;
-  session_spec.intervals =
-      static_cast<std::size_t>(std::max<long long>(intervals, 0));
-  session_spec.noise = noise_options.kind;
-  session_spec.privacy_fraction = noise_options.privacy_fraction;
-  session_spec.confidence = noise_options.confidence;
+  // Tracked attributes: the first --attrs benchmark columns, or the one
+  // named by --attribute.
+  PPDM_ASSIGN_OR_RETURN(const long long attrs, args.GetInt("attrs", 0));
+  if (attrs < 0 ||
+      attrs > static_cast<long long>(schema.NumFields())) {
+    return Status::InvalidArgument(
+        StrFormat("--attrs must be in 0..%zu", schema.NumFields()));
+  }
+  std::vector<std::size_t> columns;
+  if (attrs > 0) {
+    if (args.Has("attribute")) {
+      return Status::InvalidArgument(
+          "--attrs and --attribute are alternatives; pass one");
+    }
+    for (long long c = 0; c < attrs; ++c) {
+      columns.push_back(static_cast<std::size_t>(c));
+    }
+  } else {
+    const std::string attribute = args.GetString("attribute", "salary");
+    PPDM_ASSIGN_OR_RETURN(const std::size_t col, schema.IndexOf(attribute));
+    columns.push_back(col);
+  }
+
+  // The dataset-session spec is the validated contract; everything below
+  // it is deterministic in (seed, shard_size).
+  api::DatasetSessionSpec session_spec;
+  session_spec.schema = schema;
+  for (std::size_t col : columns) {
+    api::AttributeSpec attr;
+    attr.column = col;
+    attr.intervals =
+        static_cast<std::size_t>(std::max<long long>(intervals, 0));
+    attr.noise = noise_options.kind;
+    attr.privacy_fraction = noise_options.privacy_fraction;
+    attr.confidence = noise_options.confidence;
+    session_spec.attributes.push_back(attr);
+  }
   session_spec.shard_size = batch_options.shard_size;
 
   PPDM_ASSIGN_OR_RETURN(const std::unique_ptr<api::Service> service,
                         api::Service::Create(batch_options));
-  PPDM_ASSIGN_OR_RETURN(std::unique_ptr<api::ReconstructionSession> session,
-                        service->OpenSession(session_spec));
+  api::SessionRegistryOptions registry_options;
+  registry_options.max_bytes =
+      static_cast<std::size_t>(registry_mb) << 20;
+  api::SessionRegistry registry(registry_options, service->pool());
+  PPDM_ASSIGN_OR_RETURN(const std::shared_ptr<api::DatasetSession> session,
+                        registry.Open("serve-sim", session_spec));
 
-  // Provider side, simulated: generate true records, perturb them all up
-  // front (the noise the providers would add locally), then replay the
-  // perturbed column as an arrival stream.
+  // Provider side, simulated: stream true records and add each tracked
+  // attribute's calibrated noise per record — the server sees only the
+  // perturbed rows. No Dataset is ever materialized.
   synth::GeneratorOptions gen;
   gen.num_records = static_cast<std::size_t>(records);
   gen.function = function;
   gen.seed = noise_options.seed;
-  const data::Dataset original = synth::Generate(gen);
-  const perturb::Randomizer randomizer(schema, noise_options);
-  const data::Dataset perturbed =
-      service->pool() == nullptr
-          ? randomizer.Perturb(original)
-          : randomizer.Perturb(original, service->pool(),
-                               batch_options.shard_size);
-  const std::vector<double>& stream = perturbed.Column(col);
+  synth::RecordStream stream(gen);
+  Rng noise_rng(noise_options.seed ^ 0x9E3779B97F4A7C15ULL);
 
-  // True distribution, for the error column of the report.
-  stats::Histogram truth(session_spec.lo, session_spec.hi,
-                         session_spec.intervals);
-  truth.AddAll(original.Column(col));
-  const std::vector<double> truth_masses = truth.Masses();
+  // True per-attribute distributions, for the error column of the report.
+  std::vector<stats::Histogram> truth;
+  for (std::size_t a = 0; a < columns.size(); ++a) {
+    const reconstruct::Partition& partition = session->partition(a);
+    truth.emplace_back(partition.lo(), partition.hi(),
+                       partition.intervals());
+  }
 
   out << StrFormat(
-      "serving '%s' (%s noise, privacy %.0f%%): %lld records in batches "
-      "of %lld, refresh every %lld batches\n",
-      attribute.c_str(), perturb::NoiseKindName(noise_options.kind).c_str(),
+      "serving %zu attribute(s) (%s noise, privacy %.0f%%): %lld records "
+      "in batches of %lld, refresh every %lld batches\n",
+      columns.size(), perturb::NoiseKindName(noise_options.kind).c_str(),
       100.0 * noise_options.privacy_fraction, records, batch_records,
       refresh);
   out << StrFormat("%10s %10s %8s %10s %12s\n", "batch", "records",
                    "EM iter", "tv(truth)", "refresh ms");
 
   const auto t0 = std::chrono::steady_clock::now();
+  std::vector<double> perturbed;
   std::size_t batch_index = 0;
-  std::size_t offset = 0;
-  while (offset < stream.size()) {
-    const std::size_t take = std::min(
-        static_cast<std::size_t>(batch_records), stream.size() - offset);
-    PPDM_RETURN_IF_ERROR(session->Ingest(stream.data() + offset, take));
-    offset += take;
+  while (!stream.Done()) {
+    const data::RowBatch true_rows =
+        stream.Next(static_cast<std::size_t>(batch_records));
+    perturbed.assign(true_rows.values(),
+                     true_rows.values() +
+                         true_rows.num_rows() * true_rows.num_cols());
+    for (std::size_t r = 0; r < true_rows.num_rows(); ++r) {
+      double* row = perturbed.data() + r * true_rows.num_cols();
+      for (std::size_t a = 0; a < columns.size(); ++a) {
+        truth[a].Add(row[columns[a]]);
+        row[columns[a]] += session->noise_model(a).Sample(&noise_rng);
+      }
+    }
+    // Route each batch's access through Lookup so the registry's recency
+    // and lookup counters reflect the traffic. (With one session and no
+    // TTL it can never miss; eviction pressure needs a second tenant.)
+    (void)registry.Lookup("serve-sim");
+    PPDM_RETURN_IF_ERROR(session->Ingest(
+        data::RowBatch(perturbed.data(), true_rows.num_rows(),
+                       true_rows.num_cols())));
     ++batch_index;
 
-    const bool last = offset >= stream.size();
+    const bool last = stream.Done();
     if (batch_index % static_cast<std::size_t>(refresh) != 0 && !last) {
       continue;
     }
-    // Refresh from the frontend thread: the EM E-step fans out over the
-    // service pool this way. (A real server would Submit() the refresh
-    // and keep ingesting — see api_test's StreamingSessionDrivenByAsync-
-    // Jobs — but this loop blocks on the estimate anyway, and a job
-    // occupies one worker with engine primitives running inline, which
-    // would both serialize the EM and misreport the refresh latency.)
+    // Refresh from the frontend thread: the per-attribute fits fan out
+    // over the service pool this way. (A real server would Submit() the
+    // refresh and keep ingesting, but this loop blocks on the estimate
+    // anyway, and a job occupies one worker, which would serialize the
+    // fan-out and misreport the refresh latency.)
     const auto fit_start = std::chrono::steady_clock::now();
-    PPDM_ASSIGN_OR_RETURN(const reconstruct::Reconstruction estimate,
-                          session->Reconstruct());
+    PPDM_ASSIGN_OR_RETURN(
+        const std::vector<reconstruct::Reconstruction> estimates,
+        session->ReconstructAll());
     const double fit_ms =
         std::chrono::duration<double, std::milli>(
             std::chrono::steady_clock::now() - fit_start)
             .count();
+    std::size_t max_iterations = 0;
+    double tv_sum = 0.0;
+    for (std::size_t a = 0; a < estimates.size(); ++a) {
+      max_iterations = std::max(max_iterations, estimates[a].iterations);
+      tv_sum += stats::TotalVariation(estimates[a].masses,
+                                      truth[a].Masses());
+    }
     out << StrFormat("%10zu %10zu %8zu %10.4f %12.2f\n", batch_index,
                      static_cast<std::size_t>(session->record_count()),
-                     estimate.iterations,
-                     stats::TotalVariation(estimate.masses, truth_masses),
+                     max_iterations,
+                     tv_sum / static_cast<double>(estimates.size()),
                      fit_ms);
   }
   const double total_ms = std::chrono::duration<double, std::milli>(
@@ -434,6 +494,16 @@ Status RunServeSim(const Args& args, std::ostream& out) {
       "(threads=%zu, warm-started refreshes)\n",
       static_cast<std::size_t>(session->record_count()), batch_index,
       total_ms, batch_options.num_threads);
+  const api::SessionRegistry::Stats registry_stats = registry.GetStats();
+  const std::string budget =
+      registry_mb == 0 ? "unbounded" : StrFormat("%lld MiB", registry_mb);
+  out << StrFormat(
+      "registry: %zu session(s), %.1f KiB resident (budget %s), "
+      "%llu eviction(s)\n",
+      registry_stats.open_sessions,
+      static_cast<double>(registry_stats.approx_bytes) / 1024.0,
+      budget.c_str(),
+      static_cast<unsigned long long>(registry_stats.evictions));
   return Status::Ok();
 }
 

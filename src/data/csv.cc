@@ -5,6 +5,46 @@
 #include "common/strings.h"
 
 namespace ppdm::data {
+namespace {
+
+/// Validates the header line against the schema (attribute names in order,
+/// then "class").
+Status CheckHeader(const std::string& line, const Schema& schema) {
+  const std::vector<std::string> header = Split(Trim(line), ',');
+  if (header.size() != schema.NumFields() + 1) {
+    return Status::InvalidArgument(
+        StrFormat("header has %zu columns, schema expects %zu", header.size(),
+                  schema.NumFields() + 1));
+  }
+  for (std::size_t c = 0; c < schema.NumFields(); ++c) {
+    if (Trim(header[c]) != schema.Field(c).name) {
+      return Status::InvalidArgument("header column '" + header[c] +
+                                     "' does not match schema attribute '" +
+                                     schema.Field(c).name + "'");
+    }
+  }
+  if (Trim(header.back()) != "class") {
+    return Status::InvalidArgument("last header column must be 'class'");
+  }
+  return Status::Ok();
+}
+
+/// Non-empty data lines after the header, so ReadCsv can Reserve exactly.
+Result<std::size_t> CountDataLines(const std::string& path) {
+  std::ifstream in(path);
+  if (!in) return Status::IoError("cannot open '" + path + "' for reading");
+  std::string line;
+  if (!std::getline(in, line)) {
+    return Status::IoError("'" + path + "' is empty");
+  }
+  std::size_t rows = 0;
+  while (std::getline(in, line)) {
+    if (!Trim(line).empty()) ++rows;
+  }
+  return rows;
+}
+
+}  // namespace
 
 Status WriteCsv(const Dataset& dataset, const std::string& path) {
   std::ofstream out(path);
@@ -27,8 +67,13 @@ Status WriteCsv(const Dataset& dataset, const std::string& path) {
   return Status::Ok();
 }
 
-Result<Dataset> ReadCsv(const Schema& schema, int num_classes,
-                        const std::string& path) {
+Result<std::size_t> ReadCsvBatches(
+    const Schema& schema, int num_classes, const std::string& path,
+    std::size_t batch_rows,
+    const std::function<Status(const RowBatch&)>& sink) {
+  if (batch_rows == 0) {
+    return Status::InvalidArgument("batch_rows must be positive");
+  }
   std::ifstream in(path);
   if (!in) return Status::IoError("cannot open '" + path + "' for reading");
 
@@ -36,37 +81,35 @@ Result<Dataset> ReadCsv(const Schema& schema, int num_classes,
   if (!std::getline(in, line)) {
     return Status::IoError("'" + path + "' is empty");
   }
-  const std::vector<std::string> header = Split(Trim(line), ',');
-  if (header.size() != schema.NumFields() + 1) {
-    return Status::InvalidArgument(
-        StrFormat("header has %zu columns, schema expects %zu", header.size(),
-                  schema.NumFields() + 1));
-  }
-  for (std::size_t c = 0; c < schema.NumFields(); ++c) {
-    if (Trim(header[c]) != schema.Field(c).name) {
-      return Status::InvalidArgument("header column '" + header[c] +
-                                     "' does not match schema attribute '" +
-                                     schema.Field(c).name + "'");
-    }
-  }
-  if (Trim(header.back()) != "class") {
-    return Status::InvalidArgument("last header column must be 'class'");
-  }
+  PPDM_RETURN_IF_ERROR(CheckHeader(line, schema));
 
-  Dataset dataset(schema, num_classes);
-  std::vector<double> row(schema.NumFields());
+  const std::size_t cols = schema.NumFields();
+  std::vector<double> values(batch_rows * cols);
+  std::vector<int> labels(batch_rows);
+  std::size_t filled = 0;
+  std::size_t total = 0;
   std::size_t line_no = 1;
+
+  const auto flush = [&]() -> Status {
+    if (filled == 0) return Status::Ok();
+    const Status s = sink(RowBatch(values.data(), filled, cols,
+                                   labels.data()));
+    filled = 0;
+    return s;
+  };
+
   while (std::getline(in, line)) {
     ++line_no;
     const std::string_view trimmed = Trim(line);
     if (trimmed.empty()) continue;
     const std::vector<std::string> fields = Split(trimmed, ',');
-    if (fields.size() != schema.NumFields() + 1) {
+    if (fields.size() != cols + 1) {
       return Status::InvalidArgument(
           StrFormat("line %zu has %zu fields, expected %zu", line_no,
-                    fields.size(), schema.NumFields() + 1));
+                    fields.size(), cols + 1));
     }
-    for (std::size_t c = 0; c < schema.NumFields(); ++c) {
+    double* row = values.data() + filled * cols;
+    for (std::size_t c = 0; c < cols; ++c) {
       PPDM_ASSIGN_OR_RETURN(row[c], ParseDouble(fields[c]));
     }
     PPDM_ASSIGN_OR_RETURN(const long long label, ParseInt(fields.back()));
@@ -75,8 +118,27 @@ Result<Dataset> ReadCsv(const Schema& schema, int num_classes,
           StrFormat("line %zu: label %lld out of range [0, %d)", line_no,
                     label, num_classes));
     }
-    dataset.AddRow(row, static_cast<int>(label));
+    labels[filled] = static_cast<int>(label);
+    ++filled;
+    ++total;
+    if (filled == batch_rows) PPDM_RETURN_IF_ERROR(flush());
   }
+  PPDM_RETURN_IF_ERROR(flush());
+  return total;
+}
+
+Result<Dataset> ReadCsv(const Schema& schema, int num_classes,
+                        const std::string& path) {
+  PPDM_ASSIGN_OR_RETURN(const std::size_t rows, CountDataLines(path));
+  Dataset dataset(schema, num_classes);
+  dataset.Reserve(rows);
+  PPDM_RETURN_IF_ERROR(ReadCsvBatches(schema, num_classes, path,
+                                      /*batch_rows=*/4096,
+                                      [&dataset](const RowBatch& batch) {
+                                        dataset.AddRows(batch);
+                                        return Status::Ok();
+                                      })
+                           .status());
   return dataset;
 }
 

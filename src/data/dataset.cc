@@ -11,6 +11,11 @@ Dataset::Dataset(Schema schema, int num_classes)
   columns_.resize(schema_.NumFields());
 }
 
+void Dataset::Reserve(std::size_t rows) {
+  for (std::vector<double>& column : columns_) column.reserve(rows);
+  labels_.reserve(rows);
+}
+
 void Dataset::AddRow(const std::vector<double>& values, int label) {
   PPDM_CHECK_EQ(values.size(), columns_.size());
   PPDM_CHECK(label >= 0 && label < num_classes_);
@@ -18,6 +23,22 @@ void Dataset::AddRow(const std::vector<double>& values, int label) {
     columns_[c].push_back(values[c]);
   }
   labels_.push_back(label);
+}
+
+void Dataset::AddRows(const RowBatch& rows) {
+  PPDM_CHECK_EQ(rows.num_cols(), columns_.size());
+  PPDM_CHECK(rows.has_labels() || rows.empty());
+  for (std::size_t c = 0; c < columns_.size(); ++c) {
+    std::vector<double>& column = columns_[c];
+    for (std::size_t r = 0; r < rows.num_rows(); ++r) {
+      column.push_back(rows.At(r, c));
+    }
+  }
+  for (std::size_t r = 0; r < rows.num_rows(); ++r) {
+    const int label = rows.Label(r);
+    PPDM_CHECK(label >= 0 && label < num_classes_);
+    labels_.push_back(label);
+  }
 }
 
 double Dataset::At(std::size_t row, std::size_t col) const {

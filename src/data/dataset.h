@@ -12,6 +12,7 @@
 #include <vector>
 
 #include "common/status.h"
+#include "data/row_batch.h"
 #include "data/schema.h"
 
 namespace ppdm::data {
@@ -27,9 +28,18 @@ class Dataset {
   std::size_t NumRows() const { return labels_.size(); }
   std::size_t NumCols() const { return columns_.size(); }
 
+  /// Pre-sizes every column (and the label vector) for `rows` total rows,
+  /// so a loader that knows its record count ahead of AddRow/AddRows never
+  /// regrows a column vector mid-ingest.
+  void Reserve(std::size_t rows);
+
   /// Appends one row. `values` must have exactly NumCols() entries and
   /// `label` must be in [0, num_classes).
   void AddRow(const std::vector<double>& values, int label);
+
+  /// Appends a labelled record batch (column-major scatter of the
+  /// row-major view). `rows` must have NumCols() columns and labels.
+  void AddRows(const RowBatch& rows);
 
   /// Value of attribute `col` in row `row`.
   double At(std::size_t row, std::size_t col) const;

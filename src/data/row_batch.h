@@ -1,0 +1,81 @@
+// Record-oriented batch view: the arrival shape of the paper's setting.
+//
+// Providers submit whole perturbed *records*, so ingestion paths (CSV
+// streaming, the synth record stream, dataset-level sessions) deal in
+// row-major batches. A RowBatch is a non-owning view over a contiguous
+// row-major buffer — num_rows × num_cols doubles plus an optional label
+// per row — so record batches can flow through the system without
+// materializing a column-major Dataset first. The viewed buffers must
+// outlive the batch.
+
+#ifndef PPDM_DATA_ROW_BATCH_H_
+#define PPDM_DATA_ROW_BATCH_H_
+
+#include <cstddef>
+
+#include "common/check.h"
+
+namespace ppdm::data {
+
+/// A borrowed view of `num_rows` records of `num_cols` attributes each,
+/// laid out row-major, with an optional per-row class label.
+class RowBatch {
+ public:
+  RowBatch() = default;
+
+  /// Views `num_rows * num_cols` doubles at `values` (row-major) and, when
+  /// `labels` is non-null, `num_rows` ints at `labels`.
+  RowBatch(const double* values, std::size_t num_rows, std::size_t num_cols,
+           const int* labels = nullptr)
+      : values_(values),
+        labels_(labels),
+        num_rows_(num_rows),
+        num_cols_(num_cols) {
+    PPDM_CHECK(values != nullptr || num_rows == 0);
+    PPDM_CHECK_GT(num_cols, 0u);
+  }
+
+  std::size_t num_rows() const { return num_rows_; }
+  std::size_t num_cols() const { return num_cols_; }
+  bool empty() const { return num_rows_ == 0; }
+  bool has_labels() const { return labels_ != nullptr; }
+
+  /// Pointer to row `r`'s `num_cols()` attribute values.
+  const double* row(std::size_t r) const {
+    PPDM_CHECK_LT(r, num_rows_);
+    return values_ + r * num_cols_;
+  }
+
+  /// Value of attribute `c` in row `r`.
+  double At(std::size_t r, std::size_t c) const {
+    PPDM_CHECK_LT(c, num_cols_);
+    return row(r)[c];
+  }
+
+  /// Class label of row `r`; only valid when has_labels().
+  int Label(std::size_t r) const {
+    PPDM_CHECK(labels_ != nullptr);
+    PPDM_CHECK_LT(r, num_rows_);
+    return labels_[r];
+  }
+
+  const double* values() const { return values_; }
+  const int* labels() const { return labels_; }
+
+  /// Sub-view of rows [begin, begin + count).
+  RowBatch Slice(std::size_t begin, std::size_t count) const {
+    PPDM_CHECK(begin + count <= num_rows_);
+    return RowBatch(values_ + begin * num_cols_, count, num_cols_,
+                    labels_ == nullptr ? nullptr : labels_ + begin);
+  }
+
+ private:
+  const double* values_ = nullptr;
+  const int* labels_ = nullptr;
+  std::size_t num_rows_ = 0;
+  std::size_t num_cols_ = 0;
+};
+
+}  // namespace ppdm::data
+
+#endif  // PPDM_DATA_ROW_BATCH_H_

@@ -53,6 +53,12 @@ class ShardStats {
   /// One class's bin counts as EM weights (doubles).
   std::vector<double> BinWeightsForClass(std::size_t klass) const;
 
+  /// Heap bytes held by the counts table — the accounting unit for
+  /// session memory budgets (per-session ApproxMemoryBytes sums these).
+  std::size_t ApproxHeapBytes() const {
+    return counts_.capacity() * sizeof(std::uint64_t);
+  }
+
  private:
   std::size_t num_bins_ = 0;
   std::size_t num_classes_ = 0;

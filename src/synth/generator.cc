@@ -1,5 +1,7 @@
 #include "synth/generator.h"
 
+#include <algorithm>
+
 #include "common/check.h"
 
 namespace ppdm::synth {
@@ -22,25 +24,28 @@ data::Schema BenchmarkSchema() {
   return data::Schema(std::move(fields));
 }
 
-std::vector<double> SampleRecord(Rng* rng) {
+void SampleRecordInto(Rng* rng, double* out) {
   PPDM_CHECK(rng != nullptr);
+  out[kSalary] = rng->UniformReal(20000.0, 150000.0);
+  out[kCommission] =
+      out[kSalary] >= 75000.0 ? 0.0 : rng->UniformReal(10000.0, 75000.0);
+  out[kAge] = rng->UniformReal(20.0, 80.0);
+  out[kElevel] = static_cast<double>(rng->UniformInt(0, 4));
+  out[kCar] = static_cast<double>(rng->UniformInt(1, 20));
+  out[kZipcode] = static_cast<double>(rng->UniformInt(0, 8));
+  const double k = out[kZipcode] + 1.0;
+  out[kHvalue] = rng->UniformReal(k * 50000.0, k * 150000.0);
+  out[kHyears] = static_cast<double>(rng->UniformInt(1, 30));
+  out[kLoan] = rng->UniformReal(0.0, 500000.0);
+}
+
+std::vector<double> SampleRecord(Rng* rng) {
   std::vector<double> r(kNumAttributes);
-  r[kSalary] = rng->UniformReal(20000.0, 150000.0);
-  r[kCommission] =
-      r[kSalary] >= 75000.0 ? 0.0 : rng->UniformReal(10000.0, 75000.0);
-  r[kAge] = rng->UniformReal(20.0, 80.0);
-  r[kElevel] = static_cast<double>(rng->UniformInt(0, 4));
-  r[kCar] = static_cast<double>(rng->UniformInt(1, 20));
-  r[kZipcode] = static_cast<double>(rng->UniformInt(0, 8));
-  const double k = r[kZipcode] + 1.0;
-  r[kHvalue] = rng->UniformReal(k * 50000.0, k * 150000.0);
-  r[kHyears] = static_cast<double>(rng->UniformInt(1, 30));
-  r[kLoan] = rng->UniformReal(0.0, 500000.0);
+  SampleRecordInto(rng, r.data());
   return r;
 }
 
-FunctionInputs InputsOf(const std::vector<double>& record) {
-  PPDM_CHECK_EQ(record.size(), static_cast<std::size_t>(kNumAttributes));
+FunctionInputs InputsOf(const double* record) {
   FunctionInputs in;
   in.salary = record[kSalary];
   in.commission = record[kCommission];
@@ -50,17 +55,41 @@ FunctionInputs InputsOf(const std::vector<double>& record) {
   return in;
 }
 
-data::Dataset Generate(const GeneratorOptions& options) {
+FunctionInputs InputsOf(const std::vector<double>& record) {
+  PPDM_CHECK_EQ(record.size(), static_cast<std::size_t>(kNumAttributes));
+  return InputsOf(record.data());
+}
+
+RecordStream::RecordStream(const GeneratorOptions& options)
+    : options_(options), rng_(options.seed) {
   PPDM_CHECK(options.label_noise >= 0.0 && options.label_noise <= 1.0);
-  Rng rng(options.seed);
-  data::Dataset dataset(BenchmarkSchema(), /*num_classes=*/2);
-  for (std::size_t i = 0; i < options.num_records; ++i) {
-    const std::vector<double> record = SampleRecord(&rng);
-    int label = LabelOf(options.function, InputsOf(record));
-    if (options.label_noise > 0.0 && rng.Bernoulli(options.label_noise)) {
+}
+
+data::RowBatch RecordStream::Next(std::size_t max_rows) {
+  PPDM_CHECK_GT(max_rows, 0u);
+  const std::size_t take = std::min(max_rows, remaining());
+  values_.resize(take * kNumAttributes);
+  labels_.resize(take);
+  for (std::size_t i = 0; i < take; ++i) {
+    double* row = values_.data() + i * kNumAttributes;
+    SampleRecordInto(&rng_, row);
+    int label = LabelOf(options_.function, InputsOf(row));
+    if (options_.label_noise > 0.0 && rng_.Bernoulli(options_.label_noise)) {
       label = 1 - label;
     }
-    dataset.AddRow(record, label);
+    labels_[i] = label;
+  }
+  emitted_ += take;
+  return data::RowBatch(values_.data(), take, kNumAttributes,
+                        labels_.data());
+}
+
+data::Dataset Generate(const GeneratorOptions& options) {
+  data::Dataset dataset(BenchmarkSchema(), /*num_classes=*/2);
+  dataset.Reserve(options.num_records);
+  RecordStream stream(options);
+  while (!stream.Done()) {
+    dataset.AddRows(stream.Next(/*max_rows=*/4096));
   }
   return dataset;
 }

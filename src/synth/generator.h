@@ -7,9 +7,11 @@
 #define PPDM_SYNTH_GENERATOR_H_
 
 #include <cstdint>
+#include <vector>
 
 #include "common/random.h"
 #include "data/dataset.h"
+#include "data/row_batch.h"
 #include "synth/functions.h"
 
 namespace ppdm::synth {
@@ -53,12 +55,43 @@ struct GeneratorOptions {
 /// Generates a labelled dataset (2 classes: 0 = Group A, 1 = Group B).
 data::Dataset Generate(const GeneratorOptions& options);
 
+/// Streams the exact record sequence Generate(options) would produce as
+/// row-major labelled batches, without materializing a Dataset — the
+/// provider-side arrival shape for record-oriented ingestion. Each Next()
+/// view aliases an internal buffer and is valid until the next call.
+class RecordStream {
+ public:
+  explicit RecordStream(const GeneratorOptions& options);
+
+  /// Records not yet emitted.
+  std::size_t remaining() const { return options_.num_records - emitted_; }
+  bool Done() const { return remaining() == 0; }
+
+  /// The next min(max_rows, remaining()) records as a labelled RowBatch
+  /// (empty once the stream is exhausted). max_rows must be positive.
+  data::RowBatch Next(std::size_t max_rows);
+
+ private:
+  GeneratorOptions options_;
+  Rng rng_;
+  std::size_t emitted_ = 0;
+  std::vector<double> values_;  // row-major scratch, kNumAttributes wide
+  std::vector<int> labels_;
+};
+
 /// Draws a single benchmark record (attribute values only) — exposed so
 /// tests and examples can construct records without a Dataset.
 std::vector<double> SampleRecord(Rng* rng);
 
+/// Same draw, written into `out[0..kNumAttributes)` without allocating.
+void SampleRecordInto(Rng* rng, double* out);
+
 /// Extracts the function inputs from a record laid out per AttributeIndex.
 FunctionInputs InputsOf(const std::vector<double>& record);
+
+/// Same extraction from a raw row of kNumAttributes values (row-major
+/// batch paths that never materialize a per-record vector).
+FunctionInputs InputsOf(const double* record);
 
 }  // namespace ppdm::synth
 

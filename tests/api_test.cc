@@ -6,18 +6,24 @@
 // exactly the sequential results).
 
 #include <atomic>
+#include <chrono>
 #include <cmath>
+#include <cstdint>
 #include <cstring>
 #include <memory>
 #include <optional>
+#include <string>
 #include <thread>
 #include <vector>
 
 #include <gtest/gtest.h>
 
+#include "api/dataset_session.h"
+#include "api/registry.h"
 #include "api/service.h"
 #include "api/session.h"
 #include "api/spec.h"
+#include "data/row_batch.h"
 #include "perturb/randomizer.h"
 #include "reconstruct/reconstructor.h"
 #include "synth/generator.h"
@@ -368,6 +374,314 @@ TEST(ReconstructionSessionTest, NoNoiseSessionIsExactHistogram) {
   const std::vector<double> expected{0.25, 0.125, 0.375, 0.25};
   EXPECT_EQ(estimate.value().masses, expected);
   EXPECT_EQ(estimate.value().sample_count, 8u);
+}
+
+// -------------------------------------------------------- dataset session
+
+/// A dataset-session spec over the first `num_attrs` benchmark columns.
+DatasetSessionSpec BenchmarkDatasetSpec(std::size_t num_attrs,
+                                        std::size_t intervals = 16) {
+  DatasetSessionSpec spec;
+  spec.schema = synth::BenchmarkSchema();
+  for (std::size_t column = 0; column < num_attrs; ++column) {
+    AttributeSpec attr;
+    attr.column = column;
+    attr.intervals = intervals;
+    attr.noise = perturb::NoiseKind::kUniform;
+    attr.privacy_fraction = 1.0;
+    spec.attributes.push_back(attr);
+  }
+  spec.shard_size = 512;
+  return spec;
+}
+
+/// The StreamFixture's perturbed table flattened row-major (no labels).
+std::vector<double> FlattenRows(const data::Dataset& dataset) {
+  std::vector<double> rows(dataset.NumRows() * dataset.NumCols());
+  for (std::size_t c = 0; c < dataset.NumCols(); ++c) {
+    const std::vector<double>& column = dataset.Column(c);
+    for (std::size_t r = 0; r < dataset.NumRows(); ++r) {
+      rows[r * dataset.NumCols() + c] = column[r];
+    }
+  }
+  return rows;
+}
+
+TEST(DatasetSessionSpecValidationTest, RejectsBadSpecsWithStatusNotAbort) {
+  DatasetSessionSpec no_attrs = BenchmarkDatasetSpec(0);
+  EXPECT_EQ(no_attrs.Validate().code(), StatusCode::kInvalidArgument);
+
+  DatasetSessionSpec bad_column = BenchmarkDatasetSpec(2);
+  bad_column.attributes[1].column = 99;
+  EXPECT_EQ(bad_column.Validate().code(), StatusCode::kInvalidArgument);
+
+  DatasetSessionSpec duplicate = BenchmarkDatasetSpec(2);
+  duplicate.attributes[1].column = duplicate.attributes[0].column;
+  EXPECT_EQ(duplicate.Validate().code(), StatusCode::kInvalidArgument);
+
+  DatasetSessionSpec zero_intervals = BenchmarkDatasetSpec(2);
+  zero_intervals.attributes[1].intervals = 0;
+  EXPECT_EQ(zero_intervals.Validate().code(),
+            StatusCode::kInvalidArgument);
+
+  DatasetSessionSpec bad_privacy = BenchmarkDatasetSpec(1);
+  bad_privacy.attributes[0].privacy_fraction = -1.0;
+  EXPECT_EQ(bad_privacy.Validate().code(), StatusCode::kInvalidArgument);
+
+  // Streaming cannot honour the per-sample exact EM path (see the
+  // SessionSpec test of the same name).
+  DatasetSessionSpec exact_path = BenchmarkDatasetSpec(1);
+  exact_path.attributes[0].reconstruction.binned = false;
+  EXPECT_EQ(exact_path.Validate().code(), StatusCode::kInvalidArgument);
+
+  // Open surfaces the same status instead of crashing.
+  const auto session = DatasetSession::Open(bad_column);
+  EXPECT_FALSE(session.ok());
+  EXPECT_EQ(session.status().code(), StatusCode::kInvalidArgument);
+
+  EXPECT_TRUE(BenchmarkDatasetSpec(4).Validate().ok());
+}
+
+// The acceptance property: a dataset session ingesting record batches is
+// byte-identical to N independent per-attribute sessions ingesting the
+// same columns — at 0, 1, 2, and 8 threads, for an uneven batching.
+TEST(DatasetSessionTest, ReconstructAllMatchesIndependentSessions) {
+  const StreamFixture fx;
+  const std::size_t num_attrs = 4;
+  const DatasetSessionSpec spec = BenchmarkDatasetSpec(num_attrs);
+  const std::vector<double> rows = FlattenRows(*fx.perturbed);
+  const std::size_t num_rows = fx.perturbed->NumRows();
+  const data::RowBatch all_rows(rows.data(), num_rows,
+                                fx.perturbed->NumCols());
+
+  for (std::size_t threads : {std::size_t{0}, std::size_t{1},
+                              std::size_t{2}, std::size_t{8}}) {
+    std::optional<engine::ThreadPool> pool;
+    if (threads > 0) pool.emplace(threads);
+    engine::ThreadPool* p = threads > 0 ? &*pool : nullptr;
+
+    // Dataset path: uneven record batches, one ingest pass each.
+    auto dataset_session = DatasetSession::Open(spec, p);
+    ASSERT_TRUE(dataset_session.ok());
+    std::size_t offset = 0, step = 1;
+    while (offset < num_rows) {
+      const std::size_t take = std::min(step, num_rows - offset);
+      ASSERT_TRUE(
+          dataset_session.value()->Ingest(all_rows.Slice(offset, take)).ok());
+      offset += take;
+      step = step * 3 + 1;
+    }
+    EXPECT_EQ(dataset_session.value()->record_count(), num_rows);
+    // Two refreshes: the second exercises the warm-started fan-out.
+    ASSERT_TRUE(dataset_session.value()->ReconstructAll().ok());
+    const auto estimates = dataset_session.value()->ReconstructAll();
+    ASSERT_TRUE(estimates.ok());
+    ASSERT_EQ(estimates.value().size(), num_attrs);
+
+    // Reference: independent per-attribute sessions over the columns,
+    // with the same double-refresh history.
+    for (std::size_t a = 0; a < num_attrs; ++a) {
+      auto solo = ReconstructionSession::Open(spec.AttributeSession(a), p);
+      ASSERT_TRUE(solo.ok());
+      ASSERT_TRUE(solo.value()->Ingest(fx.perturbed->Column(a)).ok());
+      ASSERT_TRUE(solo.value()->Reconstruct().ok());
+      const auto independent = solo.value()->Reconstruct();
+      ASSERT_TRUE(independent.ok());
+      EXPECT_TRUE(ReconstructionsIdentical(independent.value(),
+                                           estimates.value()[a]))
+          << "attribute " << a << ", threads " << threads;
+      ASSERT_EQ(estimates.value()[a].masses.size(),
+                independent.value().masses.size());
+      EXPECT_EQ(std::memcmp(estimates.value()[a].masses.data(),
+                            independent.value().masses.data(),
+                            independent.value().masses.size() *
+                                sizeof(double)),
+                0)
+          << "attribute " << a << ", threads " << threads;
+    }
+  }
+}
+
+TEST(DatasetSessionTest, SinglePassIngestRejectsNonFiniteAtomically) {
+  const DatasetSessionSpec spec = BenchmarkDatasetSpec(2);
+  auto session = DatasetSession::Open(spec);
+  ASSERT_TRUE(session.ok());
+
+  const std::size_t cols = spec.schema.NumFields();
+  std::vector<double> rows(2 * cols, 30000.0);
+  rows[1 * cols + 1] = std::nan("");  // tracked column 1, row 1
+  const Status s = session.value()->Ingest(
+      data::RowBatch(rows.data(), 2, cols));
+  EXPECT_EQ(s.code(), StatusCode::kInvalidArgument);
+  EXPECT_EQ(session.value()->record_count(), 0u);  // nothing folded
+
+  // A non-finite value in an *untracked* column is never read: the
+  // single pass touches tracked columns only.
+  rows[1 * cols + 1] = 30000.0;
+  rows[0 * cols + 7] = std::nan("");  // column 7 is not tracked
+  EXPECT_TRUE(
+      session.value()->Ingest(data::RowBatch(rows.data(), 2, cols)).ok());
+  EXPECT_EQ(session.value()->record_count(), 2u);
+}
+
+TEST(DatasetSessionTest, RejectsWrongWidthBatch) {
+  auto session = DatasetSession::Open(BenchmarkDatasetSpec(2));
+  ASSERT_TRUE(session.ok());
+  std::vector<double> rows(4, 30000.0);
+  EXPECT_EQ(session.value()->Ingest(data::RowBatch(rows.data(), 2, 2)).code(),
+            StatusCode::kInvalidArgument);
+}
+
+TEST(DatasetSessionTest, ApproxMemoryBytesGrowsWithAttributes) {
+  auto one = DatasetSession::Open(BenchmarkDatasetSpec(1));
+  auto four = DatasetSession::Open(BenchmarkDatasetSpec(4));
+  ASSERT_TRUE(one.ok());
+  ASSERT_TRUE(four.ok());
+  const std::size_t one_bytes = one.value()->ApproxMemoryBytes();
+  const std::size_t four_bytes = four.value()->ApproxMemoryBytes();
+  // Four attribute states must account to (well over) one's counts: each
+  // state holds at least its bin-count table.
+  EXPECT_GT(one_bytes, sizeof(DatasetSession));
+  EXPECT_GT(four_bytes, one_bytes + 2 * 16 * sizeof(std::uint64_t));
+}
+
+// ---------------------------------------------------------------- registry
+
+TEST(SessionRegistryTest, OpenLookupCloseLifecycle) {
+  SessionRegistry registry({});
+  auto opened = registry.Open("alpha", BenchmarkDatasetSpec(2));
+  ASSERT_TRUE(opened.ok());
+
+  // Opening the same name again is a precondition failure, not a crash.
+  EXPECT_EQ(registry.Open("alpha", BenchmarkDatasetSpec(1)).status().code(),
+            StatusCode::kFailedPrecondition);
+
+  const std::shared_ptr<DatasetSession> found = registry.Lookup("alpha");
+  EXPECT_EQ(found.get(), opened.value().get());
+  EXPECT_EQ(registry.Lookup("beta"), nullptr);
+
+  SessionRegistry::Stats stats = registry.GetStats();
+  EXPECT_EQ(stats.open_sessions, 1u);
+  EXPECT_GT(stats.approx_bytes, 0u);
+  EXPECT_EQ(stats.lookups, 2u);
+  EXPECT_EQ(stats.misses, 1u);
+  EXPECT_EQ(stats.evictions, 0u);
+
+  EXPECT_TRUE(registry.Close("alpha"));
+  EXPECT_FALSE(registry.Close("alpha"));
+  EXPECT_EQ(registry.Lookup("alpha"), nullptr);
+  // A closed session stays alive for holders of the shared_ptr.
+  EXPECT_TRUE(opened.value()
+                  ->Ingest(data::RowBatch(nullptr, 0,
+                                          opened.value()->spec().schema
+                                              .NumFields()))
+                  .ok());
+
+  // An invalid spec is rejected before touching the registry.
+  EXPECT_EQ(registry.Open("gamma", BenchmarkDatasetSpec(0)).status().code(),
+            StatusCode::kInvalidArgument);
+}
+
+TEST(SessionRegistryTest, ByteBudgetEvictsLeastRecentlyUsed) {
+  // Budget sized for two sessions: opening a third evicts the least
+  // recently used one.
+  const std::size_t per_session =
+      DatasetSession::Open(BenchmarkDatasetSpec(2))
+          .value()
+          ->ApproxMemoryBytes();
+  SessionRegistryOptions options;
+  options.max_bytes = 2 * per_session + per_session / 2;
+  SessionRegistry registry(options);
+
+  ASSERT_TRUE(registry.Open("a", BenchmarkDatasetSpec(2)).ok());
+  ASSERT_TRUE(registry.Open("b", BenchmarkDatasetSpec(2)).ok());
+  ASSERT_NE(registry.Lookup("a"), nullptr);  // touch: b is now LRU
+  ASSERT_TRUE(registry.Open("c", BenchmarkDatasetSpec(2)).ok());
+
+  EXPECT_NE(registry.Lookup("a"), nullptr);
+  EXPECT_EQ(registry.Lookup("b"), nullptr);  // evicted as LRU
+  EXPECT_NE(registry.Lookup("c"), nullptr);
+  const SessionRegistry::Stats stats = registry.GetStats();
+  EXPECT_EQ(stats.open_sessions, 2u);
+  EXPECT_EQ(stats.evictions, 1u);
+  EXPECT_EQ(stats.ttl_evictions, 0u);
+  EXPECT_LE(stats.approx_bytes, options.max_bytes);
+}
+
+TEST(SessionRegistryTest, TtlEvictsIdleSessions) {
+  // Deterministic idleness via the injected clock.
+  auto now = std::chrono::steady_clock::time_point{};
+  SessionRegistryOptions options;
+  options.ttl = std::chrono::milliseconds(100);
+  options.clock = [&now] { return now; };
+  SessionRegistry registry(options);
+
+  ASSERT_TRUE(registry.Open("idle", BenchmarkDatasetSpec(1)).ok());
+  ASSERT_TRUE(registry.Open("busy", BenchmarkDatasetSpec(1)).ok());
+
+  now += std::chrono::milliseconds(60);
+  EXPECT_NE(registry.Lookup("busy"), nullptr);  // refreshes busy's idle time
+
+  now += std::chrono::milliseconds(60);  // idle is now 120ms idle, busy 60ms
+  EXPECT_EQ(registry.SweepExpired(), 1u);
+  EXPECT_EQ(registry.Lookup("idle"), nullptr);
+  EXPECT_NE(registry.Lookup("busy"), nullptr);
+
+  const SessionRegistry::Stats stats = registry.GetStats();
+  EXPECT_EQ(stats.evictions, 1u);
+  EXPECT_EQ(stats.ttl_evictions, 1u);
+
+  // Lookup itself also enforces expiry.
+  now += std::chrono::milliseconds(200);
+  EXPECT_EQ(registry.Lookup("busy"), nullptr);
+  EXPECT_EQ(registry.GetStats().ttl_evictions, 2u);
+}
+
+// The eviction-safety contract, race-checked under ThreadSanitizer in CI:
+// one thread streams ingests and refreshes through a session while
+// another closes / reopens / budget-evicts it from the registry. The
+// worker's shared_ptr must keep the evicted session fully functional.
+TEST(SessionRegistryTest, EvictionRacingIngestAndReconstructIsSafe) {
+  engine::BatchOptions options;
+  options.num_threads = 2;
+  auto service = Service::Create(options);
+  ASSERT_TRUE(service.ok());
+
+  SessionRegistryOptions registry_options;
+  // A budget of one byte forces every Open beyond the newest to evict.
+  registry_options.max_bytes = 1;
+  SessionRegistry registry(registry_options, service.value()->pool());
+  const DatasetSessionSpec spec = BenchmarkDatasetSpec(2, /*intervals=*/8);
+
+  ASSERT_TRUE(registry.Open("hot", spec).ok());
+
+  const std::size_t cols = spec.schema.NumFields();
+  std::atomic<bool> stop{false};
+  std::atomic<int> worker_failures{0};
+  std::thread worker([&] {
+    std::vector<double> rows(16 * cols, 42000.0);
+    while (!stop.load()) {
+      std::shared_ptr<DatasetSession> session = registry.Lookup("hot");
+      if (session == nullptr) continue;  // evicted between open and here
+      if (!session->Ingest(data::RowBatch(rows.data(), 16, cols)).ok() ||
+          !session->ReconstructAll().ok()) {
+        ++worker_failures;
+        return;
+      }
+    }
+  });
+
+  for (int i = 0; i < 100; ++i) {
+    // Budget eviction: every filler Open evicts the LRU entry, which is
+    // frequently "hot" mid-ingest.
+    ASSERT_TRUE(registry.Open("filler" + std::to_string(i), spec).ok());
+    registry.Close("hot");
+    ASSERT_TRUE(registry.Open("hot", spec).ok());
+  }
+  stop.store(true);
+  worker.join();
+  EXPECT_EQ(worker_failures.load(), 0);
+  EXPECT_GT(registry.GetStats().evictions, 0u);
 }
 
 // ---------------------------------------------------------------- service

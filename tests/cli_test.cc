@@ -228,6 +228,21 @@ TEST_F(CliFixture, ServeSimStreamsAndReports) {
             std::string::npos);
 }
 
+TEST_F(CliFixture, ServeSimMultiAttributeReportsRegistry) {
+  std::string output;
+  ASSERT_TRUE(Run({"serve-sim", "--records=2000", "--batch-records=500",
+                   "--refresh=2", "--attrs=3", "--privacy=0.5",
+                   "--intervals=8", "--registry-mb=4"},
+                  &output)
+                  .ok())
+      << output;
+  EXPECT_NE(output.find("serving 3 attribute(s)"), std::string::npos);
+  EXPECT_NE(output.find("stream complete: 2000 records, 4 batches"),
+            std::string::npos);
+  EXPECT_NE(output.find("registry: 1 session(s)"), std::string::npos);
+  EXPECT_NE(output.find("budget 4 MiB"), std::string::npos);
+}
+
 TEST_F(CliFixture, ServeSimRejectsInvalidSpec) {
   std::string output;
   // Invalid specs come back as kInvalidArgument — not a CHECK abort.
@@ -238,6 +253,10 @@ TEST_F(CliFixture, ServeSimRejectsInvalidSpec) {
   EXPECT_EQ(Run({"serve-sim", "--privacy=-1"}, &output).code(),
             StatusCode::kInvalidArgument);
   EXPECT_EQ(Run({"serve-sim", "--batch-records=0"}, &output).code(),
+            StatusCode::kInvalidArgument);
+  EXPECT_EQ(Run({"serve-sim", "--attrs=99"}, &output).code(),
+            StatusCode::kInvalidArgument);
+  EXPECT_EQ(Run({"serve-sim", "--registry-mb=-1"}, &output).code(),
             StatusCode::kInvalidArgument);
 }
 

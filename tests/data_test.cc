@@ -1,13 +1,16 @@
-// Unit tests for schema, dataset, CSV persistence, and splitting.
+// Unit tests for schema, dataset, row batches, CSV persistence, and
+// splitting.
 
 #include <cstdio>
 #include <string>
+#include <vector>
 
 #include <gtest/gtest.h>
 
 #include "common/random.h"
 #include "data/csv.h"
 #include "data/dataset.h"
+#include "data/row_batch.h"
 #include "data/schema.h"
 #include "data/split.h"
 
@@ -131,6 +134,52 @@ TEST(DatasetTest, MutableColumnWritesThrough) {
   EXPECT_DOUBLE_EQ(d.At(0, 0), 50.0);
 }
 
+TEST(DatasetTest, ReservePresizesWithoutChangingContents) {
+  Dataset d(TwoFieldSchema(), 2);
+  d.Reserve(100);
+  EXPECT_EQ(d.NumRows(), 0u);
+  d.AddRow({25.0, 1.0}, 0);
+  const double* before = d.Column(0).data();
+  // 100 reserved rows: the next 99 appends must not reallocate.
+  for (int i = 0; i < 99; ++i) d.AddRow({30.0 + i, 2.0}, 1);
+  EXPECT_EQ(d.Column(0).data(), before);
+  EXPECT_EQ(d.NumRows(), 100u);
+  EXPECT_TRUE(d.Validate().ok());
+}
+
+// -------------------------------------------------------------- RowBatch
+
+TEST(RowBatchTest, ViewsRowMajorBufferWithLabels) {
+  const std::vector<double> values{25.0, 1.0,   //
+                                   60.0, 3.0,   //
+                                   40.0, 2.0};
+  const std::vector<int> labels{0, 1, 0};
+  const RowBatch batch(values.data(), 3, 2, labels.data());
+  EXPECT_EQ(batch.num_rows(), 3u);
+  EXPECT_EQ(batch.num_cols(), 2u);
+  EXPECT_TRUE(batch.has_labels());
+  EXPECT_DOUBLE_EQ(batch.At(1, 0), 60.0);
+  EXPECT_DOUBLE_EQ(batch.row(2)[1], 2.0);
+  EXPECT_EQ(batch.Label(1), 1);
+
+  const RowBatch slice = batch.Slice(1, 2);
+  EXPECT_EQ(slice.num_rows(), 2u);
+  EXPECT_DOUBLE_EQ(slice.At(0, 0), 60.0);
+  EXPECT_EQ(slice.Label(1), 0);
+}
+
+TEST(RowBatchTest, AddRowsScattersIntoColumns) {
+  const std::vector<double> values{25.0, 1.0, 60.0, 3.0};
+  const std::vector<int> labels{0, 1};
+  Dataset d(TwoFieldSchema(), 2);
+  d.AddRows(RowBatch(values.data(), 2, 2, labels.data()));
+  ASSERT_EQ(d.NumRows(), 2u);
+  EXPECT_DOUBLE_EQ(d.At(0, 0), 25.0);
+  EXPECT_DOUBLE_EQ(d.At(1, 1), 3.0);
+  EXPECT_EQ(d.Label(1), 1);
+  EXPECT_TRUE(d.Validate().ok());
+}
+
 // --------------------------------------------------------------------- CSV
 
 TEST(CsvTest, RoundTrip) {
@@ -189,6 +238,52 @@ TEST(CsvTest, ReadSkipsBlankLines) {
   auto r = ReadCsv(TwoFieldSchema(), 2, path);
   ASSERT_TRUE(r.ok());
   EXPECT_EQ(r.value().NumRows(), 2u);
+  std::remove(path.c_str());
+}
+
+TEST(CsvTest, ReadCsvBatchesStreamsRecordBatches) {
+  Dataset d(TwoFieldSchema(), 2);
+  for (int i = 0; i < 7; ++i) {
+    d.AddRow({20.0 + i, static_cast<double>(i % 5)}, i % 2);
+  }
+  const std::string path = testing::TempDir() + "/ppdm_batches.csv";
+  ASSERT_TRUE(WriteCsv(d, path).ok());
+
+  // Stream in batches of 3 and rebuild: 3 + 3 + 1 rows, same table.
+  Dataset rebuilt(TwoFieldSchema(), 2);
+  std::vector<std::size_t> batch_sizes;
+  auto total = ReadCsvBatches(TwoFieldSchema(), 2, path, /*batch_rows=*/3,
+                              [&](const RowBatch& batch) {
+                                batch_sizes.push_back(batch.num_rows());
+                                rebuilt.AddRows(batch);
+                                return Status::Ok();
+                              });
+  ASSERT_TRUE(total.ok()) << total.status().ToString();
+  EXPECT_EQ(total.value(), 7u);
+  EXPECT_EQ(batch_sizes, (std::vector<std::size_t>{3, 3, 1}));
+  ASSERT_EQ(rebuilt.NumRows(), d.NumRows());
+  for (std::size_t r = 0; r < d.NumRows(); ++r) {
+    EXPECT_EQ(rebuilt.Row(r), d.Row(r));
+    EXPECT_EQ(rebuilt.Label(r), d.Label(r));
+  }
+  std::remove(path.c_str());
+}
+
+TEST(CsvTest, ReadCsvBatchesStopsOnSinkError) {
+  Dataset d(TwoFieldSchema(), 2);
+  for (int i = 0; i < 6; ++i) d.AddRow({20.0 + i, 1.0}, 0);
+  const std::string path = testing::TempDir() + "/ppdm_sinkstop.csv";
+  ASSERT_TRUE(WriteCsv(d, path).ok());
+
+  int calls = 0;
+  auto total = ReadCsvBatches(TwoFieldSchema(), 2, path, /*batch_rows=*/2,
+                              [&](const RowBatch&) {
+                                ++calls;
+                                return Status::FailedPrecondition("full");
+                              });
+  ASSERT_FALSE(total.ok());
+  EXPECT_EQ(total.status().code(), StatusCode::kFailedPrecondition);
+  EXPECT_EQ(calls, 1);
   std::remove(path.c_str());
 }
 

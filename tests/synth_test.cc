@@ -232,5 +232,36 @@ TEST(GeneratorTest, SalaryMomentsMatchUniform) {
   EXPECT_NEAR(s.stddev(), 130000.0 / std::sqrt(12.0), 1500.0);
 }
 
+// ----------------------------------------------------------- RecordStream
+
+TEST(RecordStreamTest, EmitsExactlyTheGeneratedRecords) {
+  GeneratorOptions opt;
+  opt.num_records = 1000;
+  opt.function = Function::kF2;
+  opt.seed = 17;
+  opt.label_noise = 0.1;
+  const data::Dataset reference = Generate(opt);
+
+  // Uneven batch sizes must replay the identical record sequence.
+  RecordStream stream(opt);
+  std::size_t row = 0;
+  std::size_t step = 1;
+  while (!stream.Done()) {
+    const data::RowBatch batch = stream.Next(step);
+    ASSERT_TRUE(batch.has_labels());
+    for (std::size_t r = 0; r < batch.num_rows(); ++r, ++row) {
+      for (std::size_t c = 0; c < batch.num_cols(); ++c) {
+        ASSERT_DOUBLE_EQ(batch.At(r, c), reference.At(row, c))
+            << "row " << row << " col " << c;
+      }
+      ASSERT_EQ(batch.Label(r), reference.Label(row)) << "row " << row;
+    }
+    step = step * 3 + 1;
+  }
+  EXPECT_EQ(row, reference.NumRows());
+  EXPECT_TRUE(stream.Done());
+  EXPECT_EQ(stream.Next(8).num_rows(), 0u);
+}
+
 }  // namespace
 }  // namespace ppdm::synth
