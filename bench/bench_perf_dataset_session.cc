@@ -59,6 +59,8 @@ int main() {
               std::thread::hardware_concurrency());
 
   // Perturbed records, flattened row-major — the provider arrival shape.
+  // (Not bench::PerturbedRowMajor: the per-attribute reference path below
+  // also needs the column-major Dataset.)
   synth::GeneratorOptions gen;
   gen.num_records = records;
   gen.function = config.function;

@@ -1,0 +1,215 @@
+// P7 — persistence subsystem: snapshot encode / store put / store get /
+// decode+restore throughput as the session grows (attribute count), and
+// the registry's spill path — re-admission latency of a Lookup served
+// from disk vs. one served from RAM. Ends with the round-trip equivalence
+// cross-check (restore, continue, byte-compare against the never-
+// snapshotted session). Honours PPDM_PAPER_SCALE=1 and
+// PPDM_BENCH_RECORDS=N (CI smoke).
+
+#include <cstdio>
+#include <cstring>
+#include <filesystem>
+#include <memory>
+#include <optional>
+#include <string>
+#include <thread>
+#include <vector>
+
+#include "api/dataset_session.h"
+#include "api/registry.h"
+#include "bench/bench_util.h"
+#include "data/row_batch.h"
+#include "perturb/randomizer.h"
+#include "store/session_codec.h"
+#include "store/snapshot_store.h"
+#include "store/spill_store.h"
+#include "synth/generator.h"
+
+namespace {
+
+using namespace ppdm;
+
+constexpr std::size_t kIntervals = 60;
+constexpr std::size_t kShardSize = 512;
+
+api::DatasetSessionSpec SpecFor(const data::Schema& schema,
+                                std::size_t num_attrs) {
+  api::DatasetSessionSpec spec;
+  spec.schema = schema;
+  for (std::size_t column = 0; column < num_attrs; ++column) {
+    api::AttributeSpec attr;
+    attr.column = column;
+    attr.intervals = kIntervals;
+    attr.noise = perturb::NoiseKind::kUniform;
+    attr.privacy_fraction = 1.0;
+    spec.attributes.push_back(attr);
+  }
+  spec.shard_size = kShardSize;
+  return spec;
+}
+
+bool Identical(const reconstruct::Reconstruction& a,
+               const reconstruct::Reconstruction& b) {
+  return a.masses == b.masses && a.iterations == b.iterations &&
+         a.sample_count == b.sample_count;
+}
+
+}  // namespace
+
+int main() {
+  bench::PrintBanner("P7", "store: snapshot/restore + registry spill path");
+  core::ExperimentConfig config = bench::DefaultConfig(synth::Function::kF1);
+  config.train_records = bench::BenchRecords(config.train_records);
+  const std::size_t records = config.train_records;
+  std::printf("records=%zu  K=%zu  hardware threads=%u\n\n", records,
+              kIntervals, std::thread::hardware_concurrency());
+
+  const std::string dir =
+      (std::filesystem::temp_directory_path() / "ppdm_bench_store").string();
+  std::filesystem::remove_all(dir);
+  const Result<store::SnapshotStore> opened = store::SnapshotStore::Open(dir);
+  if (!opened.ok()) {
+    std::printf("FAILED to open bench store: %s\n",
+                opened.status().ToString().c_str());
+    return 1;
+  }
+  const store::SnapshotStore& snapshots = opened.value();
+
+  std::size_t num_cols = 0;
+  const std::vector<double> rows = bench::PerturbedRowMajor(
+      records, synth::Function::kF1, 20000607, 99, &num_cols);
+  const std::size_t num_rows = rows.size() / num_cols;
+  const data::RowBatch all_rows(rows.data(), num_rows, num_cols);
+  const data::Schema schema = synth::BenchmarkSchema();
+
+  bench::ThroughputReporter reporter("records");
+  for (std::size_t attrs : {std::size_t{1}, std::size_t{4},
+                            std::size_t{8}}) {
+    if (attrs > schema.NumFields()) continue;
+    auto session = api::DatasetSession::Open(SpecFor(schema, attrs));
+    if (!session.ok() || !session.value()->Ingest(all_rows).ok() ||
+        !session.value()->ReconstructAll().ok()) {
+      std::printf("FAILED to build the %zu-attribute session\n", attrs);
+      return 1;
+    }
+    const std::string tag = std::to_string(attrs) + " attrs";
+    const std::string baseline = "encode " + tag;
+
+    std::string bytes;
+    reporter.Measure("encode " + tag, num_rows, baseline, [&] {
+      bytes = store::EncodeDatasetSession(*session.value());
+    });
+    const std::string name = "bench-" + tag;
+    reporter.Measure("store put " + tag, num_rows, baseline, [&] {
+      if (!snapshots.Put(name, bytes).ok()) std::exit(1);
+    });
+    reporter.Measure("store get " + tag, num_rows, baseline, [&] {
+      if (!snapshots.Get(name).ok()) std::exit(1);
+    });
+    reporter.Measure("decode+restore " + tag, num_rows, baseline, [&] {
+      if (!store::DecodeDatasetSession(bytes).ok()) std::exit(1);
+    });
+    std::printf("%-36s %10.1f KiB on disk\n", ("  snapshot " + tag).c_str(),
+                static_cast<double>(bytes.size()) / 1024.0);
+  }
+
+  // Registry spill path: a budget-starved two-tenant registry demotes one
+  // session and re-admits the other on every alternating Lookup; the
+  // unbounded registry serves the same traffic from RAM.
+  {
+    store::SessionSpillStore spill(snapshots);
+    api::SessionRegistryOptions starved_options;
+    starved_options.max_bytes = 1;
+    starved_options.spill = &spill;
+    api::SessionRegistry starved(starved_options);
+    api::SessionRegistry unbounded({});
+    const api::DatasetSessionSpec spec = SpecFor(schema, 4);
+    const std::size_t half = num_rows / 2;
+    for (const char* name : {"left", "right"}) {
+      auto hot = starved.Open(name, spec);
+      auto cold = unbounded.Open(name, spec);
+      if (!hot.ok() || !cold.ok() ||
+          !hot.value()->Ingest(all_rows.Slice(0, half)).ok() ||
+          !cold.value()->Ingest(all_rows.Slice(0, half)).ok()) {
+        std::printf("FAILED to seed the spill registries\n");
+        return 1;
+      }
+    }
+    const std::size_t lookups = 64;
+    reporter.Measure("lookup from RAM x64", lookups, "lookup from RAM x64",
+                     [&] {
+                       for (std::size_t i = 0; i < lookups; ++i) {
+                         if (unbounded.Lookup(i % 2 ? "left" : "right") ==
+                             nullptr) {
+                           std::exit(1);
+                         }
+                       }
+                     });
+    reporter.Measure("lookup via spill x64", lookups, "lookup from RAM x64",
+                     [&] {
+                       for (std::size_t i = 0; i < lookups; ++i) {
+                         if (starved.Lookup(i % 2 ? "left" : "right") ==
+                             nullptr) {
+                           std::exit(1);
+                         }
+                       }
+                     });
+    const api::SessionRegistry::Stats stats = starved.GetStats();
+    std::printf("  spill traffic: %llu spill(s), %llu readmission(s), "
+                "%llu failure(s)\n",
+                static_cast<unsigned long long>(stats.spills),
+                static_cast<unsigned long long>(stats.readmissions),
+                static_cast<unsigned long long>(stats.spill_failures));
+    if (stats.spill_failures != 0) {
+      std::printf("EQUIVALENCE FAILED: spill failures on the bench path\n");
+      return 1;
+    }
+  }
+
+  // Round-trip equivalence cross-check: snapshot mid-stream, restore,
+  // continue both, byte-compare the estimates.
+  {
+    const api::DatasetSessionSpec spec = SpecFor(schema, 4);
+    const std::size_t half = num_rows / 2;
+    auto live = api::DatasetSession::Open(spec);
+    if (!live.ok() || !live.value()->Ingest(all_rows.Slice(0, half)).ok() ||
+        !live.value()->ReconstructAll().ok()) {
+      std::printf("EQUIVALENCE FAILED: cannot build the live session\n");
+      return 1;
+    }
+    auto restored =
+        store::DecodeDatasetSession(store::EncodeDatasetSession(
+            *live.value()));
+    if (!restored.ok()) {
+      std::printf("EQUIVALENCE FAILED: %s\n",
+                  restored.status().ToString().c_str());
+      return 1;
+    }
+    if (!live.value()->Ingest(all_rows.Slice(half, num_rows - half)).ok() ||
+        !restored.value()
+             ->Ingest(all_rows.Slice(half, num_rows - half))
+             .ok()) {
+      std::printf("EQUIVALENCE FAILED: continuation ingest\n");
+      return 1;
+    }
+    const auto live_estimates = live.value()->ReconstructAll();
+    const auto restored_estimates = restored.value()->ReconstructAll();
+    if (!live_estimates.ok() || !restored_estimates.ok()) {
+      std::printf("EQUIVALENCE FAILED: continuation reconstruct\n");
+      return 1;
+    }
+    for (std::size_t a = 0; a < live_estimates.value().size(); ++a) {
+      if (!Identical(live_estimates.value()[a],
+                     restored_estimates.value()[a])) {
+        std::printf("EQUIVALENCE FAILED at attribute %zu\n", a);
+        return 1;
+      }
+    }
+    std::printf("\nequivalence OK: restored session continued "
+                "byte-identically over %zu records x %zu attrs\n",
+                num_rows, live_estimates.value().size());
+  }
+
+  std::filesystem::remove_all(dir);
+  return 0;
+}

@@ -15,6 +15,8 @@
 #include <vector>
 
 #include "core/experiment.h"
+#include "perturb/randomizer.h"
+#include "synth/generator.h"
 
 namespace ppdm::bench {
 
@@ -40,6 +42,39 @@ inline std::size_t BenchRecords(std::size_t default_records) {
     if (n > 0) return static_cast<std::size_t>(n);
   }
   return default_records;
+}
+
+/// Perturbed benchmark records flattened row-major — the provider
+/// arrival shape the streaming benches feed to sessions. Generates
+/// `records` rows of `function` from `seed`, perturbs every column with
+/// the paper's 100% uniform noise (streams seeded `noise_seed`), and
+/// transposes the column-major Dataset into one row-major vector;
+/// `*num_cols` receives the schema width.
+inline std::vector<double> PerturbedRowMajor(std::size_t records,
+                                             synth::Function function,
+                                             std::uint64_t seed,
+                                             std::uint64_t noise_seed,
+                                             std::size_t* num_cols) {
+  synth::GeneratorOptions gen;
+  gen.num_records = records;
+  gen.function = function;
+  gen.seed = seed;
+  const data::Dataset original = synth::Generate(gen);
+  perturb::RandomizerOptions noise;
+  noise.kind = perturb::NoiseKind::kUniform;
+  noise.privacy_fraction = 1.0;
+  noise.seed = noise_seed;
+  const data::Dataset perturbed =
+      perturb::Randomizer(original.schema(), noise).Perturb(original);
+  *num_cols = perturbed.NumCols();
+  std::vector<double> rows(perturbed.NumRows() * perturbed.NumCols());
+  for (std::size_t c = 0; c < perturbed.NumCols(); ++c) {
+    const std::vector<double>& column = perturbed.Column(c);
+    for (std::size_t r = 0; r < perturbed.NumRows(); ++r) {
+      rows[r * perturbed.NumCols() + c] = column[r];
+    }
+  }
+  return rows;
 }
 
 /// All five benchmark functions.

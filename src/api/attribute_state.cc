@@ -17,6 +17,12 @@ void AttributeState::set_last_masses(std::vector<double> masses) {
   last_masses_ = std::move(masses);
 }
 
+void AttributeState::RestoreAccumulation(engine::ShardStats stats,
+                                         std::vector<double> masses) {
+  stats_ = std::move(stats);
+  last_masses_ = std::move(masses);
+}
+
 std::size_t AttributeState::ApproxHeapBytes() const {
   return stats_.ApproxHeapBytes() +
          layout_.bins() * sizeof(std::size_t) +  // histogram counts

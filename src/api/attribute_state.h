@@ -55,6 +55,14 @@ class AttributeState {
   const std::vector<double>& last_masses() const { return last_masses_; }
   void set_last_masses(std::vector<double> masses);
 
+  /// Installs restored accumulation (snapshot decode / registry
+  /// re-admission). Preconditions — validated by the decoding caller,
+  /// which surfaces violations as Status errors: `stats` shaped
+  /// num_bins() x 1 class; `masses` empty or partition().intervals()
+  /// entries. Owner's lock required.
+  void RestoreAccumulation(engine::ShardStats stats,
+                           std::vector<double> masses);
+
   /// Approximate heap bytes behind this state (counts, layout, warm-start
   /// masses) — excludes sizeof(AttributeState) so owners embedding the
   /// state by value don't double-count it. Owner's lock required.

@@ -81,6 +81,75 @@ Result<std::unique_ptr<DatasetSession>> DatasetSession::Open(
   return std::unique_ptr<DatasetSession>(new DatasetSession(spec, pool));
 }
 
+Result<std::unique_ptr<DatasetSession>> DatasetSession::Restore(
+    const DatasetSessionSpec& spec, DatasetSessionState state,
+    engine::ThreadPool* pool) {
+  PPDM_RETURN_IF_ERROR(spec.Validate());
+  std::unique_ptr<DatasetSession> session(new DatasetSession(spec, pool));
+
+  const std::size_t num_attrs = session->states_.size();
+  if (state.stats.size() != num_attrs ||
+      state.last_masses.size() != num_attrs) {
+    return Status::InvalidArgument(StrFormat(
+        "snapshot state carries %zu/%zu attribute entries, spec has %zu",
+        state.stats.size(), state.last_masses.size(), num_attrs));
+  }
+  for (std::size_t a = 0; a < num_attrs; ++a) {
+    const AttributeState& derived = session->states_[a];
+    const engine::ShardStats& stats = state.stats[a];
+    if (stats.num_bins() != derived.num_bins() ||
+        stats.num_classes() != 1) {
+      return Status::InvalidArgument(StrFormat(
+          "attribute %zu: snapshot counts are %zu bins x %zu classes; the "
+          "spec derives %zu bins x 1",
+          a, stats.num_bins(), stats.num_classes(), derived.num_bins()));
+    }
+    if (stats.record_count() != state.rows) {
+      return Status::InvalidArgument(StrFormat(
+          "attribute %zu: %llu records in counts, session claims %llu",
+          a, static_cast<unsigned long long>(stats.record_count()),
+          static_cast<unsigned long long>(state.rows)));
+    }
+    const std::vector<double>& masses = state.last_masses[a];
+    if (!masses.empty() &&
+        masses.size() != derived.partition().intervals()) {
+      return Status::InvalidArgument(StrFormat(
+          "attribute %zu: %zu warm-start masses for a %zu-interval "
+          "partition",
+          a, masses.size(), derived.partition().intervals()));
+    }
+    for (double m : masses) {
+      if (!std::isfinite(m) || m < 0.0) {
+        return Status::InvalidArgument(StrFormat(
+            "attribute %zu: non-finite or negative warm-start mass", a));
+      }
+    }
+  }
+
+  // Shapes agree; install. No lock needed — the session has not escaped.
+  for (std::size_t a = 0; a < num_attrs; ++a) {
+    session->states_[a].RestoreAccumulation(std::move(state.stats[a]),
+                                            std::move(state.last_masses[a]));
+  }
+  session->rows_ = state.rows;
+  session->batches_ = state.batches;
+  return session;
+}
+
+DatasetSessionState DatasetSession::ExportState() const {
+  std::lock_guard<std::mutex> lock(mu_);
+  DatasetSessionState state;
+  state.rows = rows_;
+  state.batches = batches_;
+  state.stats.reserve(states_.size());
+  state.last_masses.reserve(states_.size());
+  for (const AttributeState& attr : states_) {
+    state.stats.push_back(attr.stats());
+    state.last_masses.push_back(attr.last_masses());
+  }
+  return state;
+}
+
 Status DatasetSession::Ingest(const data::RowBatch& rows) {
   if (rows.num_rows() > 0 && rows.num_cols() != spec_.schema.NumFields()) {
     return Status::InvalidArgument(

@@ -89,6 +89,19 @@ struct DatasetSessionSpec {
   SessionSpec AttributeSession(std::size_t index) const;
 };
 
+/// The mutable half of a DatasetSession, detached for persistence: what a
+/// snapshot must carry beyond the spec (the fixed layouts are rebuilt
+/// deterministically from the spec on restore). Produced by ExportState()
+/// and consumed by Restore(); the store subsystem serializes it.
+struct DatasetSessionState {
+  std::uint64_t rows = 0;
+  std::uint64_t batches = 0;
+  /// One entry per attribute, in spec order.
+  std::vector<engine::ShardStats> stats;
+  /// Warm-start masses per attribute; an empty vector means no estimate.
+  std::vector<std::vector<double>> last_masses;
+};
+
 /// A server-side streaming reconstruction of a whole dataset.
 class DatasetSession {
  public:
@@ -97,6 +110,24 @@ class DatasetSession {
   /// identical for every pool.
   static Result<std::unique_ptr<DatasetSession>> Open(
       const DatasetSessionSpec& spec, engine::ThreadPool* pool = nullptr);
+
+  /// Rebuilds a session from a snapshot: validates `spec`, re-derives
+  /// every attribute's fixed layout from it, and installs `state`.
+  /// Rejects (kInvalidArgument, never a CHECK abort) a state whose shape
+  /// disagrees with the spec — wrong attribute count, counts tables not
+  /// matching the derived bin layout, masses of the wrong length or
+  /// non-finite, or per-attribute record counts diverging from `rows`.
+  /// A restored session continues byte-identically: Ingest +
+  /// ReconstructAll match a never-snapshotted session with the same
+  /// history, at any thread count.
+  static Result<std::unique_ptr<DatasetSession>> Restore(
+      const DatasetSessionSpec& spec, DatasetSessionState state,
+      engine::ThreadPool* pool = nullptr);
+
+  /// Deep-copies the mutable half of the session under its lock — safe
+  /// concurrently with Ingest()/ReconstructAll(); the copy is a
+  /// consistent point-in-time snapshot.
+  DatasetSessionState ExportState() const;
 
   /// Folds one record batch into every attribute state in a single pass
   /// over the rows. `rows` must be schema-wide. Rejects a non-finite value

@@ -19,19 +19,41 @@ void SessionRegistry::TouchLocked(Entry* entry) {
   entry->recency = ++tick_;
 }
 
-std::size_t SessionRegistry::SweepExpiredLocked() {
+std::map<std::string, SessionRegistry::Entry>::iterator
+SessionRegistry::DemoteLocked(
+    std::map<std::string, Entry>::iterator victim) {
+  if (options_.spill != nullptr) {
+    const Result<std::uint64_t> spilled =
+        options_.spill->Spill(victim->first, *victim->second.session);
+    if (spilled.ok()) {
+      ++spills_;
+      spilled_[victim->first] = spilled.value();
+    } else {
+      // The budget must still hold, so the eviction proceeds; the loss is
+      // visible in the counter (and matches the no-backend behaviour).
+      // A previous capture of the name, if any, stays accounted — it is
+      // still on disk and still re-admittable.
+      ++spill_failures_;
+    }
+  }
+  ++evictions_;
+  return entries_.erase(victim);
+}
+
+std::size_t SessionRegistry::SweepExpiredLocked(const std::string* touching) {
   if (options_.ttl.count() <= 0) return 0;
   const auto now = Now();
   std::size_t evicted = 0;
   for (auto it = entries_.begin(); it != entries_.end();) {
-    if (now - it->second.last_used >= options_.ttl) {
-      it = entries_.erase(it);
+    const bool exempt = touching != nullptr && options_.spill != nullptr &&
+                        it->first == *touching;
+    if (!exempt && now - it->second.last_used >= options_.ttl) {
+      it = DemoteLocked(it);
       ++evicted;
     } else {
       ++it;
     }
   }
-  evictions_ += evicted;
   ttl_evictions_ += evicted;
   return evicted;
 }
@@ -44,9 +66,43 @@ std::size_t SessionRegistry::TotalBytesLocked() const {
   return total;
 }
 
+bool SessionRegistry::NameTakenLocked(const std::string& name) const {
+  return entries_.count(name) != 0 ||
+         (options_.spill != nullptr && options_.spill->Contains(name));
+}
+
 void SessionRegistry::EnforceBudgetLocked(const std::string& keep) {
   if (options_.max_bytes == 0) return;
-  while (entries_.size() > 1 && TotalBytesLocked() > options_.max_bytes) {
+
+  // Pass 1: an entry that alone exceeds the whole budget can never be
+  // retained once any other name is touched — demote oversized entries
+  // up front so they don't flush within-budget tenants in pass 2.
+  for (auto it = entries_.begin(); it != entries_.end();) {
+    if (it->first != keep &&
+        it->second.session->ApproxMemoryBytes() > options_.max_bytes) {
+      it = DemoteLocked(it);
+    } else {
+      ++it;
+    }
+  }
+
+  // Pass 2: LRU demotion down to the budget. When `keep` itself exceeds
+  // the budget the target is unreachable, so charge the other tenants as
+  // if keep were absent rather than flushing them all; keep stays
+  // resident only until the next touch of another name demotes it in
+  // pass 1 above. Deterministic: no thrash, and the transient overage is
+  // visible in Stats::approx_bytes.
+  const auto keep_it = entries_.find(keep);
+  const bool keep_oversized =
+      keep_it != entries_.end() &&
+      keep_it->second.session->ApproxMemoryBytes() > options_.max_bytes;
+  while (true) {
+    std::size_t charged = 0;
+    for (const auto& [name, entry] : entries_) {
+      if (keep_oversized && name == keep) continue;
+      charged += entry.session->ApproxMemoryBytes();
+    }
+    if (charged <= options_.max_bytes) return;
     auto victim = entries_.end();
     for (auto it = entries_.begin(); it != entries_.end(); ++it) {
       if (it->first == keep) continue;
@@ -56,8 +112,7 @@ void SessionRegistry::EnforceBudgetLocked(const std::string& keep) {
       }
     }
     if (victim == entries_.end()) return;  // only `keep` is left
-    entries_.erase(victim);
-    ++evictions_;
+    DemoteLocked(victim);
   }
 }
 
@@ -69,7 +124,7 @@ Result<std::shared_ptr<DatasetSession>> SessionRegistry::Open(
   {
     std::lock_guard<std::mutex> lock(mu_);
     SweepExpiredLocked();
-    if (entries_.count(name) != 0) {
+    if (NameTakenLocked(name)) {
       return Status::FailedPrecondition("session '" + name +
                                         "' is already open");
     }
@@ -80,7 +135,7 @@ Result<std::shared_ptr<DatasetSession>> SessionRegistry::Open(
 
   std::lock_guard<std::mutex> lock(mu_);
   SweepExpiredLocked();
-  if (entries_.count(name) != 0) {
+  if (NameTakenLocked(name)) {
     return Status::FailedPrecondition("session '" + name +
                                       "' is already open");
   }
@@ -95,19 +150,64 @@ std::shared_ptr<DatasetSession> SessionRegistry::Lookup(
     const std::string& name) {
   std::lock_guard<std::mutex> lock(mu_);
   ++lookups_;
-  SweepExpiredLocked();
+  SweepExpiredLocked(&name);
   const auto it = entries_.find(name);
-  if (it == entries_.end()) {
-    ++misses_;
-    return nullptr;
+  if (it != entries_.end()) {
+    TouchLocked(&it->second);
+    std::shared_ptr<DatasetSession> session = it->second.session;
+    // Re-enforce on every touch: sessions grow through Ingest between
+    // touches, and an oversized session resident since its own Open is
+    // demoted by the first touch of any other name (see
+    // SessionRegistryOptions::max_bytes). This rescans every entry's
+    // ApproxMemoryBytes (a session-mutex hop each) — fine at the session
+    // counts served today; a cached byte total is the ROADMAP follow-up
+    // before registries grow to thousands of tenants.
+    EnforceBudgetLocked(name);
+    return session;
   }
-  TouchLocked(&it->second);
-  return it->second.session;
+  // Transparent re-admission from the spill tier.
+  if (options_.spill != nullptr && options_.spill->Contains(name)) {
+    Result<std::shared_ptr<DatasetSession>> admitted =
+        options_.spill->Admit(name, pool_);
+    if (!admitted.ok()) {
+      // Corrupt or unreadable capture: surface as a miss, keep the bytes
+      // for inspection (Close() discards them), count the failure.
+      ++spill_failures_;
+      ++misses_;
+      return nullptr;
+    }
+    ++readmissions_;
+    spilled_.erase(name);  // resident again; the RAM copy is authoritative
+    Entry& entry = entries_[name];
+    entry.session = std::move(admitted).value();
+    TouchLocked(&entry);
+    EnforceBudgetLocked(name);
+    return entries_[name].session;
+  }
+  ++misses_;
+  return nullptr;
 }
 
 bool SessionRegistry::Close(const std::string& name) {
   std::lock_guard<std::mutex> lock(mu_);
-  return entries_.erase(name) != 0;
+  const bool resident = entries_.erase(name) != 0;
+  bool dropped = false;
+  if (options_.spill != nullptr && options_.spill->Contains(name)) {
+    if (options_.spill->Drop(name).ok()) {
+      dropped = true;
+    } else {
+      // The capture survives the failed Drop: it still blocks the name
+      // (NameTakenLocked) and must stay accounted in the spill stats
+      // until a later Close succeeds. The failure is visible in the
+      // counter; the name did exist, so report true.
+      ++spill_failures_;
+      return true;
+    }
+  }
+  // Either the capture was dropped or none exists — clear any (possibly
+  // stale) spill accounting for the name.
+  spilled_.erase(name);
+  return resident || dropped;
 }
 
 std::size_t SessionRegistry::SweepExpired() {
@@ -124,6 +224,13 @@ SessionRegistry::Stats SessionRegistry::GetStats() const {
   stats.ttl_evictions = ttl_evictions_;
   stats.lookups = lookups_;
   stats.misses = misses_;
+  stats.spills = spills_;
+  stats.readmissions = readmissions_;
+  stats.spill_failures = spill_failures_;
+  stats.spilled_sessions = spilled_.size();
+  for (const auto& [name, bytes] : spilled_) {
+    stats.spilled_bytes += bytes;
+  }
   return stats;
 }
 

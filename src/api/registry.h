@@ -5,15 +5,30 @@
 // least-recently-used sessions when the budget is exceeded, plus any
 // session idle longer than the TTL.
 //
+// Spill tier: with a SessionSpill backend configured, eviction *demotes*
+// a session — its state is serialized to the backend before the in-RAM
+// entry is dropped — and Lookup() transparently re-admits spilled
+// sessions, so hours of accumulated, privacy-perturbed evidence survive
+// memory pressure and process restarts. A spilled name still counts as
+// open: Open() refuses it, Close() drops both tiers. Without a backend,
+// eviction destroys the state (the pre-spill behaviour).
+//
 // Eviction safety: the registry hands out shared_ptr references, so
 // evicting (or Close()-ing) a session concurrently with an in-flight
 // Ingest()/ReconstructAll() on it is safe — the registry merely drops its
 // reference; the session finishes its in-flight calls and is destroyed
 // with the last reference. Race-checked under ThreadSanitizer in CI.
+// A demotion serializes the state the session holds at demotion time;
+// writes made later through still-held shared_ptrs are not captured —
+// the same visibility contract plain eviction always had. Serving loops
+// that want spill-exactness re-Lookup per batch instead of caching the
+// pointer.
 //
-// Lock order: registry mutex, then (via ApproxMemoryBytes) a session
-// mutex. Sessions never call back into the registry, so the order never
-// inverts.
+// Lock order: registry mutex, then (via ApproxMemoryBytes / the spill
+// backend's ExportState) a session mutex. Sessions never call back into
+// the registry, so the order never inverts. Spill/admit I/O runs under
+// the registry mutex — re-admission latency serializes lookups; keep
+// backends fast (bench_perf_store measures this path).
 
 #ifndef PPDM_API_REGISTRY_H_
 #define PPDM_API_REGISTRY_H_
@@ -33,6 +48,36 @@
 
 namespace ppdm::api {
 
+/// Durable demotion target for registry sessions. Implementations (the
+/// store subsystem's SessionSpillStore) serialize a session's state on
+/// Spill and rebuild an equivalent session on Admit. All methods are
+/// called under the registry mutex; implementations need no locking of
+/// their own but must not call back into the registry.
+class SessionSpill {
+ public:
+  virtual ~SessionSpill() = default;
+
+  /// Durably captures `session`'s current state under `name`, replacing
+  /// any previous capture of that name. Returns the capture's size in
+  /// bytes (the registry accounts spilled bytes from it).
+  virtual Result<std::uint64_t> Spill(const std::string& name,
+                                      const DatasetSession& session) = 0;
+
+  /// Rebuilds the session spilled under `name` over `pool`. The capture
+  /// stays put — it remains the name's durable checkpoint until the next
+  /// Spill overwrites it or Drop discards it. kNotFound when absent;
+  /// decode failures surface as the codec's Status (the capture is
+  /// retained for inspection — Close() the name to discard it).
+  virtual Result<std::shared_ptr<DatasetSession>> Admit(
+      const std::string& name, engine::ThreadPool* pool) = 0;
+
+  /// True when a capture named `name` exists.
+  virtual bool Contains(const std::string& name) const = 0;
+
+  /// Discards the capture named `name` (kNotFound when absent).
+  virtual Status Drop(const std::string& name) = 0;
+};
+
 /// Resource bounds for a SessionRegistry.
 struct SessionRegistryOptions {
   /// Total ApproxMemoryBytes() budget across registered sessions; 0 means
@@ -40,6 +85,12 @@ struct SessionRegistryOptions {
   /// sessions are evicted until it fits (the session just opened is never
   /// evicted by its own Open, so a single over-budget session still
   /// serves — the budget bounds what the registry *retains*).
+  ///
+  /// A session larger than the whole budget is handled deterministically
+  /// rather than by thrashing: it never causes other (within-budget)
+  /// sessions to be evicted, it stays resident only while it is the most
+  /// recently touched name, and the first touch of any other name demotes
+  /// it (to the spill tier when configured, else destroying it).
   std::size_t max_bytes = 0;
 
   /// Evict sessions idle (no Open/Lookup touch) longer than this; zero
@@ -50,6 +101,10 @@ struct SessionRegistryOptions {
   /// Test hook: the clock TTL idleness is measured on. Defaults to
   /// std::chrono::steady_clock::now.
   std::function<std::chrono::steady_clock::time_point()> clock;
+
+  /// Borrowed demotion backend (must outlive the registry); null keeps
+  /// the destructive-eviction behaviour.
+  SessionSpill* spill = nullptr;
 };
 
 /// Named open/lookup/close of dataset sessions with LRU + TTL eviction
@@ -60,30 +115,45 @@ class SessionRegistry {
                            engine::ThreadPool* pool = nullptr);
 
   /// Validates `spec`, opens a session backed by the registry's pool, and
-  /// registers it under `name` (kFailedPrecondition if the name is taken).
-  /// May evict LRU/expired sessions to make room.
+  /// registers it under `name` (kFailedPrecondition if the name is taken,
+  /// in RAM or in the spill tier). May evict/demote LRU and expired
+  /// sessions to make room.
   Result<std::shared_ptr<DatasetSession>> Open(const std::string& name,
                                                const DatasetSessionSpec& spec);
 
   /// The session registered under `name` (touching its LRU recency), or
-  /// null when absent or expired.
+  /// null when absent or expired. A session demoted to the spill tier is
+  /// transparently re-admitted — the caller cannot tell it ever left RAM
+  /// beyond the latency; re-admission may demote other sessions to fit
+  /// the budget. A spilled capture that fails to decode yields null (and
+  /// a spill_failures tick); it is kept on disk until Close().
   std::shared_ptr<DatasetSession> Lookup(const std::string& name);
 
-  /// Drops the registry's reference to `name`. Returns false when absent.
+  /// Drops the registry's reference to `name` — both the in-RAM entry
+  /// and any spilled capture. Returns false when neither exists.
   /// In-flight users holding the shared_ptr are unaffected.
   bool Close(const std::string& name);
 
   /// Evicts every TTL-expired session now; returns how many.
   std::size_t SweepExpired();
 
-  /// Occupancy and eviction counters.
+  /// Occupancy, eviction, and spill counters.
   struct Stats {
-    std::size_t open_sessions = 0;  ///< Sessions currently registered.
-    std::size_t approx_bytes = 0;   ///< Sum of ApproxMemoryBytes().
+    std::size_t open_sessions = 0;  ///< Sessions currently resident in RAM.
+    std::size_t approx_bytes = 0;   ///< Sum of resident ApproxMemoryBytes().
     std::uint64_t evictions = 0;    ///< Budget + TTL evictions (not Close).
     std::uint64_t ttl_evictions = 0;///< The TTL share of `evictions`.
     std::uint64_t lookups = 0;      ///< Lookup() calls.
-    std::uint64_t misses = 0;       ///< Lookups that found nothing.
+    std::uint64_t misses = 0;       ///< Lookups that found nothing anywhere.
+    /// Sessions this registry demoted to the spill tier and has not
+    /// since re-admitted or closed. (Checkpoints of resident sessions
+    /// written outside the registry share the directory but are not
+    /// spilled sessions and are not counted.)
+    std::size_t spilled_sessions = 0;
+    std::uint64_t spilled_bytes = 0;   ///< Their capture sizes in bytes.
+    std::uint64_t spills = 0;          ///< Evictions demoted to the tier.
+    std::uint64_t readmissions = 0;    ///< Lookups served from the tier.
+    std::uint64_t spill_failures = 0;  ///< Spill/Admit calls that errored.
   };
   Stats GetStats() const;
 
@@ -98,21 +168,39 @@ class SessionRegistry {
 
   std::chrono::steady_clock::time_point Now() const;
   void TouchLocked(Entry* entry);
-  std::size_t SweepExpiredLocked();
-  /// Evicts LRU entries (never `keep`) until the byte total fits.
+  /// TTL-demotes expired entries. With a spill backend, `touching` (the
+  /// name the caller is about to serve) is exempt: demoting it only to
+  /// re-admit it in the same call would be a wasted encode/decode round
+  /// trip, and the touch resets its idleness anyway. Without a backend
+  /// the old destroy-on-expiry semantics hold for every entry.
+  std::size_t SweepExpiredLocked(const std::string* touching = nullptr);
+  /// Demotes one entry: spills it when a backend is configured, then
+  /// drops the in-RAM entry. Returns the iterator past the victim.
+  std::map<std::string, Entry>::iterator DemoteLocked(
+      std::map<std::string, Entry>::iterator victim);
+  /// Demotes entries (never `keep`) until the byte total fits: oversized
+  /// entries first (they can never fit), then in LRU order. An oversized
+  /// `keep` never triggers demotion of within-budget tenants.
   void EnforceBudgetLocked(const std::string& keep);
   std::size_t TotalBytesLocked() const;
+  bool NameTakenLocked(const std::string& name) const;
 
   const SessionRegistryOptions options_;
   engine::ThreadPool* const pool_;
 
   mutable std::mutex mu_;
   std::map<std::string, Entry> entries_;  // guarded by mu_
+  /// Capture size per session this registry demoted and has not since
+  /// re-admitted or closed (the spill share of GetStats). Guarded by mu_.
+  std::map<std::string, std::uint64_t> spilled_;
   std::uint64_t tick_ = 0;                // guarded by mu_
   std::uint64_t evictions_ = 0;           // guarded by mu_
   std::uint64_t ttl_evictions_ = 0;       // guarded by mu_
   std::uint64_t lookups_ = 0;             // guarded by mu_
   std::uint64_t misses_ = 0;              // guarded by mu_
+  std::uint64_t spills_ = 0;              // guarded by mu_
+  std::uint64_t readmissions_ = 0;        // guarded by mu_
+  std::uint64_t spill_failures_ = 0;      // guarded by mu_
 };
 
 }  // namespace ppdm::api

@@ -2,6 +2,8 @@
 
 #include <algorithm>
 #include <chrono>
+#include <memory>
+#include <optional>
 #include <ostream>
 
 #include "api/dataset_session.h"
@@ -18,6 +20,9 @@
 #include "reconstruct/by_class.h"
 #include "reconstruct/reconstructor.h"
 #include "stats/histogram.h"
+#include "store/session_codec.h"
+#include "store/snapshot_store.h"
+#include "store/spill_store.h"
 #include "synth/generator.h"
 #include "tree/trainer.h"
 
@@ -97,6 +102,88 @@ Result<engine::BatchOptions> BatchFromFlags(const Args& args) {
   return options;
 }
 
+// The shared shape of the streaming simulations (serve-sim, snapshot):
+// which benchmark columns are tracked, the dataset-session spec over
+// them, the provider noise, and the engine configuration.
+struct StreamSimSpec {
+  api::DatasetSessionSpec session;
+  std::vector<std::size_t> columns;
+  perturb::RandomizerOptions noise;
+  engine::BatchOptions batch;
+  synth::Function function = synth::Function::kF1;
+};
+
+// Builds a StreamSimSpec from the --attrs/--attribute/--noise/--privacy/
+// --intervals/--function/engine flags, validated through the spec layer.
+Result<StreamSimSpec> StreamSimSpecFromFlags(const Args& args) {
+  StreamSimSpec sim;
+  PPDM_ASSIGN_OR_RETURN(sim.function, FunctionFromFlag(args));
+  PPDM_ASSIGN_OR_RETURN(sim.batch, BatchFromFlags(args));
+  PPDM_ASSIGN_OR_RETURN(sim.noise, NoiseOptionsFromFlags(args));
+  PPDM_ASSIGN_OR_RETURN(const long long intervals,
+                        args.GetInt("intervals", 30));
+  const data::Schema schema = synth::BenchmarkSchema();
+
+  // Tracked attributes: the first --attrs benchmark columns, or the one
+  // named by --attribute.
+  PPDM_ASSIGN_OR_RETURN(const long long attrs, args.GetInt("attrs", 0));
+  if (attrs < 0 || attrs > static_cast<long long>(schema.NumFields())) {
+    return Status::InvalidArgument(
+        StrFormat("--attrs must be in 0..%zu", schema.NumFields()));
+  }
+  if (attrs > 0) {
+    if (args.Has("attribute")) {
+      return Status::InvalidArgument(
+          "--attrs and --attribute are alternatives; pass one");
+    }
+    for (long long c = 0; c < attrs; ++c) {
+      sim.columns.push_back(static_cast<std::size_t>(c));
+    }
+  } else {
+    const std::string attribute = args.GetString("attribute", "salary");
+    PPDM_ASSIGN_OR_RETURN(const std::size_t col, schema.IndexOf(attribute));
+    sim.columns.push_back(col);
+  }
+
+  sim.session.schema = schema;
+  for (std::size_t col : sim.columns) {
+    api::AttributeSpec attr;
+    attr.column = col;
+    attr.intervals =
+        static_cast<std::size_t>(std::max<long long>(intervals, 0));
+    attr.noise = sim.noise.kind;
+    attr.privacy_fraction = sim.noise.privacy_fraction;
+    attr.confidence = sim.noise.confidence;
+    sim.session.attributes.push_back(attr);
+  }
+  sim.session.shard_size = sim.batch.shard_size;
+  return sim;
+}
+
+// Provider side of the simulations: copies one true record batch into
+// `scratch`, folds the tracked columns into `truth` (when non-null), and
+// adds each tracked attribute's calibrated noise per record — the server
+// sees only the perturbed rows.
+data::RowBatch PerturbTracked(const data::RowBatch& true_rows,
+                              const api::DatasetSession& session,
+                              const std::vector<std::size_t>& columns,
+                              std::vector<stats::Histogram>* truth,
+                              Rng* noise_rng,
+                              std::vector<double>* scratch) {
+  scratch->assign(true_rows.values(),
+                  true_rows.values() +
+                      true_rows.num_rows() * true_rows.num_cols());
+  for (std::size_t r = 0; r < true_rows.num_rows(); ++r) {
+    double* row = scratch->data() + r * true_rows.num_cols();
+    for (std::size_t a = 0; a < columns.size(); ++a) {
+      if (truth != nullptr) (*truth)[a].Add(row[columns[a]]);
+      row[columns[a]] += session.noise_model(a).Sample(noise_rng);
+    }
+  }
+  return data::RowBatch(scratch->data(), true_rows.num_rows(),
+                        true_rows.num_cols());
+}
+
 }  // namespace
 
 const char* UsageText() {
@@ -121,6 +208,14 @@ const char* UsageText() {
       "              [--noise=...] [--privacy=F] [--confidence=C]\n"
       "              [--intervals=K] [--registry-mb=M] [--seed=S]\n"
       "              [--threads=T] [--shard-size=N]\n"
+      "              [--checkpoint-dir=DIR] [--checkpoint-every-batches=K]\n"
+      "              [--resume]\n"
+      "  snapshot    --dir=DIR                      list stored snapshots\n"
+      "              --dir=DIR --name=NAME [--records=N] [--batch-records=B]\n"
+      "              [--reconstruct] [stream flags as in serve-sim]\n"
+      "                                             simulate + persist\n"
+      "  restore     --dir=DIR --name=NAME [--reconstruct] [--print-masses]\n"
+      "              [--threads=T]\n"
       "\n"
       "serve-sim simulates the paper's server: providers submit perturbed\n"
       "records in batches of B; a DatasetSession folds each record batch\n"
@@ -130,6 +225,18 @@ const char* UsageText() {
       "benchmark attributes (--attribute tracks one by name); the session\n"
       "lives in a SessionRegistry whose byte budget --registry-mb=M (0 =\n"
       "unbounded) is reported with occupancy/evictions at the end.\n"
+      "--checkpoint-dir=DIR wires a snapshot store under the registry\n"
+      "(evictions spill instead of destroying state) and persists the\n"
+      "session there — every K batches with --checkpoint-every-batches=K,\n"
+      "and always at stream end. --resume re-admits the checkpoint and\n"
+      "streams N further records, simulating crash recovery.\n"
+      "\n"
+      "snapshot/restore are the operator surface of the same store: \n"
+      "'snapshot --dir' lists what a directory holds; with --name it\n"
+      "simulates a perturbed stream (same flags as serve-sim) and persists\n"
+      "the session; 'restore' rebuilds a session from its snapshot,\n"
+      "reports it, and with --reconstruct re-estimates from the restored\n"
+      "counts (--print-masses prints the distributions).\n"
       "\n"
       "All CSV files use the benchmark schema (salary..loan, class).\n"
       "For train/reconstruct, --noise/--privacy must describe the noise\n"
@@ -328,7 +435,8 @@ Status RunServeSim(const Args& args, std::ostream& out) {
                                   "attribute", "attrs", "function", "noise",
                                   "privacy", "confidence", "intervals",
                                   "registry-mb", "seed", "threads",
-                                  "shard-size"});
+                                  "shard-size", "checkpoint-dir",
+                                  "checkpoint-every-batches", "resume"});
       !s.ok()) {
     return s;
   }
@@ -341,120 +449,151 @@ Status RunServeSim(const Args& args, std::ostream& out) {
     return Status::InvalidArgument(
         "--records, --batch-records and --refresh must be positive");
   }
-  PPDM_ASSIGN_OR_RETURN(const long long intervals,
-                        args.GetInt("intervals", 30));
   PPDM_ASSIGN_OR_RETURN(const long long registry_mb,
                         args.GetInt("registry-mb", 0));
   if (registry_mb < 0) {
     return Status::InvalidArgument("--registry-mb must be >= 0");
   }
-  PPDM_ASSIGN_OR_RETURN(const synth::Function function,
-                        FunctionFromFlag(args));
-  PPDM_ASSIGN_OR_RETURN(const engine::BatchOptions batch_options,
-                        BatchFromFlags(args));
-  PPDM_ASSIGN_OR_RETURN(const perturb::RandomizerOptions noise_options,
-                        NoiseOptionsFromFlags(args));
-  const data::Schema schema = synth::BenchmarkSchema();
-
-  // Tracked attributes: the first --attrs benchmark columns, or the one
-  // named by --attribute.
-  PPDM_ASSIGN_OR_RETURN(const long long attrs, args.GetInt("attrs", 0));
-  if (attrs < 0 ||
-      attrs > static_cast<long long>(schema.NumFields())) {
+  const std::string checkpoint_dir = args.GetString("checkpoint-dir", "");
+  PPDM_ASSIGN_OR_RETURN(const long long checkpoint_every,
+                        args.GetInt("checkpoint-every-batches", 0));
+  if (checkpoint_every < 0) {
     return Status::InvalidArgument(
-        StrFormat("--attrs must be in 0..%zu", schema.NumFields()));
+        "--checkpoint-every-batches must be >= 0");
   }
-  std::vector<std::size_t> columns;
-  if (attrs > 0) {
-    if (args.Has("attribute")) {
-      return Status::InvalidArgument(
-          "--attrs and --attribute are alternatives; pass one");
-    }
-    for (long long c = 0; c < attrs; ++c) {
-      columns.push_back(static_cast<std::size_t>(c));
-    }
-  } else {
-    const std::string attribute = args.GetString("attribute", "salary");
-    PPDM_ASSIGN_OR_RETURN(const std::size_t col, schema.IndexOf(attribute));
-    columns.push_back(col);
+  if (checkpoint_every > 0 && checkpoint_dir.empty()) {
+    return Status::InvalidArgument(
+        "--checkpoint-every-batches needs --checkpoint-dir");
   }
-
+  const bool resume = args.Has("resume");
+  if (resume && checkpoint_dir.empty()) {
+    return Status::InvalidArgument("--resume needs --checkpoint-dir");
+  }
   // The dataset-session spec is the validated contract; everything below
   // it is deterministic in (seed, shard_size).
-  api::DatasetSessionSpec session_spec;
-  session_spec.schema = schema;
-  for (std::size_t col : columns) {
-    api::AttributeSpec attr;
-    attr.column = col;
-    attr.intervals =
-        static_cast<std::size_t>(std::max<long long>(intervals, 0));
-    attr.noise = noise_options.kind;
-    attr.privacy_fraction = noise_options.privacy_fraction;
-    attr.confidence = noise_options.confidence;
-    session_spec.attributes.push_back(attr);
-  }
-  session_spec.shard_size = batch_options.shard_size;
+  PPDM_ASSIGN_OR_RETURN(StreamSimSpec sim, StreamSimSpecFromFlags(args));
 
   PPDM_ASSIGN_OR_RETURN(const std::unique_ptr<api::Service> service,
-                        api::Service::Create(batch_options));
+                        api::Service::Create(sim.batch));
+  // The snapshot store (when checkpointing) doubles as the registry's
+  // spill tier: budget/TTL evictions demote instead of destroying.
+  std::optional<store::SnapshotStore> snapshots;
+  std::optional<store::SessionSpillStore> spill;
+  if (!checkpoint_dir.empty()) {
+    PPDM_ASSIGN_OR_RETURN(store::SnapshotStore opened,
+                          store::SnapshotStore::Open(checkpoint_dir));
+    snapshots = std::move(opened);
+    spill.emplace(*snapshots);
+  }
   api::SessionRegistryOptions registry_options;
   registry_options.max_bytes =
       static_cast<std::size_t>(registry_mb) << 20;
+  registry_options.spill = spill ? &*spill : nullptr;
   api::SessionRegistry registry(registry_options, service->pool());
-  PPDM_ASSIGN_OR_RETURN(const std::shared_ptr<api::DatasetSession> session,
-                        registry.Open("serve-sim", session_spec));
+
+  const std::string session_name = "serve-sim";
+  std::shared_ptr<api::DatasetSession> session;
+  bool resumed = false;
+  if (snapshots && snapshots->Contains(session_name)) {
+    if (resume) {
+      // Transparent re-admission through the registry's spill path.
+      session = registry.Lookup(session_name);
+      if (session == nullptr) {
+        return Status::IoError(StrFormat(
+            "checkpoint '%s' in %s exists but cannot be re-admitted "
+            "(corrupt?); delete it or run without --resume",
+            session_name.c_str(), checkpoint_dir.c_str()));
+      }
+      resumed = true;
+    } else {
+      // A fresh (non-resume) run supersedes the stale checkpoint; the
+      // name must be free for Open below.
+      PPDM_RETURN_IF_ERROR(snapshots->Delete(session_name));
+    }
+  } else if (resume) {
+    out << "no checkpoint to resume; starting a fresh session\n";
+  }
+  if (session == nullptr) {
+    PPDM_ASSIGN_OR_RETURN(session, registry.Open(session_name, sim.session));
+  }
+  // After a resume the checkpointed spec is authoritative (it may track
+  // different attributes or noise than today's flags): re-derive the
+  // columns, and report the calibration PerturbTracked will actually
+  // apply (session->noise_model) rather than the flag-derived one.
+  if (resumed) {
+    sim.columns.clear();
+    for (const api::AttributeSpec& attr : session->spec().attributes) {
+      sim.columns.push_back(attr.column);
+    }
+    const api::AttributeSpec& first = session->spec().attributes.front();
+    sim.noise.kind = first.noise;
+    sim.noise.privacy_fraction = first.privacy_fraction;
+    sim.noise.confidence = first.confidence;
+  }
 
   // Provider side, simulated: stream true records and add each tracked
   // attribute's calibrated noise per record — the server sees only the
-  // perturbed rows. No Dataset is ever materialized.
+  // perturbed rows. No Dataset is ever materialized. A resumed run
+  // offsets the generator seed by the batches already folded so it
+  // streams fresh records, not a replay.
   synth::GeneratorOptions gen;
   gen.num_records = static_cast<std::size_t>(records);
-  gen.function = function;
-  gen.seed = noise_options.seed;
+  gen.function = sim.function;
+  gen.seed = sim.noise.seed + (resumed ? session->batch_count() : 0);
   synth::RecordStream stream(gen);
-  Rng noise_rng(noise_options.seed ^ 0x9E3779B97F4A7C15ULL);
+  Rng noise_rng(gen.seed ^ 0x9E3779B97F4A7C15ULL);
 
   // True per-attribute distributions, for the error column of the report.
+  // After a resume they cover only the new stream — the tv column then
+  // compares the all-records estimate against the new records' truth,
+  // which agree in distribution (same generator function).
   std::vector<stats::Histogram> truth;
-  for (std::size_t a = 0; a < columns.size(); ++a) {
+  for (std::size_t a = 0; a < sim.columns.size(); ++a) {
     const reconstruct::Partition& partition = session->partition(a);
     truth.emplace_back(partition.lo(), partition.hi(),
                        partition.intervals());
   }
 
+  if (resumed) {
+    out << StrFormat(
+        "resumed '%s' from %s: %llu records in %llu batches already "
+        "folded\n",
+        session_name.c_str(), checkpoint_dir.c_str(),
+        static_cast<unsigned long long>(session->record_count()),
+        static_cast<unsigned long long>(session->batch_count()));
+  }
   out << StrFormat(
       "serving %zu attribute(s) (%s noise, privacy %.0f%%): %lld records "
       "in batches of %lld, refresh every %lld batches\n",
-      columns.size(), perturb::NoiseKindName(noise_options.kind).c_str(),
-      100.0 * noise_options.privacy_fraction, records, batch_records,
+      sim.columns.size(), perturb::NoiseKindName(sim.noise.kind).c_str(),
+      100.0 * sim.noise.privacy_fraction, records, batch_records,
       refresh);
   out << StrFormat("%10s %10s %8s %10s %12s\n", "batch", "records",
                    "EM iter", "tv(truth)", "refresh ms");
 
   const auto t0 = std::chrono::steady_clock::now();
   std::vector<double> perturbed;
-  std::size_t batch_index = 0;
+  std::uint64_t checkpoints_written = 0;
+  std::size_t batch_index =
+      resumed ? static_cast<std::size_t>(session->batch_count()) : 0;
   while (!stream.Done()) {
     const data::RowBatch true_rows =
         stream.Next(static_cast<std::size_t>(batch_records));
-    perturbed.assign(true_rows.values(),
-                     true_rows.values() +
-                         true_rows.num_rows() * true_rows.num_cols());
-    for (std::size_t r = 0; r < true_rows.num_rows(); ++r) {
-      double* row = perturbed.data() + r * true_rows.num_cols();
-      for (std::size_t a = 0; a < columns.size(); ++a) {
-        truth[a].Add(row[columns[a]]);
-        row[columns[a]] += session->noise_model(a).Sample(&noise_rng);
-      }
-    }
+    const data::RowBatch batch = PerturbTracked(
+        true_rows, *session, sim.columns, &truth, &noise_rng, &perturbed);
     // Route each batch's access through Lookup so the registry's recency
     // and lookup counters reflect the traffic. (With one session and no
     // TTL it can never miss; eviction pressure needs a second tenant.)
-    (void)registry.Lookup("serve-sim");
-    PPDM_RETURN_IF_ERROR(session->Ingest(
-        data::RowBatch(perturbed.data(), true_rows.num_rows(),
-                       true_rows.num_cols())));
+    (void)registry.Lookup(session_name);
+    PPDM_RETURN_IF_ERROR(session->Ingest(batch));
     ++batch_index;
+
+    if (snapshots && checkpoint_every > 0 &&
+        batch_index % static_cast<std::size_t>(checkpoint_every) == 0) {
+      PPDM_RETURN_IF_ERROR(snapshots->Put(
+          session_name, store::EncodeDatasetSession(*session)));
+      ++checkpoints_written;
+    }
 
     const bool last = stream.Done();
     if (batch_index % static_cast<std::size_t>(refresh) != 0 && !last) {
@@ -489,21 +628,198 @@ Status RunServeSim(const Args& args, std::ostream& out) {
   const double total_ms = std::chrono::duration<double, std::milli>(
                               std::chrono::steady_clock::now() - t0)
                               .count();
+  // The stream survived; make that durable before reporting. This is
+  // never redundant with a batch-aligned checkpoint: the final refresh
+  // above updated every attribute's warm-start masses after it.
+  if (snapshots) {
+    PPDM_RETURN_IF_ERROR(snapshots->Put(
+        session_name, store::EncodeDatasetSession(*session)));
+    ++checkpoints_written;
+  }
   out << StrFormat(
       "stream complete: %zu records, %zu batches, %.2f ms total "
       "(threads=%zu, warm-started refreshes)\n",
       static_cast<std::size_t>(session->record_count()), batch_index,
-      total_ms, batch_options.num_threads);
+      total_ms, sim.batch.num_threads);
   const api::SessionRegistry::Stats registry_stats = registry.GetStats();
   const std::string budget =
       registry_mb == 0 ? "unbounded" : StrFormat("%lld MiB", registry_mb);
   out << StrFormat(
       "registry: %zu session(s), %.1f KiB resident (budget %s), "
-      "%llu eviction(s)\n",
+      "%llu eviction(s), %zu spilled session(s), %.1f KiB on disk\n",
       registry_stats.open_sessions,
       static_cast<double>(registry_stats.approx_bytes) / 1024.0,
       budget.c_str(),
-      static_cast<unsigned long long>(registry_stats.evictions));
+      static_cast<unsigned long long>(registry_stats.evictions),
+      registry_stats.spilled_sessions,
+      static_cast<double>(registry_stats.spilled_bytes) / 1024.0);
+  if (snapshots) {
+    out << StrFormat(
+        "store: %s — %llu checkpoint write(s), %llu spill(s), "
+        "%llu readmission(s), %llu spill failure(s)\n",
+        checkpoint_dir.c_str(),
+        static_cast<unsigned long long>(checkpoints_written),
+        static_cast<unsigned long long>(registry_stats.spills),
+        static_cast<unsigned long long>(registry_stats.readmissions),
+        static_cast<unsigned long long>(registry_stats.spill_failures));
+  }
+  return Status::Ok();
+}
+
+Status RunSnapshot(const Args& args, std::ostream& out) {
+  if (Status s = args.CheckKnown({"dir", "name", "records", "batch-records",
+                                  "reconstruct", "attribute", "attrs",
+                                  "function", "noise", "privacy",
+                                  "confidence", "intervals", "seed",
+                                  "threads", "shard-size"});
+      !s.ok()) {
+    return s;
+  }
+  const std::string dir = args.GetString("dir", "");
+  if (dir.empty()) return Status::InvalidArgument("snapshot needs --dir");
+  PPDM_ASSIGN_OR_RETURN(const store::SnapshotStore store,
+                        store::SnapshotStore::Open(dir));
+
+  if (!args.Has("name")) {
+    // List mode: one row per snapshot; corrupt files are reported, not
+    // fatal — an operator inspecting a damaged store must see the rest.
+    PPDM_ASSIGN_OR_RETURN(const std::vector<std::string> names,
+                          store.List());
+    out << StrFormat("%-24s %8s %10s %8s %6s %10s\n", "name", "version",
+                     "records", "batches", "attrs", "bytes");
+    for (const std::string& name : names) {
+      const Result<std::string> bytes = store.Get(name);
+      if (!bytes.ok()) {
+        out << StrFormat("%-24s unreadable: %s\n", name.c_str(),
+                         bytes.status().message().c_str());
+        continue;
+      }
+      const Result<store::SnapshotInfo> info =
+          store::PeekDatasetSession(bytes.value());
+      if (!info.ok()) {
+        out << StrFormat("%-24s corrupt: %s\n", name.c_str(),
+                         info.status().message().c_str());
+        continue;
+      }
+      out << StrFormat("%-24s %8u %10llu %8llu %6zu %10zu\n", name.c_str(),
+                       info.value().version,
+                       static_cast<unsigned long long>(info.value().records),
+                       static_cast<unsigned long long>(info.value().batches),
+                       info.value().attributes, bytes.value().size());
+    }
+    out << StrFormat("%zu snapshot(s), %.1f KiB in %s\n", names.size(),
+                     static_cast<double>(store.TotalBytes()) / 1024.0,
+                     dir.c_str());
+    return Status::Ok();
+  }
+
+  // Create mode: simulate the perturbed stream and persist the session.
+  const std::string name = args.GetString("name", "");
+  PPDM_ASSIGN_OR_RETURN(const long long records,
+                        args.GetInt("records", 20000));
+  PPDM_ASSIGN_OR_RETURN(const long long batch_records,
+                        args.GetInt("batch-records", 4096));
+  if (records <= 0 || batch_records <= 0) {
+    return Status::InvalidArgument(
+        "--records and --batch-records must be positive");
+  }
+  PPDM_ASSIGN_OR_RETURN(const StreamSimSpec sim,
+                        StreamSimSpecFromFlags(args));
+  std::optional<engine::ThreadPool> pool;
+  if (sim.batch.num_threads > 0) pool.emplace(sim.batch.num_threads);
+  PPDM_ASSIGN_OR_RETURN(
+      const std::unique_ptr<api::DatasetSession> session,
+      api::DatasetSession::Open(sim.session, pool ? &*pool : nullptr));
+
+  synth::GeneratorOptions gen;
+  gen.num_records = static_cast<std::size_t>(records);
+  gen.function = sim.function;
+  gen.seed = sim.noise.seed;
+  synth::RecordStream stream(gen);
+  Rng noise_rng(gen.seed ^ 0x9E3779B97F4A7C15ULL);
+  std::vector<double> perturbed;
+  while (!stream.Done()) {
+    const data::RowBatch true_rows =
+        stream.Next(static_cast<std::size_t>(batch_records));
+    PPDM_RETURN_IF_ERROR(session->Ingest(
+        PerturbTracked(true_rows, *session, sim.columns,
+                       /*truth=*/nullptr, &noise_rng, &perturbed)));
+  }
+  if (args.Has("reconstruct")) {
+    // Bake an estimate in so the snapshot carries warm-start masses.
+    PPDM_RETURN_IF_ERROR(session->ReconstructAll().status());
+  }
+  const std::string bytes = store::EncodeDatasetSession(*session);
+  PPDM_RETURN_IF_ERROR(store.Put(name, bytes));
+  out << StrFormat(
+      "snapshot '%s': %llu records, %llu batches, %zu attribute(s), "
+      "%.1f KiB -> %s\n",
+      name.c_str(),
+      static_cast<unsigned long long>(session->record_count()),
+      static_cast<unsigned long long>(session->batch_count()),
+      session->num_attributes(), static_cast<double>(bytes.size()) / 1024.0,
+      dir.c_str());
+  return Status::Ok();
+}
+
+Status RunRestore(const Args& args, std::ostream& out) {
+  if (Status s = args.CheckKnown({"dir", "name", "reconstruct",
+                                  "print-masses", "threads", "shard-size"});
+      !s.ok()) {
+    return s;
+  }
+  const std::string dir = args.GetString("dir", "");
+  const std::string name = args.GetString("name", "");
+  if (dir.empty() || name.empty()) {
+    return Status::InvalidArgument("restore needs --dir and --name");
+  }
+  PPDM_ASSIGN_OR_RETURN(const engine::BatchOptions batch_options,
+                        BatchFromFlags(args));
+  PPDM_ASSIGN_OR_RETURN(const store::SnapshotStore store,
+                        store::SnapshotStore::Open(dir));
+  PPDM_ASSIGN_OR_RETURN(const std::string bytes, store.Get(name));
+  std::optional<engine::ThreadPool> pool;
+  if (batch_options.num_threads > 0) pool.emplace(batch_options.num_threads);
+  PPDM_ASSIGN_OR_RETURN(
+      const std::unique_ptr<api::DatasetSession> session,
+      store::DecodeDatasetSession(bytes, pool ? &*pool : nullptr));
+
+  out << StrFormat(
+      "restored '%s': %llu records in %llu batches, %zu attribute(s), "
+      "%.1f KiB on disk, ~%.1f KiB resident\n",
+      name.c_str(),
+      static_cast<unsigned long long>(session->record_count()),
+      static_cast<unsigned long long>(session->batch_count()),
+      session->num_attributes(), static_cast<double>(bytes.size()) / 1024.0,
+      static_cast<double>(session->ApproxMemoryBytes()) / 1024.0);
+  const api::DatasetSessionSpec& spec = session->spec();
+  for (std::size_t a = 0; a < spec.attributes.size(); ++a) {
+    const api::AttributeSpec& attr = spec.attributes[a];
+    out << StrFormat(
+        "  %-12s %zu intervals, %s noise, privacy %.0f%%\n",
+        spec.schema.Field(attr.column).name.c_str(), attr.intervals,
+        perturb::NoiseKindName(attr.noise).c_str(),
+        100.0 * attr.privacy_fraction);
+  }
+  if (!args.Has("reconstruct")) return Status::Ok();
+
+  PPDM_ASSIGN_OR_RETURN(
+      const std::vector<reconstruct::Reconstruction> estimates,
+      session->ReconstructAll());
+  for (std::size_t a = 0; a < estimates.size(); ++a) {
+    out << StrFormat("  %-12s reconstructed in %zu EM iteration(s) from "
+                     "%zu samples\n",
+                     spec.schema.Field(spec.attributes[a].column).name
+                         .c_str(),
+                     estimates[a].iterations, estimates[a].sample_count);
+    if (args.Has("print-masses")) {
+      const reconstruct::Partition& partition = session->partition(a);
+      for (std::size_t k = 0; k < partition.intervals(); ++k) {
+        out << StrFormat("%12.6g %8.3f%%\n", partition.Mid(k),
+                         100.0 * estimates[a].masses[k]);
+      }
+    }
+  }
   return Status::Ok();
 }
 
@@ -513,6 +829,8 @@ Status RunCommand(const Args& args, std::ostream& out) {
   if (args.command() == "reconstruct") return RunReconstruct(args, out);
   if (args.command() == "train") return RunTrain(args, out);
   if (args.command() == "serve-sim") return RunServeSim(args, out);
+  if (args.command() == "snapshot") return RunSnapshot(args, out);
+  if (args.command() == "restore") return RunRestore(args, out);
   if (args.command() == "help") {
     out << UsageText();
     return Status::Ok();

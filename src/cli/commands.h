@@ -7,7 +7,12 @@
 //   serve-sim    simulate the streaming server: batches of perturbed
 //                records arrive over time, a ReconstructionSession folds
 //                them in, and periodic refreshes re-estimate by
-//                warm-started EM
+//                warm-started EM; --checkpoint-dir snapshots the session
+//                so a later --resume continues where a crash stopped
+//   snapshot     list the snapshots in a store directory, or simulate a
+//                perturbed stream and persist the resulting session
+//   restore      rebuild a session from a snapshot and report (optionally
+//                reconstruct) its state
 //
 // Each command validates its flags through the api spec layer (invalid
 // requests come back as kInvalidArgument, never a CHECK abort), performs
@@ -38,6 +43,8 @@ Status RunPerturb(const Args& args, std::ostream& out);
 Status RunReconstruct(const Args& args, std::ostream& out);
 Status RunTrain(const Args& args, std::ostream& out);
 Status RunServeSim(const Args& args, std::ostream& out);
+Status RunSnapshot(const Args& args, std::ostream& out);
+Status RunRestore(const Args& args, std::ostream& out);
 
 }  // namespace ppdm::cli
 

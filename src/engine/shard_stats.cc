@@ -12,6 +12,24 @@ ShardStats::ShardStats(std::size_t num_bins, std::size_t num_classes)
   PPDM_CHECK_GT(num_classes, 0u);
 }
 
+ShardStats ShardStats::FromCounts(std::size_t num_bins,
+                                  std::size_t num_classes,
+                                  std::uint64_t record_count,
+                                  std::vector<std::uint64_t> counts) {
+  PPDM_CHECK_GT(num_bins, 0u);
+  PPDM_CHECK_GT(num_classes, 0u);
+  PPDM_CHECK_EQ(counts.size(), num_bins * num_classes);
+  std::uint64_t total = 0;
+  for (std::uint64_t c : counts) total += c;
+  PPDM_CHECK_EQ(total, record_count);
+  ShardStats stats;
+  stats.num_bins_ = num_bins;
+  stats.num_classes_ = num_classes;
+  stats.record_count_ = record_count;
+  stats.counts_ = std::move(counts);
+  return stats;
+}
+
 void ShardStats::Add(std::size_t bin, std::size_t klass) {
   PPDM_CHECK_LT(bin, num_bins_);
   PPDM_CHECK_LT(klass, num_classes_);

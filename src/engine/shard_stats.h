@@ -59,6 +59,20 @@ class ShardStats {
     return counts_.capacity() * sizeof(std::uint64_t);
   }
 
+  /// The flattened counts table ([klass * num_bins + bin]) — what the
+  /// store codec serializes. Snapshot + FromCounts round-trips a
+  /// ShardStats bit for bit.
+  const std::vector<std::uint64_t>& counts() const { return counts_; }
+
+  /// Rebuilds a ShardStats from serialized fields. `counts` must be
+  /// exactly num_bins * num_classes entries and `record_count` their sum;
+  /// callers decoding untrusted bytes (the store codec) validate both and
+  /// surface corruption as a Status before calling — violating them here
+  /// is a programmer error (PPDM_CHECK).
+  static ShardStats FromCounts(std::size_t num_bins, std::size_t num_classes,
+                               std::uint64_t record_count,
+                               std::vector<std::uint64_t> counts);
+
  private:
   std::size_t num_bins_ = 0;
   std::size_t num_classes_ = 0;

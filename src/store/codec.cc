@@ -1,0 +1,233 @@
+#include "store/codec.h"
+
+#include <array>
+#include <cstring>
+
+#include "common/check.h"
+#include "common/strings.h"
+
+namespace ppdm::store {
+namespace {
+
+std::array<std::uint32_t, 256> BuildCrcTable() {
+  std::array<std::uint32_t, 256> table{};
+  for (std::uint32_t i = 0; i < 256; ++i) {
+    std::uint32_t crc = i;
+    for (int bit = 0; bit < 8; ++bit) {
+      crc = (crc >> 1) ^ ((crc & 1u) ? 0xEDB88320u : 0u);
+    }
+    table[i] = crc;
+  }
+  return table;
+}
+
+}  // namespace
+
+std::uint32_t Crc32(const void* data, std::size_t size) {
+  static const std::array<std::uint32_t, 256> table = BuildCrcTable();
+  const auto* bytes = static_cast<const unsigned char*>(data);
+  std::uint32_t crc = 0xFFFFFFFFu;
+  for (std::size_t i = 0; i < size; ++i) {
+    crc = (crc >> 8) ^ table[(crc ^ bytes[i]) & 0xFFu];
+  }
+  return crc ^ 0xFFFFFFFFu;
+}
+
+// ------------------------------------------------------------------ Writer
+
+void Writer::PutHeader(std::uint32_t version) {
+  PPDM_CHECK_MSG(buf_.empty(), "PutHeader must be the first write");
+  buf_.append(kMagic, sizeof(kMagic));
+  PutU32(version);
+}
+
+void Writer::PutU8(std::uint8_t value) {
+  buf_.push_back(static_cast<char>(value));
+}
+
+void Writer::PutU32(std::uint32_t value) {
+  for (int shift = 0; shift < 32; shift += 8) {
+    buf_.push_back(static_cast<char>((value >> shift) & 0xFFu));
+  }
+}
+
+void Writer::PutU64(std::uint64_t value) {
+  for (int shift = 0; shift < 64; shift += 8) {
+    buf_.push_back(static_cast<char>((value >> shift) & 0xFFu));
+  }
+}
+
+void Writer::PutDouble(double value) {
+  std::uint64_t bits = 0;
+  static_assert(sizeof(bits) == sizeof(value), "IEEE-754 doubles expected");
+  std::memcpy(&bits, &value, sizeof(bits));
+  PutU64(bits);
+}
+
+void Writer::PutString(std::string_view value) {
+  PutU64(value.size());
+  buf_.append(value.data(), value.size());
+}
+
+void Writer::PutU64Array(const std::vector<std::uint64_t>& values) {
+  PutU64(values.size());
+  for (std::uint64_t v : values) PutU64(v);
+}
+
+void Writer::PutDoubleArray(const std::vector<double>& values) {
+  PutU64(values.size());
+  for (double v : values) PutDouble(v);
+}
+
+void Writer::BeginSection(std::uint32_t tag) {
+  PPDM_CHECK_MSG(!in_section_, "sections may not nest");
+  in_section_ = true;
+  PutU32(tag);
+  section_len_offset_ = buf_.size();
+  PutU64(0);  // patched by EndSection
+  section_crc_offset_ = buf_.size();
+  PutU32(0);  // patched by EndSection
+  section_payload_offset_ = buf_.size();
+}
+
+void Writer::EndSection() {
+  PPDM_CHECK_MSG(in_section_, "EndSection without BeginSection");
+  in_section_ = false;
+  const std::size_t payload_len = buf_.size() - section_payload_offset_;
+  PatchU64(section_len_offset_, payload_len);
+  PatchU32(section_crc_offset_,
+           Crc32(buf_.data() + section_payload_offset_, payload_len));
+}
+
+void Writer::PatchU32(std::size_t offset, std::uint32_t value) {
+  for (int i = 0; i < 4; ++i) {
+    buf_[offset + i] = static_cast<char>((value >> (8 * i)) & 0xFFu);
+  }
+}
+
+void Writer::PatchU64(std::size_t offset, std::uint64_t value) {
+  for (int i = 0; i < 8; ++i) {
+    buf_[offset + i] = static_cast<char>((value >> (8 * i)) & 0xFFu);
+  }
+}
+
+// ------------------------------------------------------------------ Reader
+
+Status Reader::Need(std::size_t count) const {
+  if (count > remaining()) {
+    return Status::IoError(StrFormat(
+        "snapshot truncated: need %zu more byte(s), have %zu", count,
+        remaining()));
+  }
+  return Status::Ok();
+}
+
+Status Reader::ReadHeader(std::uint32_t supported_version,
+                          std::uint32_t* version) {
+  PPDM_RETURN_IF_ERROR(Need(sizeof(kMagic)));
+  if (std::memcmp(bytes_.data() + pos_, kMagic, sizeof(kMagic)) != 0) {
+    return Status::InvalidArgument("not a ppdm snapshot (bad magic)");
+  }
+  pos_ += sizeof(kMagic);
+  PPDM_ASSIGN_OR_RETURN(*version, ReadU32());
+  if (*version == 0 || *version > supported_version) {
+    return Status::FailedPrecondition(StrFormat(
+        "snapshot format version %u unsupported (this build reads 1..%u)",
+        *version, supported_version));
+  }
+  return Status::Ok();
+}
+
+Result<std::uint8_t> Reader::ReadU8() {
+  PPDM_RETURN_IF_ERROR(Need(1));
+  return static_cast<std::uint8_t>(bytes_[pos_++]);
+}
+
+Result<std::uint32_t> Reader::ReadU32() {
+  PPDM_RETURN_IF_ERROR(Need(4));
+  std::uint32_t value = 0;
+  for (int i = 0; i < 4; ++i) {
+    value |= static_cast<std::uint32_t>(
+                 static_cast<unsigned char>(bytes_[pos_ + i]))
+             << (8 * i);
+  }
+  pos_ += 4;
+  return value;
+}
+
+Result<std::uint64_t> Reader::ReadU64() {
+  PPDM_RETURN_IF_ERROR(Need(8));
+  std::uint64_t value = 0;
+  for (int i = 0; i < 8; ++i) {
+    value |= static_cast<std::uint64_t>(
+                 static_cast<unsigned char>(bytes_[pos_ + i]))
+             << (8 * i);
+  }
+  pos_ += 8;
+  return value;
+}
+
+Result<double> Reader::ReadDouble() {
+  PPDM_ASSIGN_OR_RETURN(const std::uint64_t bits, ReadU64());
+  double value;
+  std::memcpy(&value, &bits, sizeof(value));
+  return value;
+}
+
+Result<std::string> Reader::ReadString() {
+  PPDM_ASSIGN_OR_RETURN(const std::uint64_t length, ReadU64());
+  PPDM_RETURN_IF_ERROR(Need(length));
+  std::string value(bytes_.substr(pos_, length));
+  pos_ += length;
+  return value;
+}
+
+Result<std::vector<std::uint64_t>> Reader::ReadU64Array() {
+  PPDM_ASSIGN_OR_RETURN(const std::uint64_t count, ReadU64());
+  // A corrupt count would provoke a huge allocation before the element
+  // reads could fail; bound it by the bytes actually present.
+  if (count > remaining() / 8) {
+    return Status::IoError(StrFormat(
+        "snapshot truncated: array claims %llu element(s), %zu byte(s) left",
+        static_cast<unsigned long long>(count), remaining()));
+  }
+  std::vector<std::uint64_t> values(static_cast<std::size_t>(count));
+  for (std::uint64_t& v : values) {
+    PPDM_ASSIGN_OR_RETURN(v, ReadU64());
+  }
+  return values;
+}
+
+Result<std::vector<double>> Reader::ReadDoubleArray() {
+  PPDM_ASSIGN_OR_RETURN(const std::uint64_t count, ReadU64());
+  if (count > remaining() / 8) {
+    return Status::IoError(StrFormat(
+        "snapshot truncated: array claims %llu element(s), %zu byte(s) left",
+        static_cast<unsigned long long>(count), remaining()));
+  }
+  std::vector<double> values(static_cast<std::size_t>(count));
+  for (double& v : values) {
+    PPDM_ASSIGN_OR_RETURN(v, ReadDouble());
+  }
+  return values;
+}
+
+Result<Reader> Reader::ReadSection(std::uint32_t expected_tag) {
+  PPDM_ASSIGN_OR_RETURN(const std::uint32_t tag, ReadU32());
+  if (tag != expected_tag) {
+    return Status::InvalidArgument(StrFormat(
+        "unexpected section tag 0x%08x (want 0x%08x)", tag, expected_tag));
+  }
+  PPDM_ASSIGN_OR_RETURN(const std::uint64_t length, ReadU64());
+  PPDM_ASSIGN_OR_RETURN(const std::uint32_t crc, ReadU32());
+  PPDM_RETURN_IF_ERROR(Need(length));
+  const std::string_view payload = bytes_.substr(pos_, length);
+  if (Crc32(payload) != crc) {
+    return Status::IoError(StrFormat(
+        "section 0x%08x payload fails its CRC32 (corrupt snapshot)", tag));
+  }
+  pos_ += length;
+  return Reader(payload);
+}
+
+}  // namespace ppdm::store

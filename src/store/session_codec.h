@@ -1,0 +1,84 @@
+// Snapshot codec for the serving-layer state: engine::ShardStats,
+// api::AttributeState, and whole api::DatasetSession sessions, over the
+// endian-stable Writer/Reader byte layer. A snapshot carries the session
+// spec plus the mutable accumulation; the fixed layouts (partitions,
+// perturbed-value binnings, noise models) are re-derived deterministically
+// from the spec on decode, so a decoded session continues byte-identically
+// to the live one — the exchangeable representation distributed PPDM
+// deployments ship between sites.
+//
+// Every decode failure (truncation, CRC mismatch, wrong magic, future
+// format version, shape mismatch) is a Status error, never a CHECK abort:
+// these bytes come from disks and networks, not from callers.
+
+#ifndef PPDM_STORE_SESSION_CODEC_H_
+#define PPDM_STORE_SESSION_CODEC_H_
+
+#include <cstdint>
+#include <memory>
+#include <string>
+#include <string_view>
+
+#include "api/attribute_state.h"
+#include "api/dataset_session.h"
+#include "common/status.h"
+#include "engine/shard_stats.h"
+#include "engine/thread_pool.h"
+#include "store/codec.h"
+
+namespace ppdm::store {
+
+/// Current snapshot format version. Readers accept 1..kFormatVersion.
+inline constexpr std::uint32_t kFormatVersion = 1;
+
+/// Section tags of a dataset-session snapshot.
+inline constexpr std::uint32_t kSpecSectionTag = 0x43455053;   // "SPEC"
+inline constexpr std::uint32_t kStateSectionTag = 0x54415453;  // "STAT"
+
+// Field-level encoders: append into the caller's Writer (inside whatever
+// section the caller opened) and the bounds-checked inverses.
+
+void EncodeShardStats(const engine::ShardStats& stats, Writer* writer);
+Result<engine::ShardStats> DecodeShardStats(Reader* reader);
+
+/// Serializes one attribute's full reconstruction state: the layout
+/// parameters (partition domain, noise model, EM options) plus the
+/// accumulated counts and warm-start masses.
+///
+/// Note this is deliberately a *self-contained* shape (it carries the
+/// derived noise scale, not the privacy calibration that produced it) —
+/// the exchange format for a single attribute's statistics between
+/// sites. Dataset-session snapshots do NOT route through it: they store
+/// the spec once and only counts + masses per attribute, re-deriving
+/// every layout on decode. A field added to AttributeState's mutable
+/// accumulation must be threaded through both encoders.
+void EncodeAttributeState(const api::AttributeState& state, Writer* writer);
+Result<api::AttributeState> DecodeAttributeState(Reader* reader);
+
+void EncodeDatasetSessionSpec(const api::DatasetSessionSpec& spec,
+                              Writer* writer);
+Result<api::DatasetSessionSpec> DecodeDatasetSessionSpec(Reader* reader);
+
+/// A complete snapshot file of one dataset session: header, SPEC section,
+/// STAT section. Captures a consistent point-in-time state under the
+/// session's lock; safe concurrently with Ingest()/ReconstructAll().
+std::string EncodeDatasetSession(const api::DatasetSession& session);
+
+/// Decodes a snapshot produced by EncodeDatasetSession and rebuilds the
+/// session over `pool`. Re-encoding the result reproduces `bytes` exactly.
+Result<std::unique_ptr<api::DatasetSession>> DecodeDatasetSession(
+    std::string_view bytes, engine::ThreadPool* pool = nullptr);
+
+/// Cheap metadata of a snapshot (for listings): decodes the header and
+/// section summaries without rebuilding the session.
+struct SnapshotInfo {
+  std::uint32_t version = 0;
+  std::uint64_t records = 0;
+  std::uint64_t batches = 0;
+  std::size_t attributes = 0;
+};
+Result<SnapshotInfo> PeekDatasetSession(std::string_view bytes);
+
+}  // namespace ppdm::store
+
+#endif  // PPDM_STORE_SESSION_CODEC_H_

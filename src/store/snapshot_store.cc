@@ -1,0 +1,235 @@
+#include "store/snapshot_store.h"
+
+#include <unistd.h>
+
+#include <algorithm>
+#include <atomic>
+#include <cctype>
+#include <chrono>
+#include <filesystem>
+#include <fstream>
+#include <system_error>
+
+#include "common/strings.h"
+
+namespace ppdm::store {
+namespace {
+
+namespace fs = std::filesystem;
+
+constexpr char kSnapshotExtension[] = ".snap";
+constexpr char kHexDigits[] = "0123456789abcdef";
+
+bool PassThrough(char c) {
+  return std::isalnum(static_cast<unsigned char>(c)) || c == '-' || c == '_';
+}
+
+int HexValue(char c) {
+  if (c >= '0' && c <= '9') return c - '0';
+  if (c >= 'a' && c <= 'f') return c - 'a' + 10;
+  if (c >= 'A' && c <= 'F') return c - 'A' + 10;
+  return -1;
+}
+
+}  // namespace
+
+std::string EncodeSnapshotName(std::string_view name) {
+  std::string encoded;
+  encoded.reserve(name.size());
+  for (char c : name) {
+    if (PassThrough(c)) {
+      encoded.push_back(c);
+    } else {
+      const auto byte = static_cast<unsigned char>(c);
+      encoded.push_back('%');
+      encoded.push_back(kHexDigits[byte >> 4]);
+      encoded.push_back(kHexDigits[byte & 0xF]);
+    }
+  }
+  return encoded;
+}
+
+Result<std::string> DecodeSnapshotName(std::string_view file_stem) {
+  std::string name;
+  name.reserve(file_stem.size());
+  for (std::size_t i = 0; i < file_stem.size(); ++i) {
+    const char c = file_stem[i];
+    if (c == '%') {
+      if (i + 2 >= file_stem.size() || HexValue(file_stem[i + 1]) < 0 ||
+          HexValue(file_stem[i + 2]) < 0) {
+        return Status::InvalidArgument(
+            "snapshot file name has a malformed %XX escape");
+      }
+      name.push_back(static_cast<char>(HexValue(file_stem[i + 1]) * 16 +
+                                       HexValue(file_stem[i + 2])));
+      i += 2;
+    } else if (PassThrough(c)) {
+      name.push_back(c);
+    } else {
+      return Status::InvalidArgument(
+          StrFormat("snapshot file name has unescaped byte 0x%02x",
+                    static_cast<unsigned char>(c)));
+    }
+  }
+  return name;
+}
+
+Result<SnapshotStore> SnapshotStore::Open(const std::string& directory) {
+  std::error_code ec;
+  fs::create_directories(directory, ec);
+  if (ec) {
+    return Status::IoError(StrFormat("cannot create snapshot directory %s: %s",
+                                     directory.c_str(),
+                                     ec.message().c_str()));
+  }
+  if (!fs::is_directory(directory, ec)) {
+    return Status::IoError(StrFormat("%s is not a directory",
+                                     directory.c_str()));
+  }
+  // Sweep temp files orphaned by crashes mid-Put, which List/TotalBytes
+  // skip (wrong extension) and nothing else would ever delete — a
+  // crash-looping checkpointed server must not grow the directory
+  // unboundedly. Only stale temps go: a recent one may belong to a live
+  // writer in another process.
+  const auto now = fs::file_time_type::clock::now();
+  for (const auto& entry : fs::directory_iterator(directory, ec)) {
+    std::error_code entry_ec;
+    if (!entry.is_regular_file(entry_ec)) continue;
+    if (entry.path().extension() != ".tmp") continue;
+    const fs::file_time_type written = entry.last_write_time(entry_ec);
+    if (entry_ec) continue;
+    if (now - written > std::chrono::hours(1)) {
+      fs::remove(entry.path(), entry_ec);
+    }
+  }
+  return SnapshotStore(directory);
+}
+
+std::string SnapshotStore::PathFor(const std::string& name) const {
+  return (fs::path(directory_) /
+          (EncodeSnapshotName(name) + kSnapshotExtension))
+      .string();
+}
+
+Status SnapshotStore::Put(const std::string& name,
+                          std::string_view bytes) const {
+  // An empty name would encode to the dotfile ".snap" — reachable by
+  // Get/Contains but invisible to the extension-driven List/Count scans.
+  if (name.empty()) {
+    return Status::InvalidArgument("snapshot name must be non-empty");
+  }
+  const std::string path = PathFor(name);
+  // The temp name must be unique per writer: a spill tier and an operator
+  // CLI may share the directory, and a deterministic "<path>.tmp" would
+  // let their writes interleave and publish mixed content over a good
+  // snapshot. pid + counter keeps concurrent processes and threads apart;
+  // stale temps from crashes are skipped by List (wrong extension).
+  static std::atomic<std::uint64_t> tmp_serial{0};
+  const std::string tmp = StrFormat(
+      "%s.%d.%llu.tmp", path.c_str(), static_cast<int>(::getpid()),
+      static_cast<unsigned long long>(
+          tmp_serial.fetch_add(1, std::memory_order_relaxed)));
+  {
+    std::ofstream out(tmp, std::ios::binary | std::ios::trunc);
+    if (!out) {
+      return Status::IoError(StrFormat("cannot open %s for writing",
+                                       tmp.c_str()));
+    }
+    out.write(bytes.data(), static_cast<std::streamsize>(bytes.size()));
+    out.flush();
+    if (!out) {
+      std::error_code ec;
+      fs::remove(tmp, ec);
+      return Status::IoError(StrFormat("short write to %s", tmp.c_str()));
+    }
+  }
+  std::error_code ec;
+  fs::rename(tmp, path, ec);
+  if (ec) {
+    std::error_code ignored;
+    fs::remove(tmp, ignored);
+    return Status::IoError(StrFormat("cannot publish %s: %s", path.c_str(),
+                                     ec.message().c_str()));
+  }
+  return Status::Ok();
+}
+
+Result<std::string> SnapshotStore::Get(const std::string& name) const {
+  const std::string path = PathFor(name);
+  std::error_code ec;
+  if (name.empty() || !fs::exists(path, ec)) {
+    return Status::NotFound(StrFormat("no snapshot named '%s' in %s",
+                                      name.c_str(), directory_.c_str()));
+  }
+  std::ifstream in(path, std::ios::binary);
+  if (!in) {
+    return Status::IoError(StrFormat("cannot open %s", path.c_str()));
+  }
+  std::string bytes((std::istreambuf_iterator<char>(in)),
+                    std::istreambuf_iterator<char>());
+  if (in.bad()) {
+    return Status::IoError(StrFormat("read failed on %s", path.c_str()));
+  }
+  return bytes;
+}
+
+bool SnapshotStore::Contains(const std::string& name) const {
+  std::error_code ec;
+  return !name.empty() && fs::exists(PathFor(name), ec);
+}
+
+Status SnapshotStore::Delete(const std::string& name) const {
+  std::error_code ec;
+  if (name.empty() || !fs::remove(PathFor(name), ec)) {
+    if (ec) {
+      return Status::IoError(StrFormat("cannot delete snapshot '%s': %s",
+                                       name.c_str(), ec.message().c_str()));
+    }
+    return Status::NotFound(StrFormat("no snapshot named '%s' in %s",
+                                      name.c_str(), directory_.c_str()));
+  }
+  return Status::Ok();
+}
+
+Result<std::vector<std::string>> SnapshotStore::List() const {
+  std::vector<std::string> names;
+  std::error_code ec;
+  for (const auto& entry : fs::directory_iterator(directory_, ec)) {
+    std::error_code type_ec;
+    if (!entry.is_regular_file(type_ec)) continue;
+    const fs::path& path = entry.path();
+    if (path.extension() != kSnapshotExtension) continue;
+    const Result<std::string> name =
+        DecodeSnapshotName(path.stem().string());
+    if (!name.ok()) continue;  // foreign file; not ours to report
+    names.push_back(name.value());
+  }
+  if (ec) {
+    return Status::IoError(StrFormat("cannot list %s: %s",
+                                     directory_.c_str(),
+                                     ec.message().c_str()));
+  }
+  std::sort(names.begin(), names.end());
+  return names;
+}
+
+std::size_t SnapshotStore::Count() const {
+  const Result<std::vector<std::string>> names = List();
+  return names.ok() ? names.value().size() : 0;
+}
+
+std::uint64_t SnapshotStore::TotalBytes() const {
+  std::uint64_t total = 0;
+  std::error_code ec;
+  for (const auto& entry : fs::directory_iterator(directory_, ec)) {
+    std::error_code type_ec;
+    if (!entry.is_regular_file(type_ec)) continue;
+    if (entry.path().extension() != kSnapshotExtension) continue;
+    std::error_code size_ec;
+    const std::uintmax_t size = entry.file_size(size_ec);
+    if (!size_ec) total += size;
+  }
+  return total;
+}
+
+}  // namespace ppdm::store

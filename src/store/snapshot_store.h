@@ -1,0 +1,77 @@
+// Directory-backed snapshot storage: named byte blobs with atomic
+// write-rename publication and corruption-safe reads. The store is the
+// durable tier under the session registry's spill path and the operator's
+// checkpoint/restore workflow; it knows nothing about snapshot contents —
+// the session codec owns the bytes.
+//
+// Concurrency / crash safety: Put() writes to a temp file in the same
+// directory and renames it over the target, so readers never observe a
+// half-written snapshot and a crash mid-Put leaves the previous version
+// intact. Durability is best-effort (no fsync); the recovery contract is
+// "the last completed checkpoint", not "the last write".
+//
+// Instances are cheap views over the directory (no in-memory index), so
+// several SnapshotStores — a spill tier and an operator CLI, say — can
+// share one directory.
+
+#ifndef PPDM_STORE_SNAPSHOT_STORE_H_
+#define PPDM_STORE_SNAPSHOT_STORE_H_
+
+#include <cstdint>
+#include <string>
+#include <string_view>
+#include <vector>
+
+#include "common/status.h"
+
+namespace ppdm::store {
+
+/// Maps arbitrary snapshot names onto safe file names: alphanumerics,
+/// '-' and '_' pass through, every other byte becomes %XX. Reversible.
+std::string EncodeSnapshotName(std::string_view name);
+Result<std::string> DecodeSnapshotName(std::string_view file_stem);
+
+/// Named snapshots in one directory, one "<escaped-name>.snap" file each.
+class SnapshotStore {
+ public:
+  /// Opens (creating if needed) `directory` as a snapshot store.
+  static Result<SnapshotStore> Open(const std::string& directory);
+
+  /// Atomically publishes `bytes` under `name`, replacing any previous
+  /// snapshot of that name. Names must be non-empty (kInvalidArgument);
+  /// an empty name is treated as absent by every read path.
+  Status Put(const std::string& name, std::string_view bytes) const;
+
+  /// The bytes last Put under `name`; kNotFound when absent, kIoError
+  /// when the file cannot be read.
+  Result<std::string> Get(const std::string& name) const;
+
+  /// True when a snapshot named `name` exists.
+  bool Contains(const std::string& name) const;
+
+  /// Removes `name`; kNotFound when absent.
+  Status Delete(const std::string& name) const;
+
+  /// All snapshot names in the directory, sorted.
+  Result<std::vector<std::string>> List() const;
+
+  /// Snapshots currently stored (directory scan).
+  std::size_t Count() const;
+
+  /// Sum of on-disk snapshot sizes in bytes (directory scan).
+  std::uint64_t TotalBytes() const;
+
+  const std::string& directory() const { return directory_; }
+
+ private:
+  explicit SnapshotStore(std::string directory)
+      : directory_(std::move(directory)) {}
+
+  std::string PathFor(const std::string& name) const;
+
+  std::string directory_;
+};
+
+}  // namespace ppdm::store
+
+#endif  // PPDM_STORE_SNAPSHOT_STORE_H_

@@ -1,0 +1,45 @@
+// The registry's durable demotion backend: api::SessionSpill implemented
+// over a SnapshotStore directory and the session codec. Eviction-time
+// Spill serializes the session's point-in-time state to "<name>.snap";
+// Admit decodes it back into an equivalent session, leaving the capture
+// on disk as the name's checkpoint until the next Spill overwrites it.
+// Decode failures leave the file in place for inspection and surface as
+// Status (the registry counts them and treats the lookup as a miss).
+
+#ifndef PPDM_STORE_SPILL_STORE_H_
+#define PPDM_STORE_SPILL_STORE_H_
+
+#include <cstdint>
+#include <memory>
+#include <string>
+
+#include "api/registry.h"
+#include "common/status.h"
+#include "store/snapshot_store.h"
+
+namespace ppdm::store {
+
+/// Directory-backed spill tier for api::SessionRegistry.
+class SessionSpillStore : public api::SessionSpill {
+ public:
+  /// Spills into `store`'s directory (the store is copied; SnapshotStore
+  /// instances are cheap views and may share a directory).
+  explicit SessionSpillStore(SnapshotStore store)
+      : store_(std::move(store)) {}
+
+  Result<std::uint64_t> Spill(const std::string& name,
+                              const api::DatasetSession& session) override;
+  Result<std::shared_ptr<api::DatasetSession>> Admit(
+      const std::string& name, engine::ThreadPool* pool) override;
+  bool Contains(const std::string& name) const override;
+  Status Drop(const std::string& name) override;
+
+  const SnapshotStore& store() const { return store_; }
+
+ private:
+  SnapshotStore store_;
+};
+
+}  // namespace ppdm::store
+
+#endif  // PPDM_STORE_SPILL_STORE_H_

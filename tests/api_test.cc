@@ -637,6 +637,58 @@ TEST(SessionRegistryTest, TtlEvictsIdleSessions) {
   EXPECT_EQ(registry.GetStats().ttl_evictions, 2u);
 }
 
+// Regression for the budget-smaller-than-one-session edge case: a session
+// larger than the whole byte budget is served and evicted
+// deterministically — it never flushes within-budget tenants, and steady
+// tenant traffic never thrashes. (The spill-tier variant of this property
+// lives in store_test.cc.)
+TEST(SessionRegistryTest, OversizedSessionEvictsDeterministically) {
+  const DatasetSessionSpec small_spec = BenchmarkDatasetSpec(1, 8);
+  const DatasetSessionSpec whale_spec = BenchmarkDatasetSpec(6, 64);
+  const std::size_t small_bytes =
+      DatasetSession::Open(small_spec).value()->ApproxMemoryBytes();
+  const std::size_t whale_bytes =
+      DatasetSession::Open(whale_spec).value()->ApproxMemoryBytes();
+
+  SessionRegistryOptions options;
+  options.max_bytes = 2 * small_bytes + small_bytes / 2;  // two tenants
+  ASSERT_GT(whale_bytes, options.max_bytes);
+  SessionRegistry registry(options);
+
+  ASSERT_TRUE(registry.Open("t1", small_spec).ok());
+  ASSERT_TRUE(registry.Open("t2", small_spec).ok());
+
+  // The whale opens (it still serves: the budget bounds retention, not
+  // admission) without evicting the within-budget tenants.
+  const auto whale = registry.Open("whale", whale_spec);
+  ASSERT_TRUE(whale.ok());
+  EXPECT_EQ(registry.GetStats().evictions, 0u);
+  EXPECT_EQ(registry.GetStats().open_sessions, 3u);
+
+  // The first touch of another name demotes exactly the whale; with no
+  // spill backend that destroys its registry copy (the caller's
+  // shared_ptr keeps serving).
+  EXPECT_NE(registry.Lookup("t1"), nullptr);
+  {
+    const SessionRegistry::Stats stats = registry.GetStats();
+    EXPECT_EQ(stats.open_sessions, 2u);
+    EXPECT_EQ(stats.evictions, 1u);
+    EXPECT_LE(stats.approx_bytes, options.max_bytes);
+  }
+  EXPECT_TRUE(whale.value()
+                  ->Ingest(data::RowBatch(nullptr, 0,
+                                          whale_spec.schema.NumFields()))
+                  .ok());
+
+  // Steady tenant traffic causes no further motion — no thrash.
+  for (int i = 0; i < 10; ++i) {
+    EXPECT_NE(registry.Lookup("t1"), nullptr);
+    EXPECT_NE(registry.Lookup("t2"), nullptr);
+  }
+  EXPECT_EQ(registry.GetStats().evictions, 1u);
+  EXPECT_EQ(registry.GetStats().open_sessions, 2u);
+}
+
 // The eviction-safety contract, race-checked under ThreadSanitizer in CI:
 // one thread streams ingests and refreshes through a session while
 // another closes / reopens / budget-evicts it from the registry. The

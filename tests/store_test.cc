@@ -1,0 +1,797 @@
+// Tests for the persistence subsystem: the endian-stable codec (every
+// malformed input — truncated, bit-flipped, wrong magic, future version —
+// comes back as a Status error, never a CHECK abort), byte-identical
+// snapshot/restore of ShardStats / AttributeState / DatasetSession, the
+// directory-backed SnapshotStore (atomic publication, corruption-safe
+// reads), and the registry spill tier (eviction demotes, Lookup
+// transparently re-admits, equivalence with a never-evicted registry —
+// race-checked under ThreadSanitizer in CI).
+
+#include <atomic>
+#include <cstdint>
+#include <cstring>
+#include <filesystem>
+#include <fstream>
+#include <memory>
+#include <optional>
+#include <string>
+#include <thread>
+#include <vector>
+
+#include <gtest/gtest.h>
+
+#include "api/dataset_session.h"
+#include "api/registry.h"
+#include "data/row_batch.h"
+#include "engine/shard_stats.h"
+#include "engine/thread_pool.h"
+#include "perturb/randomizer.h"
+#include "store/codec.h"
+#include "store/session_codec.h"
+#include "store/snapshot_store.h"
+#include "store/spill_store.h"
+#include "synth/generator.h"
+
+namespace ppdm::store {
+namespace {
+
+namespace fs = std::filesystem;
+
+// A unique on-disk directory per test, removed on destruction.
+struct TempDir {
+  TempDir() {
+    const auto* info =
+        ::testing::UnitTest::GetInstance()->current_test_info();
+    path = (fs::temp_directory_path() /
+            (std::string("ppdm_store_test_") + info->test_suite_name() +
+             "_" + info->name()))
+               .string();
+    fs::remove_all(path);
+  }
+  ~TempDir() {
+    std::error_code ec;
+    fs::remove_all(path, ec);
+  }
+  std::string path;
+};
+
+/// A dataset-session spec over the first `num_attrs` benchmark columns.
+api::DatasetSessionSpec BenchmarkDatasetSpec(std::size_t num_attrs,
+                                             std::size_t intervals = 12) {
+  api::DatasetSessionSpec spec;
+  spec.schema = synth::BenchmarkSchema();
+  for (std::size_t column = 0; column < num_attrs; ++column) {
+    api::AttributeSpec attr;
+    attr.column = column;
+    attr.intervals = intervals;
+    attr.noise = perturb::NoiseKind::kUniform;
+    attr.privacy_fraction = 1.0;
+    spec.attributes.push_back(attr);
+  }
+  spec.shard_size = 256;
+  return spec;
+}
+
+/// Perturbed benchmark records, flattened row-major. (Mirrors
+/// bench::PerturbedRowMajor in bench/bench_util.h — kept local so the
+/// test tree does not include bench tooling; change both if the arrival
+/// shape ever changes.)
+std::vector<double> PerturbedRows(std::size_t num_records,
+                                  std::size_t* num_cols,
+                                  std::uint64_t seed = 23) {
+  synth::GeneratorOptions gen;
+  gen.num_records = num_records;
+  gen.seed = seed;
+  const data::Dataset original = synth::Generate(gen);
+  perturb::RandomizerOptions noise;
+  noise.kind = perturb::NoiseKind::kUniform;
+  noise.privacy_fraction = 1.0;
+  noise.seed = seed ^ 0x5DEECE66DULL;
+  const data::Dataset perturbed =
+      perturb::Randomizer(original.schema(), noise).Perturb(original);
+  *num_cols = perturbed.NumCols();
+  std::vector<double> rows(perturbed.NumRows() * perturbed.NumCols());
+  for (std::size_t c = 0; c < perturbed.NumCols(); ++c) {
+    const std::vector<double>& column = perturbed.Column(c);
+    for (std::size_t r = 0; r < perturbed.NumRows(); ++r) {
+      rows[r * perturbed.NumCols() + c] = column[r];
+    }
+  }
+  return rows;
+}
+
+bool ReconstructionsIdentical(const reconstruct::Reconstruction& a,
+                              const reconstruct::Reconstruction& b) {
+  return a.masses == b.masses && a.iterations == b.iterations &&
+         a.chi_square_trace == b.chi_square_trace &&
+         a.log_likelihood_trace == b.log_likelihood_trace &&
+         a.sample_count == b.sample_count;
+}
+
+// ------------------------------------------------------------------ codec
+
+TEST(CodecTest, PrimitivesAreLittleEndianOnTheWire) {
+  Writer writer;
+  writer.PutU32(0x01020304u);
+  writer.PutU64(0x1122334455667788ull);
+  const std::string& bytes = writer.bytes();
+  ASSERT_EQ(bytes.size(), 12u);
+  const unsigned char expect[12] = {0x04, 0x03, 0x02, 0x01, 0x88, 0x77,
+                                    0x66, 0x55, 0x44, 0x33, 0x22, 0x11};
+  EXPECT_EQ(std::memcmp(bytes.data(), expect, sizeof(expect)), 0);
+}
+
+TEST(CodecTest, PrimitiveRoundTrip) {
+  Writer writer;
+  writer.PutU8(0xAB);
+  writer.PutU32(0xDEADBEEFu);
+  writer.PutU64(0xFEEDFACECAFEBEEFull);
+  writer.PutDouble(-0.1234567890123456789);
+  writer.PutString("perturb \xF0\x9F\x94\x92 reconstruct");
+  writer.PutU64Array({1, 0, 42, ~0ull});
+  writer.PutDoubleArray({0.0, -1.5, 1e308});
+
+  Reader reader(writer.bytes());
+  EXPECT_EQ(reader.ReadU8().value(), 0xAB);
+  EXPECT_EQ(reader.ReadU32().value(), 0xDEADBEEFu);
+  EXPECT_EQ(reader.ReadU64().value(), 0xFEEDFACECAFEBEEFull);
+  EXPECT_EQ(reader.ReadDouble().value(), -0.1234567890123456789);
+  EXPECT_EQ(reader.ReadString().value(), "perturb \xF0\x9F\x94\x92 reconstruct");
+  EXPECT_EQ(reader.ReadU64Array().value(),
+            (std::vector<std::uint64_t>{1, 0, 42, ~0ull}));
+  EXPECT_EQ(reader.ReadDoubleArray().value(),
+            (std::vector<double>{0.0, -1.5, 1e308}));
+  EXPECT_TRUE(reader.AtEnd());
+}
+
+TEST(CodecTest, EveryTruncationIsAStatusError) {
+  Writer writer;
+  writer.PutHeader(kFormatVersion);
+  writer.BeginSection(0x31415926);
+  writer.PutString("payload");
+  writer.PutU64Array({7, 8, 9});
+  writer.EndSection();
+  const std::string full = writer.bytes();
+
+  for (std::size_t len = 0; len < full.size(); ++len) {
+    Reader reader(std::string_view(full).substr(0, len));
+    std::uint32_t version = 0;
+    Status status = reader.ReadHeader(kFormatVersion, &version);
+    if (status.ok()) {
+      const Result<Reader> section = reader.ReadSection(0x31415926);
+      status = section.status();
+      if (section.ok()) {
+        Reader payload = section.value();
+        status = payload.ReadString().status();
+        if (status.ok()) status = payload.ReadU64Array().status();
+      }
+    }
+    EXPECT_FALSE(status.ok()) << "prefix of " << len << " bytes";
+  }
+}
+
+TEST(CodecTest, HeaderRejectsWrongMagicAndFutureVersion) {
+  Writer writer;
+  writer.PutHeader(kFormatVersion);
+  std::string bytes = writer.bytes();
+  std::uint32_t version = 0;
+
+  std::string wrong_magic = bytes;
+  wrong_magic[0] = 'X';
+  Reader bad(wrong_magic);
+  EXPECT_EQ(bad.ReadHeader(kFormatVersion, &version).code(),
+            StatusCode::kInvalidArgument);
+
+  Writer future;
+  future.PutHeader(kFormatVersion + 1);
+  Reader newer(future.bytes());
+  EXPECT_EQ(newer.ReadHeader(kFormatVersion, &version).code(),
+            StatusCode::kFailedPrecondition);
+
+  Reader good(bytes);
+  EXPECT_TRUE(good.ReadHeader(kFormatVersion, &version).ok());
+  EXPECT_EQ(version, kFormatVersion);
+}
+
+TEST(CodecTest, SectionCrcCatchesEveryBitFlip) {
+  Writer writer;
+  writer.BeginSection(0x600DF00D);
+  writer.PutU64(1234567890123ull);
+  writer.PutString("crc me");
+  writer.EndSection();
+  const std::string clean = writer.bytes();
+  ASSERT_TRUE(Reader(clean).ReadSection(0x600DF00D).ok());
+
+  for (std::size_t bit = 0; bit < clean.size() * 8; ++bit) {
+    std::string flipped = clean;
+    flipped[bit / 8] = static_cast<char>(
+        static_cast<unsigned char>(flipped[bit / 8]) ^ (1u << (bit % 8)));
+    const Result<Reader> section = Reader(flipped).ReadSection(0x600DF00D);
+    EXPECT_FALSE(section.ok()) << "bit " << bit;
+  }
+}
+
+// ----------------------------------------------------- field-level codecs
+
+TEST(ShardStatsCodecTest, RoundTripIsByteIdentical) {
+  engine::ShardStats stats(6, 2);
+  stats.Add(0, 0);
+  stats.Add(5, 1);
+  stats.Add(5, 1);
+  stats.Add(3, 0);
+
+  Writer writer;
+  EncodeShardStats(stats, &writer);
+  Reader reader(writer.bytes());
+  const Result<engine::ShardStats> decoded = DecodeShardStats(&reader);
+  ASSERT_TRUE(decoded.ok()) << decoded.status().ToString();
+  EXPECT_TRUE(reader.AtEnd());
+  EXPECT_EQ(decoded.value().num_bins(), 6u);
+  EXPECT_EQ(decoded.value().num_classes(), 2u);
+  EXPECT_EQ(decoded.value().record_count(), 4u);
+  EXPECT_EQ(decoded.value().counts(), stats.counts());
+
+  Writer again;
+  EncodeShardStats(decoded.value(), &again);
+  EXPECT_EQ(again.bytes(), writer.bytes());
+}
+
+TEST(ShardStatsCodecTest, RejectsInconsistentCounts) {
+  engine::ShardStats stats(4, 1);
+  stats.Add(1, 0);
+  Writer writer;
+  EncodeShardStats(stats, &writer);
+
+  // Corrupt the record_count field (third u64) without touching counts;
+  // the decoder must reject the inconsistency, not CHECK-abort.
+  std::string bytes = writer.bytes();
+  bytes[16] = 9;
+  Reader reader(bytes);
+  const Result<engine::ShardStats> decoded = DecodeShardStats(&reader);
+  EXPECT_FALSE(decoded.ok());
+  EXPECT_EQ(decoded.status().code(), StatusCode::kInvalidArgument);
+}
+
+TEST(AttributeStateCodecTest, RoundTripPreservesLayoutCountsAndMasses) {
+  api::AttributeState state(
+      0.0, 100.0, 10,
+      perturb::NoiseForPrivacy(perturb::NoiseKind::kUniform, 1.0, 100.0),
+      reconstruct::ReconstructionOptions{});
+  for (int i = 0; i < 500; ++i) {
+    state.stats().Add(state.BinOf(i % 140 - 20.0), 0);
+  }
+  state.set_last_masses(std::vector<double>(10, 0.1));
+
+  Writer writer;
+  EncodeAttributeState(state, &writer);
+  Reader reader(writer.bytes());
+  Result<api::AttributeState> decoded = DecodeAttributeState(&reader);
+  ASSERT_TRUE(decoded.ok()) << decoded.status().ToString();
+  EXPECT_TRUE(reader.AtEnd());
+
+  const api::AttributeState& restored = decoded.value();
+  EXPECT_EQ(restored.partition().lo(), state.partition().lo());
+  EXPECT_EQ(restored.partition().hi(), state.partition().hi());
+  EXPECT_EQ(restored.partition().intervals(), state.partition().intervals());
+  EXPECT_EQ(restored.noise_model().kind(), state.noise_model().kind());
+  EXPECT_EQ(restored.noise_model().scale(), state.noise_model().scale());
+  EXPECT_EQ(restored.num_bins(), state.num_bins());
+  EXPECT_EQ(restored.stats().counts(), state.stats().counts());
+  EXPECT_EQ(restored.last_masses(), state.last_masses());
+
+  Writer again;
+  EncodeAttributeState(restored, &again);
+  EXPECT_EQ(again.bytes(), writer.bytes());
+}
+
+// ------------------------------------------------- dataset-session codec
+
+// The acceptance property: snapshot a mid-stream session, restore it, and
+// continue — Ingest + ReconstructAll on the restored session must be
+// byte-identical to the never-snapshotted one, at 0/1/2/8 threads.
+TEST(DatasetSnapshotTest, SnapshotRestoreContinuationIsByteIdentical) {
+  const std::size_t num_attrs = 3;
+  const api::DatasetSessionSpec spec = BenchmarkDatasetSpec(num_attrs);
+  std::size_t num_cols = 0;
+  const std::vector<double> rows = PerturbedRows(3000, &num_cols);
+  const std::size_t num_rows = rows.size() / num_cols;
+  const data::RowBatch all_rows(rows.data(), num_rows, num_cols);
+  const std::size_t half = num_rows / 2;
+
+  for (std::size_t threads : {std::size_t{0}, std::size_t{1},
+                              std::size_t{2}, std::size_t{8}}) {
+    std::optional<engine::ThreadPool> pool;
+    if (threads > 0) pool.emplace(threads);
+    engine::ThreadPool* p = threads > 0 ? &*pool : nullptr;
+
+    auto live = api::DatasetSession::Open(spec, p);
+    ASSERT_TRUE(live.ok());
+    ASSERT_TRUE(live.value()->Ingest(all_rows.Slice(0, half)).ok());
+    // A mid-stream refresh gives the snapshot warm-start masses to carry.
+    ASSERT_TRUE(live.value()->ReconstructAll().ok());
+
+    const std::string bytes = EncodeDatasetSession(*live.value());
+    auto restored = DecodeDatasetSession(bytes, p);
+    ASSERT_TRUE(restored.ok()) << restored.status().ToString()
+                               << " at threads " << threads;
+    EXPECT_EQ(restored.value()->record_count(), half);
+    // Re-encoding the restored session reproduces the file bit for bit.
+    EXPECT_EQ(EncodeDatasetSession(*restored.value()), bytes);
+
+    // Continue both sessions identically.
+    ASSERT_TRUE(
+        live.value()->Ingest(all_rows.Slice(half, num_rows - half)).ok());
+    ASSERT_TRUE(restored.value()
+                    ->Ingest(all_rows.Slice(half, num_rows - half))
+                    .ok());
+    const auto live_estimates = live.value()->ReconstructAll();
+    const auto restored_estimates = restored.value()->ReconstructAll();
+    ASSERT_TRUE(live_estimates.ok());
+    ASSERT_TRUE(restored_estimates.ok());
+    for (std::size_t a = 0; a < num_attrs; ++a) {
+      EXPECT_TRUE(ReconstructionsIdentical(live_estimates.value()[a],
+                                           restored_estimates.value()[a]))
+          << "attribute " << a << ", threads " << threads;
+    }
+  }
+}
+
+TEST(DatasetSnapshotTest, EveryBitFlipIsDetected) {
+  const api::DatasetSessionSpec spec = BenchmarkDatasetSpec(2, 8);
+  std::size_t num_cols = 0;
+  const std::vector<double> rows = PerturbedRows(200, &num_cols);
+  auto session = api::DatasetSession::Open(spec);
+  ASSERT_TRUE(session.ok());
+  ASSERT_TRUE(session.value()
+                  ->Ingest(data::RowBatch(rows.data(),
+                                          rows.size() / num_cols, num_cols))
+                  .ok());
+  ASSERT_TRUE(session.value()->ReconstructAll().ok());
+  const std::string clean = EncodeDatasetSession(*session.value());
+  ASSERT_TRUE(DecodeDatasetSession(clean).ok());
+
+  // Flip every bit of the snapshot: each flip must surface as a Status
+  // error (headers are validated; payloads are CRC32-guarded, and CRC32
+  // detects all single-bit corruption) and must never abort.
+  for (std::size_t bit = 0; bit < clean.size() * 8; ++bit) {
+    std::string flipped = clean;
+    flipped[bit / 8] = static_cast<char>(
+        static_cast<unsigned char>(flipped[bit / 8]) ^ (1u << (bit % 8)));
+    const auto decoded = DecodeDatasetSession(flipped);
+    EXPECT_FALSE(decoded.ok()) << "bit " << bit;
+  }
+}
+
+TEST(DatasetSnapshotTest, EveryTruncationIsDetected) {
+  const api::DatasetSessionSpec spec = BenchmarkDatasetSpec(1, 8);
+  auto session = api::DatasetSession::Open(spec);
+  ASSERT_TRUE(session.ok());
+  const std::string clean = EncodeDatasetSession(*session.value());
+
+  for (std::size_t len = 0; len < clean.size(); ++len) {
+    const auto decoded =
+        DecodeDatasetSession(std::string_view(clean).substr(0, len));
+    EXPECT_FALSE(decoded.ok()) << "prefix of " << len << " bytes";
+  }
+  // Trailing garbage is rejected too.
+  const auto padded = DecodeDatasetSession(clean + "x");
+  EXPECT_FALSE(padded.ok());
+}
+
+// A CRC-valid snapshot with hostile layout *parameters* (absurd noise
+// scale, interval count, or confidence) must be rejected before any
+// state is derived — the derivation would otherwise abort on an
+// astronomically large bin-layout allocation.
+TEST(DatasetSnapshotTest, HostileLayoutParametersAreRejectedNotFatal) {
+  // AttributeState path: a 1e18 noise scale over a unit domain.
+  Writer attr;
+  attr.PutDouble(0.0);
+  attr.PutDouble(1.0);
+  attr.PutU64(2);         // intervals
+  attr.PutU8(1);          // uniform
+  attr.PutDouble(1e18);   // scale -> ~4e18 padding bins
+  attr.PutU64(100);       // EM max_iterations
+  attr.PutDouble(1e-4);   // EM chi_square_epsilon
+  attr.PutU8(1);          // binned
+  Reader attr_reader(attr.bytes());
+  const auto state = DecodeAttributeState(&attr_reader);
+  EXPECT_EQ(state.status().code(), StatusCode::kInvalidArgument);
+
+  // Whole-session path: a spec the validation layer accepts (confidence
+  // inside (0,1)) whose derived noise explodes the padded layout, and
+  // one with an implausible interval count.
+  for (int variant = 0; variant < 2; ++variant) {
+    api::DatasetSessionSpec spec = BenchmarkDatasetSpec(1);
+    if (variant == 0) {
+      spec.attributes[0].confidence = 1e-12;  // alpha = p*R/(2c) -> huge
+    } else {
+      spec.attributes[0].intervals = (1u << 20) + 1;
+    }
+    Writer writer;
+    writer.PutHeader(kFormatVersion);
+    writer.BeginSection(kSpecSectionTag);
+    EncodeDatasetSessionSpec(spec, &writer);
+    writer.EndSection();
+    writer.BeginSection(kStateSectionTag);
+    writer.EndSection();
+    const auto decoded = DecodeDatasetSession(writer.bytes());
+    EXPECT_EQ(decoded.status().code(), StatusCode::kInvalidArgument)
+        << "variant " << variant;
+  }
+}
+
+TEST(DatasetSnapshotTest, PeekReportsWithoutRebuilding) {
+  const api::DatasetSessionSpec spec = BenchmarkDatasetSpec(2);
+  std::size_t num_cols = 0;
+  const std::vector<double> rows = PerturbedRows(300, &num_cols);
+  auto session = api::DatasetSession::Open(spec);
+  ASSERT_TRUE(session.ok());
+  ASSERT_TRUE(session.value()
+                  ->Ingest(data::RowBatch(rows.data(),
+                                          rows.size() / num_cols, num_cols))
+                  .ok());
+  const Result<SnapshotInfo> info =
+      PeekDatasetSession(EncodeDatasetSession(*session.value()));
+  ASSERT_TRUE(info.ok());
+  EXPECT_EQ(info.value().version, kFormatVersion);
+  EXPECT_EQ(info.value().records, 300u);
+  EXPECT_EQ(info.value().batches, 1u);
+  EXPECT_EQ(info.value().attributes, 2u);
+}
+
+// --------------------------------------------------------- snapshot store
+
+TEST(SnapshotStoreTest, PutGetListDeleteLifecycle) {
+  TempDir dir;
+  const Result<SnapshotStore> opened = SnapshotStore::Open(dir.path);
+  ASSERT_TRUE(opened.ok());
+  const SnapshotStore& store = opened.value();
+
+  EXPECT_FALSE(store.Contains("alpha"));
+  EXPECT_EQ(store.Get("alpha").status().code(), StatusCode::kNotFound);
+  ASSERT_TRUE(store.Put("alpha", "bytes-a").ok());
+  ASSERT_TRUE(store.Put("beta", "bytes-b").ok());
+  EXPECT_TRUE(store.Contains("alpha"));
+  EXPECT_EQ(store.Get("alpha").value(), "bytes-a");
+  EXPECT_EQ(store.List().value(),
+            (std::vector<std::string>{"alpha", "beta"}));
+  EXPECT_EQ(store.Count(), 2u);
+  EXPECT_EQ(store.TotalBytes(), 14u);
+
+  // Overwrite replaces atomically (shorter content, no stale tail).
+  ASSERT_TRUE(store.Put("alpha", "v2").ok());
+  EXPECT_EQ(store.Get("alpha").value(), "v2");
+
+  EXPECT_TRUE(store.Delete("alpha").ok());
+  EXPECT_EQ(store.Delete("alpha").code(), StatusCode::kNotFound);
+  EXPECT_EQ(store.List().value(), (std::vector<std::string>{"beta"}));
+}
+
+TEST(SnapshotStoreTest, NamesWithArbitraryBytesRoundTrip) {
+  TempDir dir;
+  const SnapshotStore store = SnapshotStore::Open(dir.path).value();
+  const std::vector<std::string> names = {
+      "plain", "with space", "slash/../escape", "per%cent",
+      "uni\xC3\xA7ode", "..", "a.b.c"};
+  for (const std::string& name : names) {
+    ASSERT_TRUE(store.Put(name, "x" + name).ok()) << name;
+  }
+  for (const std::string& name : names) {
+    EXPECT_EQ(store.Get(name).value(), "x" + name) << name;
+  }
+  std::vector<std::string> sorted = names;
+  std::sort(sorted.begin(), sorted.end());
+  EXPECT_EQ(store.List().value(), sorted);
+  // Everything stayed inside the store directory (no path traversal).
+  EXPECT_EQ(store.Count(), names.size());
+}
+
+TEST(SnapshotStoreTest, EmptyNameIsRejectedEverywhere) {
+  TempDir dir;
+  const SnapshotStore store = SnapshotStore::Open(dir.path).value();
+  // "" would encode to the dotfile ".snap", reachable by Get but
+  // invisible to List; it must be rejected outright instead.
+  EXPECT_EQ(store.Put("", "bytes").code(), StatusCode::kInvalidArgument);
+  EXPECT_FALSE(store.Contains(""));
+  EXPECT_EQ(store.Get("").status().code(), StatusCode::kNotFound);
+  EXPECT_EQ(store.Delete("").code(), StatusCode::kNotFound);
+  EXPECT_TRUE(store.List().value().empty());
+}
+
+TEST(SnapshotStoreTest, CorruptedAndTruncatedFilesSurfaceStatus) {
+  TempDir dir;
+  const SnapshotStore store = SnapshotStore::Open(dir.path).value();
+  const api::DatasetSessionSpec spec = BenchmarkDatasetSpec(1, 8);
+  auto session = api::DatasetSession::Open(spec);
+  ASSERT_TRUE(session.ok());
+  const std::string clean = EncodeDatasetSession(*session.value());
+  ASSERT_TRUE(store.Put("victim", clean).ok());
+
+  // Truncate the file on disk behind the store's back.
+  {
+    std::ofstream out(
+        (fs::path(dir.path) / "victim.snap").string(),
+        std::ios::binary | std::ios::trunc);
+    out.write(clean.data(), static_cast<std::streamsize>(clean.size() / 2));
+  }
+  const Result<std::string> half = store.Get("victim");
+  ASSERT_TRUE(half.ok());  // the store serves bytes; the codec judges them
+  EXPECT_FALSE(DecodeDatasetSession(half.value()).ok());
+
+  // Replace with garbage: wrong magic, surfaced as InvalidArgument.
+  ASSERT_TRUE(store.Put("victim", "not a snapshot at all").ok());
+  const auto garbage = DecodeDatasetSession(store.Get("victim").value());
+  EXPECT_EQ(garbage.status().code(), StatusCode::kInvalidArgument);
+}
+
+// -------------------------------------------------------- registry spill
+
+std::vector<double> SmallBatch(const api::DatasetSessionSpec& spec,
+                               double value) {
+  return std::vector<double>(spec.schema.NumFields(), value);
+}
+
+TEST(SpillRegistryTest, EvictionSpillsAndLookupTransparentlyReadmits) {
+  TempDir dir;
+  SnapshotStore snapshots = SnapshotStore::Open(dir.path).value();
+  SessionSpillStore spill(snapshots);
+
+  const api::DatasetSessionSpec spec = BenchmarkDatasetSpec(2);
+  const std::size_t per_session =
+      api::DatasetSession::Open(spec).value()->ApproxMemoryBytes();
+  api::SessionRegistryOptions options;
+  options.max_bytes = per_session + per_session / 2;  // room for one
+  options.spill = &spill;
+  api::SessionRegistry registry(options);
+
+  auto a = registry.Open("a", spec);
+  ASSERT_TRUE(a.ok());
+  const std::vector<double> row = SmallBatch(spec, 30000.0);
+  ASSERT_TRUE(a.value()
+                  ->Ingest(data::RowBatch(row.data(), 1,
+                                          spec.schema.NumFields()))
+                  .ok());
+  a.value().reset();  // registry holds the only reference now
+
+  ASSERT_TRUE(registry.Open("b", spec).ok());  // evicts + spills "a"
+  {
+    const api::SessionRegistry::Stats stats = registry.GetStats();
+    EXPECT_EQ(stats.open_sessions, 1u);
+    EXPECT_EQ(stats.evictions, 1u);
+    EXPECT_EQ(stats.spills, 1u);
+    EXPECT_EQ(stats.spilled_sessions, 1u);
+    EXPECT_GT(stats.spilled_bytes, 0u);
+  }
+  EXPECT_TRUE(snapshots.Contains("a"));
+
+  // Open must refuse the spilled name: it is still logically open.
+  EXPECT_EQ(registry.Open("a", spec).status().code(),
+            StatusCode::kFailedPrecondition);
+
+  // Lookup re-admits with the accumulated evidence intact (and demotes
+  // "b" to fit the budget again).
+  const std::shared_ptr<api::DatasetSession> readmitted =
+      registry.Lookup("a");
+  ASSERT_NE(readmitted, nullptr);
+  EXPECT_EQ(readmitted->record_count(), 1u);
+  {
+    const api::SessionRegistry::Stats stats = registry.GetStats();
+    EXPECT_EQ(stats.readmissions, 1u);
+    EXPECT_EQ(stats.spills, 2u);  // "b" went down
+    EXPECT_EQ(stats.spill_failures, 0u);
+  }
+
+  // Close drops both tiers; the name becomes reusable.
+  EXPECT_TRUE(registry.Close("b"));
+  EXPECT_FALSE(snapshots.Contains("b"));
+  EXPECT_TRUE(registry.Close("a"));
+  EXPECT_EQ(registry.Lookup("a"), nullptr);
+  EXPECT_TRUE(registry.Open("a", spec).ok());
+}
+
+// The acceptance property: traffic through a budget-starved registry with
+// a spill tier produces byte-identical estimates to an unbounded registry
+// — sessions keep all their evidence across demote/re-admit cycles.
+TEST(SpillRegistryTest, SpilledRegistryEquivalentToNeverEvicted) {
+  const std::size_t num_sessions = 3;
+  const api::DatasetSessionSpec spec = BenchmarkDatasetSpec(2);
+  std::size_t num_cols = 0;
+  const std::vector<double> rows = PerturbedRows(1200, &num_cols);
+  const std::size_t num_rows = rows.size() / num_cols;
+  const data::RowBatch all_rows(rows.data(), num_rows, num_cols);
+
+  for (std::size_t threads : {std::size_t{0}, std::size_t{2}}) {
+    std::optional<engine::ThreadPool> pool;
+    if (threads > 0) pool.emplace(threads);
+    engine::ThreadPool* p = threads > 0 ? &*pool : nullptr;
+
+    TempDir dir;
+    SnapshotStore snapshots = SnapshotStore::Open(dir.path).value();
+    SessionSpillStore spill(snapshots);
+    api::SessionRegistryOptions starved_options;
+    starved_options.max_bytes = 1;  // nothing fits: every touch demotes
+    starved_options.spill = &spill;
+    api::SessionRegistry starved(starved_options, p);
+    api::SessionRegistry unbounded({}, p);
+
+    for (std::size_t s = 0; s < num_sessions; ++s) {
+      const std::string name = "s" + std::to_string(s);
+      ASSERT_TRUE(starved.Open(name, spec).ok());
+      ASSERT_TRUE(unbounded.Open(name, spec).ok());
+    }
+    // Interleave uneven batches round-robin across sessions, always
+    // re-Looking-up (the serving pattern spill-exactness asks for).
+    std::size_t offset = 0, step = 17;
+    while (offset < num_rows) {
+      const std::size_t take = std::min(step, num_rows - offset);
+      const std::string name =
+          "s" + std::to_string(offset % num_sessions);
+      const data::RowBatch batch = all_rows.Slice(offset, take);
+      std::shared_ptr<api::DatasetSession> hot = starved.Lookup(name);
+      std::shared_ptr<api::DatasetSession> cold = unbounded.Lookup(name);
+      ASSERT_NE(hot, nullptr);
+      ASSERT_NE(cold, nullptr);
+      ASSERT_TRUE(hot->Ingest(batch).ok());
+      ASSERT_TRUE(cold->Ingest(batch).ok());
+      hot.reset();  // drop before the next touch demotes this session
+      cold.reset();
+      offset += take;
+      step = step * 2 + 1;
+    }
+    ASSERT_GT(starved.GetStats().spills, 0u);
+    ASSERT_GT(starved.GetStats().readmissions, 0u);
+
+    for (std::size_t s = 0; s < num_sessions; ++s) {
+      const std::string name = "s" + std::to_string(s);
+      std::shared_ptr<api::DatasetSession> hot = starved.Lookup(name);
+      std::shared_ptr<api::DatasetSession> cold = unbounded.Lookup(name);
+      ASSERT_NE(hot, nullptr);
+      ASSERT_NE(cold, nullptr);
+      EXPECT_EQ(hot->record_count(), cold->record_count());
+      const auto hot_estimates = hot->ReconstructAll();
+      const auto cold_estimates = cold->ReconstructAll();
+      ASSERT_TRUE(hot_estimates.ok());
+      ASSERT_TRUE(cold_estimates.ok());
+      for (std::size_t a = 0; a < spec.attributes.size(); ++a) {
+        EXPECT_TRUE(ReconstructionsIdentical(hot_estimates.value()[a],
+                                             cold_estimates.value()[a]))
+            << name << " attribute " << a << ", threads " << threads;
+      }
+    }
+    EXPECT_EQ(starved.GetStats().spill_failures, 0u);
+  }
+}
+
+// Satellite regression: a session larger than the whole budget must
+// spill/admit deterministically — never flushing within-budget tenants,
+// never thrashing them on repeated access.
+TEST(SpillRegistryTest, OversizedSessionNeverFlushesTenants) {
+  TempDir dir;
+  SnapshotStore snapshots = SnapshotStore::Open(dir.path).value();
+  SessionSpillStore spill(snapshots);
+
+  const api::DatasetSessionSpec small_spec = BenchmarkDatasetSpec(1, 8);
+  const api::DatasetSessionSpec whale_spec = BenchmarkDatasetSpec(6, 64);
+  const std::size_t small_bytes =
+      api::DatasetSession::Open(small_spec).value()->ApproxMemoryBytes();
+  const std::size_t whale_bytes =
+      api::DatasetSession::Open(whale_spec).value()->ApproxMemoryBytes();
+  ASSERT_GT(whale_bytes, 3 * small_bytes);
+
+  api::SessionRegistryOptions options;
+  options.max_bytes = 2 * small_bytes + small_bytes / 2;  // two tenants
+  ASSERT_GT(whale_bytes, options.max_bytes);
+  options.spill = &spill;
+  api::SessionRegistry registry(options);
+
+  ASSERT_TRUE(registry.Open("t1", small_spec).ok());
+  ASSERT_TRUE(registry.Open("t2", small_spec).ok());
+  ASSERT_EQ(registry.GetStats().evictions, 0u);
+
+  // Opening the whale serves it but must not flush the tenants.
+  ASSERT_TRUE(registry.Open("whale", whale_spec).ok());
+  EXPECT_NE(registry.Lookup("t1"), nullptr);  // demotes the whale
+  EXPECT_NE(registry.Lookup("t2"), nullptr);
+  {
+    const api::SessionRegistry::Stats stats = registry.GetStats();
+    EXPECT_EQ(stats.open_sessions, 2u);       // both tenants resident
+    EXPECT_EQ(stats.evictions, 1u);           // exactly the whale
+    EXPECT_EQ(stats.spills, 1u);
+    EXPECT_LE(stats.approx_bytes, options.max_bytes);
+  }
+
+  // Steady tenant traffic causes no further motion (no thrash).
+  for (int i = 0; i < 10; ++i) {
+    EXPECT_NE(registry.Lookup("t1"), nullptr);
+    EXPECT_NE(registry.Lookup("t2"), nullptr);
+  }
+  EXPECT_EQ(registry.GetStats().evictions, 1u);
+
+  // Touching the whale re-admits it deterministically; the next tenant
+  // touch demotes it again — tenants still never spill.
+  EXPECT_NE(registry.Lookup("whale"), nullptr);
+  EXPECT_NE(registry.Lookup("t1"), nullptr);
+  const api::SessionRegistry::Stats stats = registry.GetStats();
+  EXPECT_EQ(stats.readmissions, 1u);
+  EXPECT_EQ(stats.evictions, 2u);  // the whale both times
+  EXPECT_EQ(stats.open_sessions, 2u);
+}
+
+// Lookup of a corrupt capture is a miss that keeps the bytes (operator
+// forensics) until Close() discards them.
+TEST(SpillRegistryTest, CorruptCaptureIsAMissUntilClosed) {
+  TempDir dir;
+  SnapshotStore snapshots = SnapshotStore::Open(dir.path).value();
+  SessionSpillStore spill(snapshots);
+  api::SessionRegistryOptions options;
+  options.spill = &spill;
+  api::SessionRegistry registry(options);
+
+  ASSERT_TRUE(snapshots.Put("broken", "these are not the bytes").ok());
+  EXPECT_EQ(registry.Lookup("broken"), nullptr);
+  {
+    const api::SessionRegistry::Stats stats = registry.GetStats();
+    EXPECT_EQ(stats.spill_failures, 1u);
+    EXPECT_EQ(stats.misses, 1u);
+  }
+  EXPECT_TRUE(snapshots.Contains("broken"));
+  EXPECT_EQ(registry
+                .Open("broken", BenchmarkDatasetSpec(1))
+                .status()
+                .code(),
+            StatusCode::kFailedPrecondition);
+  EXPECT_TRUE(registry.Close("broken"));
+  EXPECT_FALSE(snapshots.Contains("broken"));
+  EXPECT_TRUE(registry.Open("broken", BenchmarkDatasetSpec(1)).ok());
+}
+
+// Race check (ThreadSanitizer in CI): spill-tier demotions and
+// re-admissions racing in-flight Ingest/ReconstructAll through held
+// shared_ptrs must be safe — the spill serializes a point-in-time state
+// under the session lock while the worker keeps mutating.
+TEST(SpillRegistryTest, SpillTrafficRacingIngestIsSafe) {
+  TempDir dir;
+  SnapshotStore snapshots = SnapshotStore::Open(dir.path).value();
+  SessionSpillStore spill(snapshots);
+  engine::ThreadPool pool(2);
+
+  api::SessionRegistryOptions options;
+  options.max_bytes = 1;  // every touch demotes the other tenant
+  options.spill = &spill;
+  api::SessionRegistry registry(options, &pool);
+  const api::DatasetSessionSpec spec = BenchmarkDatasetSpec(2, 8);
+  ASSERT_TRUE(registry.Open("x", spec).ok());
+  ASSERT_TRUE(registry.Open("y", spec).ok());
+
+  std::atomic<bool> stop{false};
+  std::atomic<int> failures{0};
+  const std::size_t cols = spec.schema.NumFields();
+  std::thread worker([&] {
+    std::vector<double> rows(8 * cols, 42000.0);
+    int flip = 0;
+    while (!stop.load()) {
+      std::shared_ptr<api::DatasetSession> session =
+          registry.Lookup(++flip % 2 == 0 ? "x" : "y");
+      if (session == nullptr) continue;
+      if (!session->Ingest(data::RowBatch(rows.data(), 8, cols)).ok() ||
+          !session->ReconstructAll().ok()) {
+        ++failures;
+        return;
+      }
+    }
+  });
+  for (int i = 0; i < 50; ++i) {
+    (void)registry.Lookup(i % 2 == 0 ? "y" : "x");
+    registry.SweepExpired();
+  }
+  stop.store(true);
+  worker.join();
+  EXPECT_EQ(failures.load(), 0);
+  const api::SessionRegistry::Stats stats = registry.GetStats();
+  EXPECT_GT(stats.spills, 0u);
+  EXPECT_GT(stats.readmissions, 0u);
+  EXPECT_EQ(stats.spill_failures, 0u);
+}
+
+}  // namespace
+}  // namespace ppdm::store
