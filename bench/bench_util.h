@@ -15,6 +15,7 @@
 #include <vector>
 
 #include "core/experiment.h"
+#include "obs/metrics.h"
 #include "perturb/randomizer.h"
 #include "synth/generator.h"
 
@@ -110,6 +111,12 @@ inline double WallSeconds(const std::function<void()>& fn) {
 /// current label itself, or "" for an absolute row). Repeats each run
 /// `repeats` times and keeps the fastest, the usual guard against noisy
 /// neighbours on shared machines.
+///
+/// Every repeat's wall time is also fed into the process metrics
+/// registry as ppdm_bench_run_seconds{case="<label>"}, so the destructor
+/// can print a per-case p50/p99 summary over the repeat samples and
+/// PPDM_BENCH_METRICS=1 dumps the full Prometheus text exposition —
+/// engine/store counters included — after the rows.
 class ThroughputReporter {
  public:
   explicit ThroughputReporter(std::string unit = "records", int repeats = 3)
@@ -118,13 +125,31 @@ class ThroughputReporter {
                 (unit_ + "/sec").c_str(), "speedup");
   }
 
+  ~ThroughputReporter() {
+    PrintLatencySummary();
+    if (std::getenv("PPDM_BENCH_METRICS") != nullptr) {
+      std::printf("\n%s",
+                  obs::MetricsRegistry::Global().RenderText().c_str());
+    }
+  }
+
   /// Times fn, records `items` processed under `label`; returns seconds.
   double Measure(const std::string& label, std::size_t items,
                  const std::string& baseline_of,
                  const std::function<void()>& fn) {
+    obs::Histogram* const samples =
+        obs::MetricsRegistry::Global().GetHistogram(
+            "ppdm_bench_run_seconds",
+            obs::Histogram::LatencyBucketsSeconds(),
+            "case=\"" + label + "\"");
+    if (cases_.empty() || cases_.back().second != samples) {
+      cases_.emplace_back(label, samples);
+    }
     double seconds = WallSeconds(fn);
+    samples->Observe(seconds);
     for (int r = 1; r < repeats_; ++r) {
       const double again = WallSeconds(fn);
+      samples->Observe(again);
       if (again < seconds) seconds = again;
     }
     // A sub-clock-resolution run (seconds == 0) can neither anchor nor
@@ -146,10 +171,29 @@ class ThroughputReporter {
     return seconds;
   }
 
+  /// Per-case p50/p99 across the repeat samples (bucket-interpolated, the
+  /// same numbers the exposition's _bucket series carry). With few
+  /// repeats the quantiles are coarse — they bound, not pinpoint.
+  void PrintLatencySummary() const {
+    if (cases_.empty()) return;
+    std::printf("\n%-36s %12s %12s %8s\n", "case (repeat samples)",
+                "p50 ms", "p99 ms", "n");
+    for (const auto& [label, samples] : cases_) {
+      if (samples->Count() == 0) continue;
+      std::printf("%-36s %12.3f %12.3f %8llu\n", label.c_str(),
+                  1e3 * samples->Quantile(0.5),
+                  1e3 * samples->Quantile(0.99),
+                  static_cast<unsigned long long>(samples->Count()));
+    }
+  }
+
  private:
   std::string unit_;
   int repeats_;
   std::map<std::string, double> baselines_;
+  /// Measurement order, one entry per distinct label (repeated labels
+  /// resolve to the same histogram and are recorded once).
+  std::vector<std::pair<std::string, const obs::Histogram*>> cases_;
 };
 
 }  // namespace ppdm::bench

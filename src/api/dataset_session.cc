@@ -7,8 +7,50 @@
 #include "api/spec.h"
 #include "common/strings.h"
 #include "engine/shard_stats.h"
+#include "obs/metrics.h"
+#include "obs/trace.h"
 
 namespace ppdm::api {
+namespace {
+
+// Session telemetry, recorded per call (one batch, one refresh) — the
+// sharded fold itself is untouched. Latencies also land in the global
+// trace ring, so `ppdm metrics --spans` shows recent ingests/refreshes.
+obs::Histogram& IngestSecondsHistogram() {
+  static obs::Histogram& histogram =
+      *obs::MetricsRegistry::Global().GetHistogram(
+          "ppdm_session_ingest_seconds",
+          obs::Histogram::LatencyBucketsSeconds());
+  return histogram;
+}
+
+obs::Histogram& ReconstructSecondsHistogram() {
+  static obs::Histogram& histogram =
+      *obs::MetricsRegistry::Global().GetHistogram(
+          "ppdm_session_reconstruct_seconds",
+          obs::Histogram::LatencyBucketsSeconds());
+  return histogram;
+}
+
+obs::Counter& IngestRecordsCounter() {
+  static obs::Counter& counter = *obs::MetricsRegistry::Global().GetCounter(
+      "ppdm_session_ingest_records_total");
+  return counter;
+}
+
+obs::Counter& IngestBatchesCounter() {
+  static obs::Counter& counter = *obs::MetricsRegistry::Global().GetCounter(
+      "ppdm_session_ingest_batches_total");
+  return counter;
+}
+
+obs::Counter& IngestRejectedCounter() {
+  static obs::Counter& counter = *obs::MetricsRegistry::Global().GetCounter(
+      "ppdm_session_ingest_rejected_total");
+  return counter;
+}
+
+}  // namespace
 
 Status DatasetSessionSpec::Validate() const {
   PPDM_RETURN_IF_ERROR(schema.Validate());
@@ -151,7 +193,9 @@ DatasetSessionState DatasetSession::ExportState() const {
 }
 
 Status DatasetSession::Ingest(const data::RowBatch& rows) {
+  obs::ScopedSpan span("session.ingest", &IngestSecondsHistogram());
   if (rows.num_rows() > 0 && rows.num_cols() != spec_.schema.NumFields()) {
+    IngestRejectedCounter().Increment();
     return Status::InvalidArgument(
         StrFormat("row batch is %zu columns wide, schema expects %zu",
                   rows.num_cols(), spec_.schema.NumFields()));
@@ -189,24 +233,31 @@ Status DatasetSession::Ingest(const data::RowBatch& rows) {
     }
   });
   if (!finite.load(std::memory_order_relaxed)) {
+    IngestRejectedCounter().Increment();
     return Status::InvalidArgument(
         "batch contains a non-finite value in a tracked column; batch "
         "rejected");
   }
 
-  std::lock_guard<std::mutex> lock(mu_);
-  for (const std::vector<engine::ShardStats>& shard : partials) {
-    for (std::size_t a = 0; a < num_attrs; ++a) {
-      states_[a].stats().MergeFrom(shard[a]);
+  {
+    std::lock_guard<std::mutex> lock(mu_);
+    for (const std::vector<engine::ShardStats>& shard : partials) {
+      for (std::size_t a = 0; a < num_attrs; ++a) {
+        states_[a].stats().MergeFrom(shard[a]);
+      }
     }
+    rows_ += rows.num_rows();
+    ++batches_;
   }
-  rows_ += rows.num_rows();
-  ++batches_;
+  IngestRecordsCounter().Increment(rows.num_rows());
+  IngestBatchesCounter().Increment();
   return Status::Ok();
 }
 
 Result<std::vector<reconstruct::Reconstruction>>
 DatasetSession::ReconstructAll() {
+  obs::ScopedSpan span("session.reconstruct_all",
+                       &ReconstructSecondsHistogram());
   // Snapshot every attribute's counts (and warm-start masses) under the
   // lock; run the EM fan-out outside it so ingestion continues while the
   // estimates refresh.

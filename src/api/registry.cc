@@ -3,7 +3,52 @@
 #include <utility>
 #include <vector>
 
+#include "obs/metrics.h"
+
 namespace ppdm::api {
+namespace {
+
+// Registry telemetry, mirrored from the mutex-guarded counters so an
+// exposition scrape never takes the registry lock. Process-wide across
+// registries (a server runs one).
+struct RegistryMetrics {
+  obs::Counter& lookups;
+  obs::Counter& hits;
+  obs::Counter& misses;
+  obs::Counter& evictions;
+  obs::Counter& ttl_evictions;
+  obs::Counter& spills;
+  obs::Counter& readmissions;
+  obs::Counter& spill_failures;
+  obs::Gauge& open_sessions;
+  obs::Gauge& spilled_sessions;
+
+  static RegistryMetrics& Get() {
+    auto& registry = obs::MetricsRegistry::Global();
+    static RegistryMetrics* const metrics = new RegistryMetrics{
+        *registry.GetCounter("ppdm_registry_lookups_total"),
+        *registry.GetCounter("ppdm_registry_hits_total"),
+        *registry.GetCounter("ppdm_registry_misses_total"),
+        *registry.GetCounter("ppdm_registry_evictions_total"),
+        *registry.GetCounter("ppdm_registry_ttl_evictions_total"),
+        *registry.GetCounter("ppdm_registry_spills_total"),
+        *registry.GetCounter("ppdm_registry_readmissions_total"),
+        *registry.GetCounter("ppdm_registry_spill_failures_total"),
+        *registry.GetGauge("ppdm_registry_open_sessions"),
+        *registry.GetGauge("ppdm_registry_spilled_sessions")};
+    return *metrics;
+  }
+};
+
+obs::Histogram& AdmitSecondsHistogram() {
+  static obs::Histogram& histogram =
+      *obs::MetricsRegistry::Global().GetHistogram(
+          "ppdm_registry_readmit_seconds",
+          obs::Histogram::LatencyBucketsSeconds());
+  return histogram;
+}
+
+}  // namespace
 
 SessionRegistry::SessionRegistry(SessionRegistryOptions options,
                                  engine::ThreadPool* pool)
@@ -27,6 +72,7 @@ SessionRegistry::DemoteLocked(
         options_.spill->Spill(victim->first, *victim->second.session);
     if (spilled.ok()) {
       ++spills_;
+      RegistryMetrics::Get().spills.Increment();
       spilled_[victim->first] = spilled.value();
     } else {
       // The budget must still hold, so the eviction proceeds; the loss is
@@ -34,9 +80,11 @@ SessionRegistry::DemoteLocked(
       // A previous capture of the name, if any, stays accounted — it is
       // still on disk and still re-admittable.
       ++spill_failures_;
+      RegistryMetrics::Get().spill_failures.Increment();
     }
   }
   ++evictions_;
+  RegistryMetrics::Get().evictions.Increment();
   return entries_.erase(victim);
 }
 
@@ -55,6 +103,7 @@ std::size_t SessionRegistry::SweepExpiredLocked(const std::string* touching) {
     }
   }
   ttl_evictions_ += evicted;
+  if (evicted > 0) RegistryMetrics::Get().ttl_evictions.Increment(evicted);
   return evicted;
 }
 
@@ -143,6 +192,7 @@ Result<std::shared_ptr<DatasetSession>> SessionRegistry::Open(
   entry.session = shared;
   TouchLocked(&entry);
   EnforceBudgetLocked(name);
+  UpdateGaugesLocked();
   return shared;
 }
 
@@ -150,9 +200,12 @@ std::shared_ptr<DatasetSession> SessionRegistry::Lookup(
     const std::string& name) {
   std::lock_guard<std::mutex> lock(mu_);
   ++lookups_;
+  RegistryMetrics::Get().lookups.Increment();
   SweepExpiredLocked(&name);
   const auto it = entries_.find(name);
   if (it != entries_.end()) {
+    ++hits_;
+    RegistryMetrics::Get().hits.Increment();
     TouchLocked(&it->second);
     std::shared_ptr<DatasetSession> session = it->second.session;
     // Re-enforce on every touch: sessions grow through Ingest between
@@ -163,10 +216,12 @@ std::shared_ptr<DatasetSession> SessionRegistry::Lookup(
     // counts served today; a cached byte total is the ROADMAP follow-up
     // before registries grow to thousands of tenants.
     EnforceBudgetLocked(name);
+    UpdateGaugesLocked();
     return session;
   }
   // Transparent re-admission from the spill tier.
   if (options_.spill != nullptr && options_.spill->Contains(name)) {
+    obs::ScopedTimer admit_timer(&AdmitSecondsHistogram());
     Result<std::shared_ptr<DatasetSession>> admitted =
         options_.spill->Admit(name, pool_);
     if (!admitted.ok()) {
@@ -174,17 +229,24 @@ std::shared_ptr<DatasetSession> SessionRegistry::Lookup(
       // for inspection (Close() discards them), count the failure.
       ++spill_failures_;
       ++misses_;
+      RegistryMetrics::Get().spill_failures.Increment();
+      RegistryMetrics::Get().misses.Increment();
       return nullptr;
     }
     ++readmissions_;
+    ++hits_;
+    RegistryMetrics::Get().readmissions.Increment();
+    RegistryMetrics::Get().hits.Increment();
     spilled_.erase(name);  // resident again; the RAM copy is authoritative
     Entry& entry = entries_[name];
     entry.session = std::move(admitted).value();
     TouchLocked(&entry);
     EnforceBudgetLocked(name);
+    UpdateGaugesLocked();
     return entries_[name].session;
   }
   ++misses_;
+  RegistryMetrics::Get().misses.Increment();
   return nullptr;
 }
 
@@ -207,12 +269,22 @@ bool SessionRegistry::Close(const std::string& name) {
   // Either the capture was dropped or none exists — clear any (possibly
   // stale) spill accounting for the name.
   spilled_.erase(name);
+  UpdateGaugesLocked();
   return resident || dropped;
 }
 
 std::size_t SessionRegistry::SweepExpired() {
   std::lock_guard<std::mutex> lock(mu_);
-  return SweepExpiredLocked();
+  const std::size_t evicted = SweepExpiredLocked();
+  UpdateGaugesLocked();
+  return evicted;
+}
+
+void SessionRegistry::UpdateGaugesLocked() const {
+  RegistryMetrics::Get().open_sessions.Set(
+      static_cast<std::int64_t>(entries_.size()));
+  RegistryMetrics::Get().spilled_sessions.Set(
+      static_cast<std::int64_t>(spilled_.size()));
 }
 
 SessionRegistry::Stats SessionRegistry::GetStats() const {
@@ -223,6 +295,7 @@ SessionRegistry::Stats SessionRegistry::GetStats() const {
   stats.evictions = evictions_;
   stats.ttl_evictions = ttl_evictions_;
   stats.lookups = lookups_;
+  stats.hits = hits_;
   stats.misses = misses_;
   stats.spills = spills_;
   stats.readmissions = readmissions_;

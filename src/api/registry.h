@@ -144,6 +144,7 @@ class SessionRegistry {
     std::uint64_t evictions = 0;    ///< Budget + TTL evictions (not Close).
     std::uint64_t ttl_evictions = 0;///< The TTL share of `evictions`.
     std::uint64_t lookups = 0;      ///< Lookup() calls.
+    std::uint64_t hits = 0;         ///< Lookups served (RAM or re-admitted).
     std::uint64_t misses = 0;       ///< Lookups that found nothing anywhere.
     /// Sessions this registry demoted to the spill tier and has not
     /// since re-admitted or closed. (Checkpoints of resident sessions
@@ -174,6 +175,8 @@ class SessionRegistry {
   /// trip, and the touch resets its idleness anyway. Without a backend
   /// the old destroy-on-expiry semantics hold for every entry.
   std::size_t SweepExpiredLocked(const std::string* touching = nullptr);
+  /// Mirrors occupancy into the process metrics registry (obs gauges).
+  void UpdateGaugesLocked() const;
   /// Demotes one entry: spills it when a backend is configured, then
   /// drops the in-RAM entry. Returns the iterator past the victim.
   std::map<std::string, Entry>::iterator DemoteLocked(
@@ -197,6 +200,7 @@ class SessionRegistry {
   std::uint64_t evictions_ = 0;           // guarded by mu_
   std::uint64_t ttl_evictions_ = 0;       // guarded by mu_
   std::uint64_t lookups_ = 0;             // guarded by mu_
+  std::uint64_t hits_ = 0;                // guarded by mu_
   std::uint64_t misses_ = 0;              // guarded by mu_
   std::uint64_t spills_ = 0;              // guarded by mu_
   std::uint64_t readmissions_ = 0;        // guarded by mu_

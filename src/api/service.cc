@@ -1,6 +1,31 @@
 #include "api/service.h"
 
 namespace ppdm::api {
+namespace internal {
+
+obs::Histogram& ServiceQueueWaitHistogram() {
+  static obs::Histogram& histogram =
+      *obs::MetricsRegistry::Global().GetHistogram(
+          "ppdm_service_queue_wait_seconds",
+          obs::Histogram::LatencyBucketsSeconds());
+  return histogram;
+}
+
+obs::Histogram& ServiceRunHistogram() {
+  static obs::Histogram& histogram =
+      *obs::MetricsRegistry::Global().GetHistogram(
+          "ppdm_service_run_seconds",
+          obs::Histogram::LatencyBucketsSeconds());
+  return histogram;
+}
+
+obs::Counter& ServiceJobsCounter() {
+  static obs::Counter& counter = *obs::MetricsRegistry::Global().GetCounter(
+      "ppdm_service_jobs_total");
+  return counter;
+}
+
+}  // namespace internal
 
 Service::Service(const engine::BatchOptions& options)
     : options_(options),

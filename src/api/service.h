@@ -22,6 +22,7 @@
 #ifndef PPDM_API_SERVICE_H_
 #define PPDM_API_SERVICE_H_
 
+#include <chrono>
 #include <condition_variable>
 #include <cstddef>
 #include <functional>
@@ -36,10 +37,19 @@
 #include "common/status.h"
 #include "engine/batch.h"
 #include "engine/thread_pool.h"
+#include "obs/metrics.h"
 
 namespace ppdm::api {
 
 namespace internal {
+
+/// Service job telemetry (defined in service.cc): time a job sat in the
+/// pool queue before a worker picked it up, time it ran, and how many
+/// were submitted — the queue-wait-vs-run split that tells an operator
+/// whether latency is load (wait) or work (run).
+obs::Histogram& ServiceQueueWaitHistogram();
+obs::Histogram& ServiceRunHistogram();
+obs::Counter& ServiceJobsCounter();
 
 /// Shared completion state of one submitted job.
 template <typename T>
@@ -129,9 +139,18 @@ class Service {
   template <typename T>
   JobHandle<T> Submit(std::function<Result<T>()> job) {
     auto state = std::make_shared<internal::JobState<T>>();
-    auto run = [state, job = std::move(job)] {
+    const auto submitted = std::chrono::steady_clock::now();
+    auto run = [state, job = std::move(job), submitted] {
+      if (obs::TimingEnabled()) {
+        internal::ServiceQueueWaitHistogram().Observe(
+            std::chrono::duration<double>(std::chrono::steady_clock::now() -
+                                          submitted)
+                .count());
+      }
+      obs::ScopedTimer run_timer(&internal::ServiceRunHistogram());
       Complete(state, job());
     };
+    internal::ServiceJobsCounter().Increment();
     if (pool_ == nullptr) {
       run();
     } else {

@@ -1,7 +1,7 @@
 #include "cli/commands.h"
 
 #include <algorithm>
-#include <chrono>
+#include <fstream>
 #include <memory>
 #include <optional>
 #include <ostream>
@@ -16,6 +16,8 @@
 #include "core/metrics.h"
 #include "data/csv.h"
 #include "engine/batch.h"
+#include "obs/metrics.h"
+#include "obs/trace.h"
 #include "perturb/randomizer.h"
 #include "reconstruct/by_class.h"
 #include "reconstruct/reconstructor.h"
@@ -184,6 +186,50 @@ data::RowBatch PerturbTracked(const data::RowBatch& true_rows,
                         true_rows.num_cols());
 }
 
+// Serve-sim wall-clock instruments: one sample per refresh and per whole
+// stream. The per-batch ingest path is timed inside DatasetSession
+// (ppdm_session_ingest_seconds), not here.
+obs::Histogram& ServeRefreshHistogram() {
+  static obs::Histogram& histogram =
+      *obs::MetricsRegistry::Global().GetHistogram(
+          "ppdm_serve_refresh_seconds",
+          obs::Histogram::LatencyBucketsSeconds());
+  return histogram;
+}
+
+obs::Histogram& ServeStreamHistogram() {
+  static obs::Histogram& histogram =
+      *obs::MetricsRegistry::Global().GetHistogram(
+          "ppdm_serve_stream_seconds",
+          obs::Histogram::LatencyBucketsSeconds());
+  return histogram;
+}
+
+// "p50 1.23 / p99 4.56 ms (7 samples)" for the final report, or "n/a"
+// when the histogram never saw a sample (e.g. metrics timing disabled).
+std::string LatencyCell(const obs::Histogram* histogram) {
+  if (histogram == nullptr || histogram->Count() == 0) return "n/a";
+  return StrFormat("p50 %.2f / p99 %.2f ms (%llu sample(s))",
+                   1e3 * histogram->Quantile(0.5),
+                   1e3 * histogram->Quantile(0.99),
+                   static_cast<unsigned long long>(histogram->Count()));
+}
+
+// --metrics-out=FILE: the full Prometheus-style exposition at exit.
+Status WriteMetricsFile(const std::string& path) {
+  std::ofstream file(path, std::ios::trunc);
+  if (!file) {
+    return Status::IoError(
+        StrFormat("cannot open %s for writing", path.c_str()));
+  }
+  file << obs::MetricsRegistry::Global().RenderText();
+  file.flush();
+  if (!file) {
+    return Status::IoError(StrFormat("short write to %s", path.c_str()));
+  }
+  return Status::Ok();
+}
+
 }  // namespace
 
 const char* UsageText() {
@@ -216,6 +262,9 @@ const char* UsageText() {
       "                                             simulate + persist\n"
       "  restore     --dir=DIR --name=NAME [--reconstruct] [--print-masses]\n"
       "              [--threads=T]\n"
+      "  metrics     [--records=N] [--batch-records=B] [--spans]\n"
+      "              [stream flags as in serve-sim]\n"
+      "                                             exposition dump\n"
       "\n"
       "serve-sim simulates the paper's server: providers submit perturbed\n"
       "records in batches of B; a DatasetSession folds each record batch\n"
@@ -237,6 +286,12 @@ const char* UsageText() {
       "the session; 'restore' rebuilds a session from its snapshot,\n"
       "reports it, and with --reconstruct re-estimates from the restored\n"
       "counts (--print-masses prints the distributions).\n"
+      "\n"
+      "metrics runs a small in-process stream through every instrumented\n"
+      "layer and prints the process metrics registry in Prometheus text\n"
+      "exposition format (--spans appends the recent trace spans).\n"
+      "serve-sim accepts --metrics-out=FILE to write the same exposition\n"
+      "at stream end.\n"
       "\n"
       "All CSV files use the benchmark schema (salary..loan, class).\n"
       "For train/reconstruct, --noise/--privacy must describe the noise\n"
@@ -436,7 +491,8 @@ Status RunServeSim(const Args& args, std::ostream& out) {
                                   "privacy", "confidence", "intervals",
                                   "registry-mb", "seed", "threads",
                                   "shard-size", "checkpoint-dir",
-                                  "checkpoint-every-batches", "resume"});
+                                  "checkpoint-every-batches", "resume",
+                                  "metrics-out"});
       !s.ok()) {
     return s;
   }
@@ -571,7 +627,7 @@ Status RunServeSim(const Args& args, std::ostream& out) {
   out << StrFormat("%10s %10s %8s %10s %12s\n", "batch", "records",
                    "EM iter", "tv(truth)", "refresh ms");
 
-  const auto t0 = std::chrono::steady_clock::now();
+  obs::ScopedTimer stream_timer(&ServeStreamHistogram());
   std::vector<double> perturbed;
   std::uint64_t checkpoints_written = 0;
   std::size_t batch_index =
@@ -604,14 +660,11 @@ Status RunServeSim(const Args& args, std::ostream& out) {
     // refresh and keep ingesting, but this loop blocks on the estimate
     // anyway, and a job occupies one worker, which would serialize the
     // fan-out and misreport the refresh latency.)
-    const auto fit_start = std::chrono::steady_clock::now();
+    obs::ScopedTimer refresh_timer(&ServeRefreshHistogram());
     PPDM_ASSIGN_OR_RETURN(
         const std::vector<reconstruct::Reconstruction> estimates,
         session->ReconstructAll());
-    const double fit_ms =
-        std::chrono::duration<double, std::milli>(
-            std::chrono::steady_clock::now() - fit_start)
-            .count();
+    const double fit_ms = 1e3 * refresh_timer.Stop();
     std::size_t max_iterations = 0;
     double tv_sum = 0.0;
     for (std::size_t a = 0; a < estimates.size(); ++a) {
@@ -625,9 +678,7 @@ Status RunServeSim(const Args& args, std::ostream& out) {
                      tv_sum / static_cast<double>(estimates.size()),
                      fit_ms);
   }
-  const double total_ms = std::chrono::duration<double, std::milli>(
-                              std::chrono::steady_clock::now() - t0)
-                              .count();
+  const double total_ms = 1e3 * stream_timer.Stop();
   // The stream survived; make that durable before reporting. This is
   // never redundant with a batch-aligned checkpoint: the final refresh
   // above updated every attribute's warm-start masses after it.
@@ -653,6 +704,24 @@ Status RunServeSim(const Args& args, std::ostream& out) {
       static_cast<unsigned long long>(registry_stats.evictions),
       registry_stats.spilled_sessions,
       static_cast<double>(registry_stats.spilled_bytes) / 1024.0);
+  // Cumulative traffic counters — monotone over the registry's lifetime,
+  // unlike the occupancy numbers above.
+  out << StrFormat(
+      "registry traffic: %llu lookup(s) (%llu hit(s), %llu miss(es)), "
+      "%llu ttl eviction(s), %llu spill(s), %llu readmission(s)\n",
+      static_cast<unsigned long long>(registry_stats.lookups),
+      static_cast<unsigned long long>(registry_stats.hits),
+      static_cast<unsigned long long>(registry_stats.misses),
+      static_cast<unsigned long long>(registry_stats.ttl_evictions),
+      static_cast<unsigned long long>(registry_stats.spills),
+      static_cast<unsigned long long>(registry_stats.readmissions));
+  const obs::MetricsRegistry& metrics = obs::MetricsRegistry::Global();
+  out << StrFormat(
+      "latency: ingest %s, refresh %s\n",
+      LatencyCell(metrics.FindHistogram("ppdm_session_ingest_seconds"))
+          .c_str(),
+      LatencyCell(metrics.FindHistogram("ppdm_serve_refresh_seconds"))
+          .c_str());
   if (snapshots) {
     out << StrFormat(
         "store: %s — %llu checkpoint write(s), %llu spill(s), "
@@ -662,6 +731,12 @@ Status RunServeSim(const Args& args, std::ostream& out) {
         static_cast<unsigned long long>(registry_stats.spills),
         static_cast<unsigned long long>(registry_stats.readmissions),
         static_cast<unsigned long long>(registry_stats.spill_failures));
+  }
+  const std::string metrics_out = args.GetString("metrics-out", "");
+  if (!metrics_out.empty()) {
+    PPDM_RETURN_IF_ERROR(WriteMetricsFile(metrics_out));
+    out << StrFormat("metrics exposition written to %s\n",
+                     metrics_out.c_str());
   }
   return Status::Ok();
 }
@@ -823,6 +898,61 @@ Status RunRestore(const Args& args, std::ostream& out) {
   return Status::Ok();
 }
 
+Status RunMetrics(const Args& args, std::ostream& out) {
+  if (Status s = args.CheckKnown({"records", "batch-records", "attribute",
+                                  "attrs", "function", "noise", "privacy",
+                                  "confidence", "intervals", "seed",
+                                  "threads", "shard-size", "spans"});
+      !s.ok()) {
+    return s;
+  }
+  PPDM_ASSIGN_OR_RETURN(const long long records,
+                        args.GetInt("records", 2000));
+  PPDM_ASSIGN_OR_RETURN(const long long batch_records,
+                        args.GetInt("batch-records", 500));
+  if (records <= 0 || batch_records <= 0) {
+    return Status::InvalidArgument(
+        "--records and --batch-records must be positive");
+  }
+  PPDM_ASSIGN_OR_RETURN(const StreamSimSpec sim,
+                        StreamSimSpecFromFlags(args));
+
+  // A small in-process stream through every instrumented layer — service
+  // job, session ingest + refresh, engine fan-out (with --threads), store
+  // codec round trip — so the exposition below is populated, not empty.
+  PPDM_ASSIGN_OR_RETURN(const std::unique_ptr<api::Service> service,
+                        api::Service::Create(sim.batch));
+  PPDM_ASSIGN_OR_RETURN(
+      const std::unique_ptr<api::DatasetSession> session,
+      api::DatasetSession::Open(sim.session, service->pool()));
+
+  synth::GeneratorOptions gen;
+  gen.num_records = static_cast<std::size_t>(records);
+  gen.function = sim.function;
+  gen.seed = sim.noise.seed;
+  synth::RecordStream stream(gen);
+  Rng noise_rng(gen.seed ^ 0x9E3779B97F4A7C15ULL);
+  std::vector<double> perturbed;
+  while (!stream.Done()) {
+    const data::RowBatch true_rows =
+        stream.Next(static_cast<std::size_t>(batch_records));
+    PPDM_RETURN_IF_ERROR(session->Ingest(
+        PerturbTracked(true_rows, *session, sim.columns,
+                       /*truth=*/nullptr, &noise_rng, &perturbed)));
+  }
+  PPDM_RETURN_IF_ERROR(session->ReconstructAll().status());
+  const std::string bytes = store::EncodeDatasetSession(*session);
+  PPDM_RETURN_IF_ERROR(
+      store::DecodeDatasetSession(bytes, service->pool()).status());
+
+  out << obs::MetricsRegistry::Global().RenderText();
+  if (args.Has("spans")) {
+    out << "\n# recent trace spans (oldest first)\n";
+    out << obs::RenderSpans(obs::TraceRing::Global().Snapshot());
+  }
+  return Status::Ok();
+}
+
 Status RunCommand(const Args& args, std::ostream& out) {
   if (args.command() == "generate") return RunGenerate(args, out);
   if (args.command() == "perturb") return RunPerturb(args, out);
@@ -831,6 +961,7 @@ Status RunCommand(const Args& args, std::ostream& out) {
   if (args.command() == "serve-sim") return RunServeSim(args, out);
   if (args.command() == "snapshot") return RunSnapshot(args, out);
   if (args.command() == "restore") return RunRestore(args, out);
+  if (args.command() == "metrics") return RunMetrics(args, out);
   if (args.command() == "help") {
     out << UsageText();
     return Status::Ok();

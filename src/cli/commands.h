@@ -13,6 +13,10 @@
 //                perturbed stream and persist the resulting session
 //   restore      rebuild a session from a snapshot and report (optionally
 //                reconstruct) its state
+//   metrics      run a small in-process stream through every instrumented
+//                layer and dump the process metrics registry in
+//                Prometheus text exposition format (--spans appends the
+//                recent trace spans)
 //
 // Each command validates its flags through the api spec layer (invalid
 // requests come back as kInvalidArgument, never a CHECK abort), performs
@@ -45,6 +49,7 @@ Status RunTrain(const Args& args, std::ostream& out);
 Status RunServeSim(const Args& args, std::ostream& out);
 Status RunSnapshot(const Args& args, std::ostream& out);
 Status RunRestore(const Args& args, std::ostream& out);
+Status RunMetrics(const Args& args, std::ostream& out);
 
 }  // namespace ppdm::cli
 

@@ -1,4 +1,7 @@
-// Classifier evaluation metrics.
+// Classifier evaluation metrics — the paper's *accuracy* numbers
+// (confusion matrices, per-class accuracy). Not to be confused with
+// src/obs/metrics.h, which is operational telemetry (counters, latency
+// histograms, Prometheus exposition) and never feeds into an estimate.
 
 #ifndef PPDM_CORE_METRICS_H_
 #define PPDM_CORE_METRICS_H_

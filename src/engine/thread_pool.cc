@@ -6,11 +6,38 @@
 #include <utility>
 
 #include "common/check.h"
+#include "obs/metrics.h"
 
 namespace ppdm::engine {
 namespace {
 
 thread_local bool t_on_worker_thread = false;
+
+// Pool telemetry (process-wide across pools: this build runs one serving
+// pool; a second pool's traffic aggregates into the same family).
+// Per-task cost is two relaxed atomic ops — tasks are coarse (one chunk
+// of a fan-out or one service job), so this never shows on a profile.
+obs::Gauge& QueueDepthGauge() {
+  static obs::Gauge& gauge =
+      *obs::MetricsRegistry::Global().GetGauge("ppdm_engine_queue_depth");
+  return gauge;
+}
+
+obs::Counter& TasksCounter() {
+  static obs::Counter& counter = *obs::MetricsRegistry::Global().GetCounter(
+      "ppdm_engine_tasks_total");
+  return counter;
+}
+
+// Wall time of one ParallelFor fan-out (pool path only; inline runs are
+// the caller's own time and would double-count nested primitives).
+obs::Histogram& FanOutHistogram() {
+  static obs::Histogram& histogram =
+      *obs::MetricsRegistry::Global().GetHistogram(
+          "ppdm_engine_parallel_for_seconds",
+          obs::Histogram::LatencyBucketsSeconds());
+  return histogram;
+}
 
 }  // namespace
 
@@ -37,6 +64,8 @@ void ThreadPool::Submit(std::function<void()> task) {
     PPDM_CHECK_MSG(!stop_, "Submit on a stopping ThreadPool");
     queue_.push_back(std::move(task));
   }
+  TasksCounter().Increment();
+  QueueDepthGauge().Add(1);
   cv_.notify_one();
 }
 
@@ -53,6 +82,7 @@ void ThreadPool::WorkerLoop() {
       task = std::move(queue_.front());
       queue_.pop_front();
     }
+    QueueDepthGauge().Add(-1);
     task();
   }
 }
@@ -110,6 +140,7 @@ void ParallelFor(ThreadPool* pool, std::size_t n,
     }
   };
 
+  obs::ScopedTimer fan_out_timer(&FanOutHistogram());
   const std::size_t helpers = std::min(pool->size(), n - 1);
   for (std::size_t h = 0; h < helpers; ++h) pool->Submit(work);
   work();  // caller participates — guarantees forward progress

@@ -1,0 +1,123 @@
+#include "obs/trace.h"
+
+#include <atomic>
+#include <cstdio>
+#include <utility>
+
+namespace ppdm::obs {
+namespace {
+
+std::uint32_t ThreadTraceId() {
+  static std::atomic<std::uint32_t> next{0};
+  thread_local const std::uint32_t id =
+      next.fetch_add(1, std::memory_order_relaxed);
+  return id;
+}
+
+}  // namespace
+
+TraceRing::TraceRing(std::size_t capacity)
+    : capacity_(capacity == 0 ? 1 : capacity) {}
+
+TraceRing& TraceRing::Global() {
+  static TraceRing* const ring = new TraceRing;  // leaked on purpose
+  return *ring;
+}
+
+void TraceRing::Record(std::string name, std::uint64_t start_ns,
+                       std::uint64_t duration_ns) {
+  SpanEvent event;
+  event.name = std::move(name);
+  event.start_ns = start_ns;
+  event.duration_ns = duration_ns;
+  event.thread = ThreadTraceId();
+
+  std::lock_guard<std::mutex> lock(mu_);
+  if (events_.size() < capacity_) {
+    events_.push_back(std::move(event));
+  } else {
+    events_[next_] = std::move(event);
+  }
+  next_ = (next_ + 1) % capacity_;
+  ++total_;
+}
+
+std::vector<SpanEvent> TraceRing::Snapshot() const {
+  std::lock_guard<std::mutex> lock(mu_);
+  std::vector<SpanEvent> ordered;
+  ordered.reserve(events_.size());
+  if (events_.size() < capacity_) {
+    ordered = events_;
+  } else {
+    // next_ is the oldest slot once the ring has wrapped.
+    for (std::size_t i = 0; i < events_.size(); ++i) {
+      ordered.push_back(events_[(next_ + i) % capacity_]);
+    }
+  }
+  return ordered;
+}
+
+std::uint64_t TraceRing::TotalRecorded() const {
+  std::lock_guard<std::mutex> lock(mu_);
+  return total_;
+}
+
+std::uint64_t TraceRing::DroppedCount() const {
+  std::lock_guard<std::mutex> lock(mu_);
+  return total_ - events_.size();
+}
+
+void TraceRing::Clear() {
+  std::lock_guard<std::mutex> lock(mu_);
+  events_.clear();
+  next_ = 0;
+  total_ = 0;
+}
+
+ScopedSpan::ScopedSpan(const char* name, Histogram* histogram,
+                       TraceRing* ring)
+    : name_(TimingEnabled() ? name : nullptr),
+      histogram_(histogram),
+      ring_(ring),
+      start_(name_ != nullptr ? std::chrono::steady_clock::now()
+                              : std::chrono::steady_clock::time_point{}) {}
+
+ScopedSpan::~ScopedSpan() {
+  if (name_ == nullptr) return;
+  const auto stop = std::chrono::steady_clock::now();
+  const std::uint64_t duration_ns = static_cast<std::uint64_t>(
+      std::chrono::duration_cast<std::chrono::nanoseconds>(stop - start_)
+          .count());
+  if (ring_ != nullptr) {
+    ring_->Record(name_,
+                  static_cast<std::uint64_t>(
+                      std::chrono::duration_cast<std::chrono::nanoseconds>(
+                          start_.time_since_epoch())
+                          .count()),
+                  duration_ns);
+  }
+  if (histogram_ != nullptr) {
+    histogram_->Observe(static_cast<double>(duration_ns) * 1e-9);
+  }
+}
+
+std::string RenderSpans(const std::vector<SpanEvent>& events) {
+  std::string out;
+  char line[160];
+  // Starts print relative to the oldest span so the column is readable.
+  std::uint64_t base = 0;
+  for (const SpanEvent& event : events) {
+    if (base == 0 || event.start_ns < base) base = event.start_ns;
+  }
+  for (const SpanEvent& event : events) {
+    std::snprintf(line, sizeof(line), "%-32s t+%12.3fms %10.3fms thread %u\n",
+                  event.name.c_str(),
+                  static_cast<double>(event.start_ns - base) * 1e-6,
+                  static_cast<double>(event.duration_ns) * 1e-6,
+                  event.thread);
+    out += line;
+  }
+  return out;
+}
+
+}  // namespace ppdm::obs

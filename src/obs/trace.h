@@ -1,0 +1,103 @@
+// Lightweight trace spans: named wall-clock intervals pushed into a
+// bounded in-memory ring of recent events. The ring is the "what just
+// happened" complement to the metrics registry's aggregates — an operator
+// scraping p99s sees *that* refreshes are slow; the last-N spans show
+// *which* refresh, on which thread, overlapping what.
+//
+// Spans are call-granularity (one per ingest batch, refresh, snapshot
+// put…), never per-record, so a mutex-guarded ring is plenty: pushes are
+// rare relative to the work they bracket, and the mutex keeps the layer
+// trivially ThreadSanitizer-clean. The ring is fixed-capacity and
+// overwrites oldest-first; DroppedCount() says how much history was lost.
+//
+// Like ScopedTimer, spans honour the global timing-enabled flag and are
+// free when disabled. They never affect computation — determinism is
+// identical with tracing on or off.
+
+#ifndef PPDM_OBS_TRACE_H_
+#define PPDM_OBS_TRACE_H_
+
+#include <chrono>
+#include <cstddef>
+#include <cstdint>
+#include <mutex>
+#include <string>
+#include <vector>
+
+#include "obs/metrics.h"
+
+namespace ppdm::obs {
+
+/// One completed span.
+struct SpanEvent {
+  std::string name;
+  /// Start, nanoseconds since the process's steady-clock epoch.
+  std::uint64_t start_ns = 0;
+  std::uint64_t duration_ns = 0;
+  /// Stable small id of the recording thread (per-process, first-use
+  /// ordered) — enough to see interleavings without OS thread ids.
+  std::uint32_t thread = 0;
+};
+
+/// Bounded ring of recent spans.
+class TraceRing {
+ public:
+  static constexpr std::size_t kDefaultCapacity = 512;
+
+  explicit TraceRing(std::size_t capacity = kDefaultCapacity);
+
+  /// The process-wide ring (leaky singleton; never destroyed).
+  static TraceRing& Global();
+
+  void Record(std::string name, std::uint64_t start_ns,
+              std::uint64_t duration_ns);
+
+  /// Recent spans, oldest first (at most `capacity` of them).
+  std::vector<SpanEvent> Snapshot() const;
+
+  /// Spans recorded since construction / Clear().
+  std::uint64_t TotalRecorded() const;
+
+  /// Spans overwritten before ever being snapshot — total minus retained.
+  std::uint64_t DroppedCount() const;
+
+  std::size_t capacity() const { return capacity_; }
+
+  void Clear();
+
+ private:
+  const std::size_t capacity_;
+  mutable std::mutex mu_;
+  std::vector<SpanEvent> events_;  // ring storage, guarded by mu_
+  std::size_t next_ = 0;           // guarded by mu_
+  std::uint64_t total_ = 0;        // guarded by mu_
+};
+
+/// RAII span: records [construction, destruction) into the ring (and,
+/// when given one, the same duration into a latency Histogram, so a code
+/// path gets aggregate percentiles and recent-event tracing from a single
+/// annotation).
+class ScopedSpan {
+ public:
+  explicit ScopedSpan(const char* name, Histogram* histogram = nullptr,
+                      TraceRing* ring = &TraceRing::Global());
+
+  ScopedSpan(const ScopedSpan&) = delete;
+  ScopedSpan& operator=(const ScopedSpan&) = delete;
+
+  ~ScopedSpan();
+
+ private:
+  const char* const name_;  // null when disarmed (timing disabled)
+  Histogram* const histogram_;
+  TraceRing* const ring_;
+  std::chrono::steady_clock::time_point start_;
+};
+
+/// Renders `events` as one fixed-width text line each (the `ppdm metrics
+/// --spans` dump).
+std::string RenderSpans(const std::vector<SpanEvent>& events);
+
+}  // namespace ppdm::obs
+
+#endif  // PPDM_OBS_TRACE_H_

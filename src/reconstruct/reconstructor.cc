@@ -6,12 +6,30 @@
 #include "common/check.h"
 #include "engine/shard_stats.h"
 #include "engine/thread_pool.h"
+#include "obs/metrics.h"
 #include "stats/histogram.h"
 
 namespace ppdm::reconstruct {
 namespace {
 
 constexpr double kTinyDensity = 1e-300;
+
+// EM telemetry: wall time per fit and iterations-to-converge, recorded
+// once per RunEm call (never inside the iteration loop — the hot path
+// stays untouched and the output bits cannot depend on the telemetry).
+obs::Histogram& EmFitSecondsHistogram() {
+  static obs::Histogram& histogram =
+      *obs::MetricsRegistry::Global().GetHistogram(
+          "ppdm_em_fit_seconds", obs::Histogram::LatencyBucketsSeconds());
+  return histogram;
+}
+
+obs::Histogram& EmIterationsHistogram() {
+  static obs::Histogram& histogram =
+      *obs::MetricsRegistry::Global().GetHistogram(
+          "ppdm_em_iterations", obs::Histogram::IterationBuckets());
+  return histogram;
+}
 
 // E-step grain of the parallel binned path: w-bins per chunk. Fixed (never
 // derived from the thread count) so the partial-sum tree — and therefore
@@ -67,6 +85,7 @@ Reconstruction RunEm(const std::vector<double>& weights,
                      const ReconstructionOptions& options,
                      engine::ThreadPool* pool, std::size_t em_chunk,
                      const std::vector<double>* initial = nullptr) {
+  obs::ScopedTimer fit_timer(&EmFitSecondsHistogram());
   Reconstruction out;
   out.sample_count = static_cast<std::size_t>(total_weight + 0.5);
   std::vector<double> p;
@@ -142,6 +161,7 @@ Reconstruction RunEm(const std::vector<double>& weights,
     if (chi2 < options.chi_square_epsilon) break;
   }
   out.masses = std::move(p);
+  EmIterationsHistogram().Observe(static_cast<double>(out.iterations));
   return out;
 }
 

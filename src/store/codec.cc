@@ -5,9 +5,18 @@
 
 #include "common/check.h"
 #include "common/strings.h"
+#include "obs/metrics.h"
 
 namespace ppdm::store {
 namespace {
+
+// Every CRC32 mismatch a reader hits — corruption actually observed on
+// the wire/disk, the number an operator alerts on.
+obs::Counter& CrcFailuresCounter() {
+  static obs::Counter& counter = *obs::MetricsRegistry::Global().GetCounter(
+      "ppdm_store_crc_failures_total");
+  return counter;
+}
 
 std::array<std::uint32_t, 256> BuildCrcTable() {
   std::array<std::uint32_t, 256> table{};
@@ -223,6 +232,7 @@ Result<Reader> Reader::ReadSection(std::uint32_t expected_tag) {
   PPDM_RETURN_IF_ERROR(Need(length));
   const std::string_view payload = bytes_.substr(pos_, length);
   if (Crc32(payload) != crc) {
+    CrcFailuresCounter().Increment();
     return Status::IoError(StrFormat(
         "section 0x%08x payload fails its CRC32 (corrupt snapshot)", tag));
   }

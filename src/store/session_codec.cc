@@ -8,6 +8,8 @@
 
 #include "common/strings.h"
 #include "data/schema.h"
+#include "obs/metrics.h"
+#include "obs/trace.h"
 #include "perturb/noise_model.h"
 #include "reconstruct/reconstructor.h"
 
@@ -304,7 +306,36 @@ Result<api::DatasetSessionSpec> DecodeDatasetSessionSpec(Reader* reader) {
 
 // ---------------------------------------------------------- DatasetSession
 
+namespace {
+
+// Codec telemetry: snapshot encode/decode wall time and encoded sizes —
+// the CPU half of a checkpoint (the store histograms time the disk half).
+obs::Histogram& EncodeSecondsHistogram() {
+  static obs::Histogram& histogram =
+      *obs::MetricsRegistry::Global().GetHistogram(
+          "ppdm_store_encode_seconds",
+          obs::Histogram::LatencyBucketsSeconds());
+  return histogram;
+}
+
+obs::Histogram& DecodeSecondsHistogram() {
+  static obs::Histogram& histogram =
+      *obs::MetricsRegistry::Global().GetHistogram(
+          "ppdm_store_decode_seconds",
+          obs::Histogram::LatencyBucketsSeconds());
+  return histogram;
+}
+
+obs::Counter& EncodeBytesCounter() {
+  static obs::Counter& counter = *obs::MetricsRegistry::Global().GetCounter(
+      "ppdm_store_encode_bytes_total");
+  return counter;
+}
+
+}  // namespace
+
 std::string EncodeDatasetSession(const api::DatasetSession& session) {
+  obs::ScopedSpan span("store.encode_session", &EncodeSecondsHistogram());
   const api::DatasetSessionSpec& spec = session.spec();
   const api::DatasetSessionState state = session.ExportState();
 
@@ -322,11 +353,13 @@ std::string EncodeDatasetSession(const api::DatasetSession& session) {
     writer.PutDoubleArray(state.last_masses[a]);
   }
   writer.EndSection();
+  EncodeBytesCounter().Increment(writer.bytes().size());
   return writer.Take();
 }
 
 Result<std::unique_ptr<api::DatasetSession>> DecodeDatasetSession(
     std::string_view bytes, engine::ThreadPool* pool) {
+  obs::ScopedSpan span("store.decode_session", &DecodeSecondsHistogram());
   Reader reader(bytes);
   std::uint32_t version = 0;
   PPDM_RETURN_IF_ERROR(reader.ReadHeader(kFormatVersion, &version));

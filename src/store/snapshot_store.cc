@@ -11,6 +11,8 @@
 #include <system_error>
 
 #include "common/strings.h"
+#include "obs/metrics.h"
+#include "obs/trace.h"
 
 namespace ppdm::store {
 namespace {
@@ -18,6 +20,33 @@ namespace {
 namespace fs = std::filesystem;
 
 constexpr char kSnapshotExtension[] = ".snap";
+
+// Store I/O telemetry: bytes moved and wall time per Put/Get. Failures
+// count Puts/Gets attempted; bytes count only successful transfers.
+struct StoreMetrics {
+  obs::Counter& puts;
+  obs::Counter& put_bytes;
+  obs::Counter& gets;
+  obs::Counter& get_bytes;
+  obs::Counter& io_failures;
+  obs::Histogram& put_seconds;
+  obs::Histogram& get_seconds;
+
+  static StoreMetrics& Get() {
+    auto& registry = obs::MetricsRegistry::Global();
+    static StoreMetrics* const metrics = new StoreMetrics{
+        *registry.GetCounter("ppdm_store_puts_total"),
+        *registry.GetCounter("ppdm_store_put_bytes_total"),
+        *registry.GetCounter("ppdm_store_gets_total"),
+        *registry.GetCounter("ppdm_store_get_bytes_total"),
+        *registry.GetCounter("ppdm_store_io_failures_total"),
+        *registry.GetHistogram("ppdm_store_put_seconds",
+                               obs::Histogram::LatencyBucketsSeconds()),
+        *registry.GetHistogram("ppdm_store_get_seconds",
+                               obs::Histogram::LatencyBucketsSeconds())};
+    return *metrics;
+  }
+};
 constexpr char kHexDigits[] = "0123456789abcdef";
 
 bool PassThrough(char c) {
@@ -113,9 +142,12 @@ std::string SnapshotStore::PathFor(const std::string& name) const {
 
 Status SnapshotStore::Put(const std::string& name,
                           std::string_view bytes) const {
+  obs::ScopedSpan span("store.put", &StoreMetrics::Get().put_seconds);
+  StoreMetrics::Get().puts.Increment();
   // An empty name would encode to the dotfile ".snap" — reachable by
   // Get/Contains but invisible to the extension-driven List/Count scans.
   if (name.empty()) {
+    StoreMetrics::Get().io_failures.Increment();
     return Status::InvalidArgument("snapshot name must be non-empty");
   }
   const std::string path = PathFor(name);
@@ -132,6 +164,7 @@ Status SnapshotStore::Put(const std::string& name,
   {
     std::ofstream out(tmp, std::ios::binary | std::ios::trunc);
     if (!out) {
+      StoreMetrics::Get().io_failures.Increment();
       return Status::IoError(StrFormat("cannot open %s for writing",
                                        tmp.c_str()));
     }
@@ -140,6 +173,7 @@ Status SnapshotStore::Put(const std::string& name,
     if (!out) {
       std::error_code ec;
       fs::remove(tmp, ec);
+      StoreMetrics::Get().io_failures.Increment();
       return Status::IoError(StrFormat("short write to %s", tmp.c_str()));
     }
   }
@@ -148,13 +182,17 @@ Status SnapshotStore::Put(const std::string& name,
   if (ec) {
     std::error_code ignored;
     fs::remove(tmp, ignored);
+    StoreMetrics::Get().io_failures.Increment();
     return Status::IoError(StrFormat("cannot publish %s: %s", path.c_str(),
                                      ec.message().c_str()));
   }
+  StoreMetrics::Get().put_bytes.Increment(bytes.size());
   return Status::Ok();
 }
 
 Result<std::string> SnapshotStore::Get(const std::string& name) const {
+  obs::ScopedSpan span("store.get", &StoreMetrics::Get().get_seconds);
+  StoreMetrics::Get().gets.Increment();
   const std::string path = PathFor(name);
   std::error_code ec;
   if (name.empty() || !fs::exists(path, ec)) {
@@ -163,13 +201,16 @@ Result<std::string> SnapshotStore::Get(const std::string& name) const {
   }
   std::ifstream in(path, std::ios::binary);
   if (!in) {
+    StoreMetrics::Get().io_failures.Increment();
     return Status::IoError(StrFormat("cannot open %s", path.c_str()));
   }
   std::string bytes((std::istreambuf_iterator<char>(in)),
                     std::istreambuf_iterator<char>());
   if (in.bad()) {
+    StoreMetrics::Get().io_failures.Increment();
     return Status::IoError(StrFormat("read failed on %s", path.c_str()));
   }
+  StoreMetrics::Get().get_bytes.Increment(bytes.size());
   return bytes;
 }
 

@@ -564,6 +564,7 @@ TEST(SessionRegistryTest, OpenLookupCloseLifecycle) {
   EXPECT_EQ(stats.open_sessions, 1u);
   EXPECT_GT(stats.approx_bytes, 0u);
   EXPECT_EQ(stats.lookups, 2u);
+  EXPECT_EQ(stats.hits, 1u);
   EXPECT_EQ(stats.misses, 1u);
   EXPECT_EQ(stats.evictions, 0u);
 

@@ -1,0 +1,359 @@
+// Tests for the observability layer (src/obs): instrument semantics,
+// exposition well-formedness, thread-safety under concurrent scrape (the
+// TSan job builds this binary), and the layer's core contract — telemetry
+// never changes what the serving stack computes.
+
+#include <cstring>
+#include <optional>
+#include <regex>
+#include <string>
+#include <thread>
+#include <vector>
+
+#include <gtest/gtest.h>
+
+#include "api/dataset_session.h"
+#include "common/random.h"
+#include "data/row_batch.h"
+#include "engine/thread_pool.h"
+#include "obs/metrics.h"
+#include "obs/trace.h"
+#include "synth/generator.h"
+
+namespace ppdm {
+namespace {
+
+using obs::Counter;
+using obs::Gauge;
+using obs::Histogram;
+using obs::MetricsRegistry;
+using obs::ScopedSpan;
+using obs::ScopedTimer;
+using obs::SpanEvent;
+using obs::TraceRing;
+
+// Every test touching the global timing flag restores it; instruments use
+// test-unique names so tests stay independent inside one process.
+
+TEST(CounterTest, IncrementsAndMerges) {
+  Counter counter;
+  EXPECT_EQ(counter.Value(), 0u);
+  counter.Increment();
+  counter.Increment(41);
+  EXPECT_EQ(counter.Value(), 42u);
+  counter.Reset();
+  EXPECT_EQ(counter.Value(), 0u);
+}
+
+TEST(GaugeTest, AddAndSet) {
+  Gauge gauge;
+  gauge.Add(5);
+  gauge.Add(-2);
+  EXPECT_EQ(gauge.Value(), 3);
+  gauge.Set(100);
+  EXPECT_EQ(gauge.Value(), 100);
+  gauge.Add(-150);
+  EXPECT_EQ(gauge.Value(), -50);
+  gauge.Reset();
+  EXPECT_EQ(gauge.Value(), 0);
+}
+
+TEST(HistogramTest, BucketsCountAndSum) {
+  Histogram histogram({1.0, 2.0, 4.0});
+  histogram.Observe(0.5);   // bucket 0 (le="1")
+  histogram.Observe(1.5);   // bucket 1 (le="2")
+  histogram.Observe(2.0);   // also bucket 1 — le bounds are inclusive
+  histogram.Observe(100.0); // +Inf bucket
+  const std::vector<std::uint64_t> counts = histogram.BucketCounts();
+  ASSERT_EQ(counts.size(), 4u);
+  EXPECT_EQ(counts[0], 1u);
+  EXPECT_EQ(counts[1], 2u);
+  EXPECT_EQ(counts[2], 0u);
+  EXPECT_EQ(counts[3], 1u);
+  EXPECT_EQ(histogram.Count(), 4u);
+  EXPECT_DOUBLE_EQ(histogram.Sum(), 0.5 + 1.5 + 2.0 + 100.0);
+  histogram.Reset();
+  EXPECT_EQ(histogram.Count(), 0u);
+  EXPECT_DOUBLE_EQ(histogram.Sum(), 0.0);
+}
+
+TEST(HistogramTest, QuantilesInterpolate) {
+  Histogram histogram({10.0, 20.0, 30.0});
+  // 10 samples uniform in (0,10], 10 in (10,20].
+  for (int i = 0; i < 10; ++i) histogram.Observe(5.0);
+  for (int i = 0; i < 10; ++i) histogram.Observe(15.0);
+  // Rank 10 of 20 sits at the boundary of the first bucket.
+  EXPECT_NEAR(histogram.Quantile(0.5), 10.0, 1.0);
+  // The top of the occupied range.
+  EXPECT_NEAR(histogram.Quantile(1.0), 20.0, 1e-9);
+  EXPECT_DOUBLE_EQ(Histogram({1.0}).Quantile(0.5), 0.0);  // empty
+  // +Inf samples clamp to the last finite bound.
+  Histogram overflow({1.0});
+  overflow.Observe(50.0);
+  EXPECT_DOUBLE_EQ(overflow.Quantile(0.99), 1.0);
+}
+
+TEST(HistogramTest, ExponentialBuckets) {
+  const std::vector<double> bounds =
+      Histogram::ExponentialBuckets(1.0, 2.0, 4);
+  ASSERT_EQ(bounds.size(), 4u);
+  EXPECT_DOUBLE_EQ(bounds[0], 1.0);
+  EXPECT_DOUBLE_EQ(bounds[3], 8.0);
+  for (std::size_t i = 1; i < bounds.size(); ++i) {
+    EXPECT_LT(bounds[i - 1], bounds[i]);
+  }
+}
+
+TEST(ScopedTimerTest, RecordsOnceAndStopDisarms) {
+  Histogram histogram(Histogram::LatencyBucketsSeconds());
+  {
+    ScopedTimer timer(&histogram);
+    EXPECT_GE(timer.Stop(), 0.0);
+    // Disarmed: destruction must not record a second sample.
+  }
+  EXPECT_EQ(histogram.Count(), 1u);
+  {
+    ScopedTimer timer(&histogram);  // records via the destructor
+  }
+  EXPECT_EQ(histogram.Count(), 2u);
+  ScopedTimer null_timer(nullptr);  // must be inert
+  EXPECT_DOUBLE_EQ(null_timer.Stop(), 0.0);
+}
+
+TEST(TimingEnabledTest, DisablingElidesSamples) {
+  Histogram histogram(Histogram::LatencyBucketsSeconds());
+  obs::SetTimingEnabled(false);
+  histogram.Observe(1.0);
+  {
+    ScopedTimer timer(&histogram);
+  }
+  EXPECT_EQ(histogram.Count(), 0u);
+  obs::SetTimingEnabled(true);
+  histogram.Observe(1.0);
+  EXPECT_EQ(histogram.Count(), 1u);
+}
+
+TEST(MetricsRegistryTest, IdentityIsNamePlusLabels) {
+  MetricsRegistry registry;
+  Counter* a = registry.GetCounter("obs_test_ids_total");
+  EXPECT_EQ(a, registry.GetCounter("obs_test_ids_total"));
+  EXPECT_NE(a, registry.GetCounter("obs_test_ids_total", "kind=\"x\""));
+  Histogram* h = registry.GetHistogram("obs_test_ids_seconds", {1.0, 2.0});
+  // First registration wins, even with different bounds.
+  EXPECT_EQ(h, registry.GetHistogram("obs_test_ids_seconds", {5.0}));
+  EXPECT_EQ(h->bounds().size(), 2u);
+  EXPECT_EQ(registry.FindHistogram("obs_test_ids_seconds"), h);
+  EXPECT_EQ(registry.FindHistogram("obs_test_absent_seconds"), nullptr);
+}
+
+TEST(MetricsRegistryTest, ResetAllZeroesButKeepsPointers) {
+  MetricsRegistry registry;
+  Counter* counter = registry.GetCounter("obs_test_reset_total");
+  Histogram* histogram =
+      registry.GetHistogram("obs_test_reset_seconds", {1.0});
+  counter->Increment(7);
+  histogram->Observe(0.5);
+  registry.ResetAll();
+  EXPECT_EQ(counter, registry.GetCounter("obs_test_reset_total"));
+  EXPECT_EQ(counter->Value(), 0u);
+  EXPECT_EQ(histogram->Count(), 0u);
+}
+
+// Every non-comment exposition line must parse as `name{labels} value` —
+// the same property the CI smoke asserts on the live binary.
+TEST(MetricsRegistryTest, RenderTextIsWellFormed) {
+  MetricsRegistry registry;
+  registry.GetCounter("obs_test_render_total")->Increment(3);
+  registry.GetGauge("obs_test_render_depth")->Set(-2);
+  Histogram* histogram = registry.GetHistogram(
+      "obs_test_render_seconds", {0.001, 0.01}, "kind=\"unit\"");
+  histogram->Observe(0.005);
+  histogram->Observe(5.0);
+
+  const std::string text = registry.RenderText();
+  ASSERT_FALSE(text.empty());
+  const std::regex type_line("# TYPE [a-zA-Z_][a-zA-Z0-9_]* "
+                             "(counter|gauge|histogram)");
+  const std::regex sample_line(
+      "[a-zA-Z_][a-zA-Z0-9_]*(\\{[^{}]*\\})? -?[0-9.eE+-]+");
+  std::size_t samples = 0;
+  std::size_t start = 0;
+  while (start < text.size()) {
+    std::size_t end = text.find('\n', start);
+    if (end == std::string::npos) end = text.size();
+    const std::string line = text.substr(start, end - start);
+    start = end + 1;
+    if (line.empty()) continue;
+    if (line[0] == '#') {
+      EXPECT_TRUE(std::regex_match(line, type_line)) << line;
+    } else {
+      EXPECT_TRUE(std::regex_match(line, sample_line)) << line;
+      ++samples;
+    }
+  }
+  EXPECT_GT(samples, 0u);
+  EXPECT_NE(text.find("obs_test_render_total 3"), std::string::npos);
+  EXPECT_NE(text.find("obs_test_render_depth -2"), std::string::npos);
+  // Histogram renders the cumulative series plus _sum/_count, with the
+  // instrument labels composed before le.
+  EXPECT_NE(text.find("obs_test_render_seconds_bucket{kind=\"unit\","
+                      "le=\"+Inf\"} 2"),
+            std::string::npos);
+  EXPECT_NE(text.find("obs_test_render_seconds_count{kind=\"unit\"} 2"),
+            std::string::npos);
+}
+
+// The lock-striped cells under fire: writers increment while a scraper
+// merges and renders. TSan (the CI tsan job builds this test) verifies
+// the absence of data races; the final totals verify no lost updates.
+TEST(MetricsRegistryTest, ConcurrentIncrementAndScrape) {
+  MetricsRegistry registry;
+  Counter* counter = registry.GetCounter("obs_test_race_total");
+  Gauge* gauge = registry.GetGauge("obs_test_race_depth");
+  Histogram* histogram =
+      registry.GetHistogram("obs_test_race_seconds", {1e-3, 1e-2, 1e-1});
+
+  constexpr int kThreads = 8;
+  constexpr int kIncrements = 20000;
+  std::vector<std::thread> writers;
+  writers.reserve(kThreads);
+  for (int t = 0; t < kThreads; ++t) {
+    writers.emplace_back([&] {
+      for (int i = 0; i < kIncrements; ++i) {
+        counter->Increment();
+        gauge->Add(1);
+        gauge->Add(-1);
+        histogram->Observe(5e-3);
+      }
+    });
+  }
+  // Scrape continuously while the writers run.
+  for (int s = 0; s < 50; ++s) {
+    (void)counter->Value();
+    (void)gauge->Value();
+    (void)histogram->BucketCounts();
+    (void)registry.RenderText();
+  }
+  for (std::thread& writer : writers) writer.join();
+
+  EXPECT_EQ(counter->Value(),
+            static_cast<std::uint64_t>(kThreads) * kIncrements);
+  EXPECT_EQ(gauge->Value(), 0);
+  EXPECT_EQ(histogram->Count(),
+            static_cast<std::uint64_t>(kThreads) * kIncrements);
+}
+
+TEST(TraceRingTest, BoundedOldestFirst) {
+  TraceRing ring(4);
+  for (std::uint64_t i = 1; i <= 6; ++i) {
+    ring.Record("span", /*start_ns=*/i * 100, /*duration_ns=*/i);
+  }
+  const std::vector<SpanEvent> spans = ring.Snapshot();
+  ASSERT_EQ(spans.size(), 4u);
+  EXPECT_EQ(spans.front().duration_ns, 3u);  // 1 and 2 were overwritten
+  EXPECT_EQ(spans.back().duration_ns, 6u);
+  EXPECT_EQ(ring.TotalRecorded(), 6u);
+  EXPECT_EQ(ring.DroppedCount(), 2u);
+  ring.Clear();
+  EXPECT_TRUE(ring.Snapshot().empty());
+  EXPECT_EQ(ring.TotalRecorded(), 0u);
+}
+
+TEST(ScopedSpanTest, RecordsRingAndHistogram) {
+  TraceRing ring(8);
+  Histogram histogram(Histogram::LatencyBucketsSeconds());
+  {
+    ScopedSpan span("obs_test.work", &histogram, &ring);
+  }
+  const std::vector<SpanEvent> spans = ring.Snapshot();
+  ASSERT_EQ(spans.size(), 1u);
+  EXPECT_EQ(spans[0].name, "obs_test.work");
+  EXPECT_EQ(histogram.Count(), 1u);
+  const std::string rendered = obs::RenderSpans(spans);
+  EXPECT_NE(rendered.find("obs_test.work"), std::string::npos);
+
+  obs::SetTimingEnabled(false);
+  {
+    ScopedSpan span("obs_test.disabled", &histogram, &ring);
+  }
+  obs::SetTimingEnabled(true);
+  EXPECT_EQ(ring.Snapshot().size(), 1u);
+  EXPECT_EQ(histogram.Count(), 1u);
+}
+
+// ------------------------------------------------------------ determinism
+//
+// The layer's core contract: instrumenting the serving stack changes
+// nothing about what it computes. One perturbed stream, ingested and
+// reconstructed at several thread counts with metrics enabled and
+// disabled, must yield bit-identical masses in every configuration pair.
+
+std::vector<double> ReconstructedBits(std::size_t threads) {
+  api::DatasetSessionSpec spec;
+  spec.schema = synth::BenchmarkSchema();
+  api::AttributeSpec attr;
+  attr.column = 0;  // salary
+  attr.intervals = 20;
+  attr.noise = perturb::NoiseKind::kUniform;
+  attr.privacy_fraction = 1.0;
+  attr.confidence = 0.95;
+  spec.attributes.push_back(attr);
+  spec.shard_size = 512;
+
+  std::optional<engine::ThreadPool> pool;
+  if (threads > 0) pool.emplace(threads);
+  Result<std::unique_ptr<api::DatasetSession>> session =
+      api::DatasetSession::Open(spec, pool ? &*pool : nullptr);
+  EXPECT_TRUE(session.ok()) << session.status().message();
+
+  synth::GeneratorOptions gen;
+  gen.num_records = 4000;
+  gen.function = synth::Function::kF1;
+  gen.seed = 20000607;
+  synth::RecordStream stream(gen);
+  Rng noise_rng(99);
+  std::vector<double> scratch;
+  while (!stream.Done()) {
+    const data::RowBatch rows = stream.Next(500);
+    scratch.assign(rows.values(),
+                   rows.values() + rows.num_rows() * rows.num_cols());
+    for (std::size_t r = 0; r < rows.num_rows(); ++r) {
+      scratch[r * rows.num_cols()] +=
+          session.value()->noise_model(0).Sample(&noise_rng);
+    }
+    const Status ingested = session.value()->Ingest(data::RowBatch(
+        scratch.data(), rows.num_rows(), rows.num_cols()));
+    EXPECT_TRUE(ingested.ok()) << ingested.message();
+  }
+  Result<std::vector<reconstruct::Reconstruction>> estimates =
+      session.value()->ReconstructAll();
+  EXPECT_TRUE(estimates.ok()) << estimates.status().message();
+  return estimates.value().front().masses;
+}
+
+bool BitIdentical(const std::vector<double>& a,
+                  const std::vector<double>& b) {
+  return a.size() == b.size() &&
+         (a.empty() ||
+          std::memcmp(a.data(), b.data(), a.size() * sizeof(double)) == 0);
+}
+
+TEST(DeterminismTest, MetricsNeverPerturbReconstruction) {
+  ASSERT_TRUE(obs::TimingEnabled());
+  for (const std::size_t threads : {0, 1, 2, 8}) {
+    const std::vector<double> with_metrics = ReconstructedBits(threads);
+    ASSERT_FALSE(with_metrics.empty());
+    obs::SetTimingEnabled(false);
+    const std::vector<double> without_metrics = ReconstructedBits(threads);
+    obs::SetTimingEnabled(true);
+    EXPECT_TRUE(BitIdentical(with_metrics, without_metrics))
+        << "metrics on/off diverge at threads=" << threads;
+  }
+  // The engine's own cross-thread-count guarantee, with metrics enabled.
+  const std::vector<double> one = ReconstructedBits(1);
+  EXPECT_TRUE(BitIdentical(one, ReconstructedBits(2)));
+  EXPECT_TRUE(BitIdentical(one, ReconstructedBits(8)));
+}
+
+}  // namespace
+}  // namespace ppdm

@@ -579,6 +579,7 @@ TEST(SpillRegistryTest, EvictionSpillsAndLookupTransparentlyReadmits) {
     EXPECT_EQ(stats.readmissions, 1u);
     EXPECT_EQ(stats.spills, 2u);  // "b" went down
     EXPECT_EQ(stats.spill_failures, 0u);
+    EXPECT_EQ(stats.hits, 1u);  // a re-admission serves the lookup
   }
 
   // Close drops both tiers; the name becomes reusable.
