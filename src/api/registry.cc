@@ -1,5 +1,6 @@
 #include "api/registry.h"
 
+#include <set>
 #include <utility>
 #include <vector>
 
@@ -66,25 +67,41 @@ void SessionRegistry::TouchLocked(Entry* entry) {
 
 std::map<std::string, SessionRegistry::Entry>::iterator
 SessionRegistry::DemoteLocked(
-    std::map<std::string, Entry>::iterator victim) {
+    std::map<std::string, Entry>::iterator victim, bool* demoted) {
+  *demoted = false;
   if (options_.spill != nullptr) {
+    Entry& entry = victim->second;
+    // A degraded entry inside its backoff window is not even attempted —
+    // hammering a failing backend from every touch would serialize the
+    // registry behind hopeless I/O.
+    if (entry.spill_failures > 0 && Now() < entry.spill_retry_after) {
+      return std::next(victim);
+    }
     const Result<std::uint64_t> spilled =
         options_.spill->Spill(victim->first, *victim->second.session);
-    if (spilled.ok()) {
-      ++spills_;
-      RegistryMetrics::Get().spills.Increment();
-      spilled_[victim->first] = spilled.value();
-    } else {
-      // The budget must still hold, so the eviction proceeds; the loss is
-      // visible in the counter (and matches the no-backend behaviour).
-      // A previous capture of the name, if any, stays accounted — it is
-      // still on disk and still re-admittable.
+    if (!spilled.ok()) {
+      // Graceful degradation: keep the session resident (over budget if
+      // need be) rather than destroy evidence the backend failed to
+      // capture. Mark it and double the backoff; the next touch past the
+      // window retries. A previous capture of the name, if any, stays
+      // accounted — still on disk, still re-admittable.
       ++spill_failures_;
       RegistryMetrics::Get().spill_failures.Increment();
+      auto backoff = options_.spill_retry_backoff;
+      for (std::uint32_t k = 0; k < entry.spill_failures && k < 16; ++k) {
+        backoff *= 2;
+      }
+      ++entry.spill_failures;
+      entry.spill_retry_after = Now() + backoff;
+      return std::next(victim);
     }
+    ++spills_;
+    RegistryMetrics::Get().spills.Increment();
+    spilled_[victim->first] = spilled.value();
   }
   ++evictions_;
   RegistryMetrics::Get().evictions.Increment();
+  *demoted = true;
   return entries_.erase(victim);
 }
 
@@ -96,8 +113,9 @@ std::size_t SessionRegistry::SweepExpiredLocked(const std::string* touching) {
     const bool exempt = touching != nullptr && options_.spill != nullptr &&
                         it->first == *touching;
     if (!exempt && now - it->second.last_used >= options_.ttl) {
-      it = DemoteLocked(it);
-      ++evicted;
+      bool demoted = false;
+      it = DemoteLocked(it, &demoted);
+      if (demoted) ++evicted;
     } else {
       ++it;
     }
@@ -129,7 +147,8 @@ void SessionRegistry::EnforceBudgetLocked(const std::string& keep) {
   for (auto it = entries_.begin(); it != entries_.end();) {
     if (it->first != keep &&
         it->second.session->ApproxMemoryBytes() > options_.max_bytes) {
-      it = DemoteLocked(it);
+      bool demoted = false;
+      it = DemoteLocked(it, &demoted);
     } else {
       ++it;
     }
@@ -145,6 +164,10 @@ void SessionRegistry::EnforceBudgetLocked(const std::string& keep) {
   const bool keep_oversized =
       keep_it != entries_.end() &&
       keep_it->second.session->ApproxMemoryBytes() > options_.max_bytes;
+  // Names whose demotion failed (or is inside its backoff window) this
+  // call: skipped as victims so a failing spill backend degrades to
+  // "over budget, all data retained" instead of an infinite loop.
+  std::set<std::string> attempted;
   while (true) {
     std::size_t charged = 0;
     for (const auto& [name, entry] : entries_) {
@@ -154,14 +177,17 @@ void SessionRegistry::EnforceBudgetLocked(const std::string& keep) {
     if (charged <= options_.max_bytes) return;
     auto victim = entries_.end();
     for (auto it = entries_.begin(); it != entries_.end(); ++it) {
-      if (it->first == keep) continue;
+      if (it->first == keep || attempted.count(it->first) != 0) continue;
       if (victim == entries_.end() ||
           it->second.recency < victim->second.recency) {
         victim = it;
       }
     }
-    if (victim == entries_.end()) return;  // only `keep` is left
-    DemoteLocked(victim);
+    if (victim == entries_.end()) return;  // no demotable victim left
+    bool demoted = false;
+    const std::string victim_name = victim->first;
+    DemoteLocked(victim, &demoted);
+    if (!demoted) attempted.insert(victim_name);
   }
 }
 
@@ -198,6 +224,12 @@ Result<std::shared_ptr<DatasetSession>> SessionRegistry::Open(
 
 std::shared_ptr<DatasetSession> SessionRegistry::Lookup(
     const std::string& name) {
+  Result<std::shared_ptr<DatasetSession>> found = TryLookup(name);
+  return found.ok() ? std::move(found).value() : nullptr;
+}
+
+Result<std::shared_ptr<DatasetSession>> SessionRegistry::TryLookup(
+    const std::string& name) {
   std::lock_guard<std::mutex> lock(mu_);
   ++lookups_;
   RegistryMetrics::Get().lookups.Increment();
@@ -225,13 +257,15 @@ std::shared_ptr<DatasetSession> SessionRegistry::Lookup(
     Result<std::shared_ptr<DatasetSession>> admitted =
         options_.spill->Admit(name, pool_);
     if (!admitted.ok()) {
-      // Corrupt or unreadable capture: surface as a miss, keep the bytes
-      // for inspection (Close() discards them), count the failure.
+      // Corrupt or unreadable capture: count the failure, keep the bytes
+      // for inspection (Close() discards them), and surface the backend's
+      // Status untouched. Registry state is unchanged — no entry was
+      // registered, so a transient failure can succeed on retry.
       ++spill_failures_;
       ++misses_;
       RegistryMetrics::Get().spill_failures.Increment();
       RegistryMetrics::Get().misses.Increment();
-      return nullptr;
+      return admitted.status();
     }
     ++readmissions_;
     ++hits_;
@@ -247,7 +281,7 @@ std::shared_ptr<DatasetSession> SessionRegistry::Lookup(
   }
   ++misses_;
   RegistryMetrics::Get().misses.Increment();
-  return nullptr;
+  return Status::NotFound("no session named '" + name + "'");
 }
 
 bool SessionRegistry::Close(const std::string& name) {
@@ -303,6 +337,9 @@ SessionRegistry::Stats SessionRegistry::GetStats() const {
   stats.spilled_sessions = spilled_.size();
   for (const auto& [name, bytes] : spilled_) {
     stats.spilled_bytes += bytes;
+  }
+  for (const auto& [name, entry] : entries_) {
+    if (entry.spill_failures > 0) ++stats.degraded_sessions;
   }
   return stats;
 }

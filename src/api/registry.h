@@ -105,6 +105,11 @@ struct SessionRegistryOptions {
   /// Borrowed demotion backend (must outlive the registry); null keeps
   /// the destructive-eviction behaviour.
   SessionSpill* spill = nullptr;
+
+  /// After a failed spill the entry stays resident (degraded, possibly
+  /// over budget) and demotion is not re-attempted until this long has
+  /// passed, doubling per consecutive failure. Measured on `clock`.
+  std::chrono::milliseconds spill_retry_backoff{100};
 };
 
 /// Named open/lookup/close of dataset sessions with LRU + TTL eviction
@@ -125,9 +130,18 @@ class SessionRegistry {
   /// null when absent or expired. A session demoted to the spill tier is
   /// transparently re-admitted — the caller cannot tell it ever left RAM
   /// beyond the latency; re-admission may demote other sessions to fit
-  /// the budget. A spilled capture that fails to decode yields null (and
-  /// a spill_failures tick); it is kept on disk until Close().
+  /// the budget. A spilled capture that fails to re-admit yields null
+  /// (and a spill_failures tick); it is kept on disk until Close(). Use
+  /// TryLookup when the *reason* for a failed re-admission matters.
   std::shared_ptr<DatasetSession> Lookup(const std::string& name);
+
+  /// Lookup with the failure surfaced: kNotFound when the name is absent
+  /// (or expired and demoted away), the spill backend's Status when a
+  /// capture exists but cannot be re-admitted (corrupt bytes, I/O
+  /// failure). A failed re-admission never corrupts registry state — the
+  /// capture stays on disk (Close() discards it), no entry is registered,
+  /// and a later TryLookup may succeed if the failure was transient.
+  Result<std::shared_ptr<DatasetSession>> TryLookup(const std::string& name);
 
   /// Drops the registry's reference to `name` — both the in-RAM entry
   /// and any spilled capture. Returns false when neither exists.
@@ -155,6 +169,10 @@ class SessionRegistry {
     std::uint64_t spills = 0;          ///< Evictions demoted to the tier.
     std::uint64_t readmissions = 0;    ///< Lookups served from the tier.
     std::uint64_t spill_failures = 0;  ///< Spill/Admit calls that errored.
+    /// Resident sessions whose last demotion attempt failed: retained
+    /// (possibly over budget) rather than destroyed, awaiting their
+    /// backoff window before the next attempt.
+    std::size_t degraded_sessions = 0;
   };
   Stats GetStats() const;
 
@@ -165,6 +183,11 @@ class SessionRegistry {
     std::shared_ptr<DatasetSession> session;
     std::chrono::steady_clock::time_point last_used;
     std::uint64_t recency = 0;  ///< Monotone LRU tick of the last touch.
+    /// Consecutive failed demotion attempts; nonzero marks the entry
+    /// degraded. Reset by a successful spill.
+    std::uint32_t spill_failures = 0;
+    /// No demotion is re-attempted before this instant (backoff window).
+    std::chrono::steady_clock::time_point spill_retry_after{};
   };
 
   std::chrono::steady_clock::time_point Now() const;
@@ -178,12 +201,21 @@ class SessionRegistry {
   /// Mirrors occupancy into the process metrics registry (obs gauges).
   void UpdateGaugesLocked() const;
   /// Demotes one entry: spills it when a backend is configured, then
-  /// drops the in-RAM entry. Returns the iterator past the victim.
+  /// drops the in-RAM entry. Returns the iterator past the victim and
+  /// sets *demoted accordingly. Graceful degradation: when the spill
+  /// backend fails (or the entry's failure-backoff window is still open)
+  /// the entry is NOT dropped — it stays resident and possibly over
+  /// budget, marked degraded, to be retried after the backoff. Data is
+  /// only destroyed when no backend is configured (the pre-spill
+  /// destructive-eviction contract).
   std::map<std::string, Entry>::iterator DemoteLocked(
-      std::map<std::string, Entry>::iterator victim);
+      std::map<std::string, Entry>::iterator victim, bool* demoted);
   /// Demotes entries (never `keep`) until the byte total fits: oversized
   /// entries first (they can never fit), then in LRU order. An oversized
-  /// `keep` never triggers demotion of within-budget tenants.
+  /// `keep` never triggers demotion of within-budget tenants. When every
+  /// candidate victim fails to demote the registry gives up for this call
+  /// and stays over budget (degraded) instead of looping or destroying
+  /// state.
   void EnforceBudgetLocked(const std::string& keep);
   std::size_t TotalBytesLocked() const;
   bool NameTakenLocked(const std::string& name) const;

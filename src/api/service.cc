@@ -1,6 +1,19 @@
 #include "api/service.h"
 
+#include "common/fault.h"
+#include "common/retry.h"
+#include "common/strings.h"
+
 namespace ppdm::api {
+namespace {
+
+fault::FaultPoint& EnqueueFault() {
+  static fault::FaultPoint& point = fault::Point("service.enqueue");
+  return point;
+}
+
+}  // namespace
+
 namespace internal {
 
 obs::Histogram& ServiceQueueWaitHistogram() {
@@ -25,18 +38,97 @@ obs::Counter& ServiceJobsCounter() {
   return counter;
 }
 
+obs::Counter& ServiceShedCounter() {
+  static obs::Counter& counter = *obs::MetricsRegistry::Global().GetCounter(
+      "ppdm_service_shed_jobs_total");
+  return counter;
+}
+
+obs::Counter& ServiceExpiredCounter() {
+  static obs::Counter& counter = *obs::MetricsRegistry::Global().GetCounter(
+      "ppdm_service_expired_jobs_total");
+  return counter;
+}
+
+obs::Counter& ServiceCancelledCounter() {
+  static obs::Counter& counter = *obs::MetricsRegistry::Global().GetCounter(
+      "ppdm_service_cancelled_jobs_total");
+  return counter;
+}
+
 }  // namespace internal
 
-Service::Service(const engine::BatchOptions& options)
+Service::Service(const engine::BatchOptions& options,
+                 const ServiceOptions& service)
     : options_(options),
+      service_options_(service),
       pool_(options.num_threads == 0
                 ? nullptr
                 : std::make_unique<engine::ThreadPool>(options.num_threads)) {}
 
 Result<std::unique_ptr<Service>> Service::Create(
     const engine::BatchOptions& options) {
+  return Create(options, ServiceOptions{});
+}
+
+Result<std::unique_ptr<Service>> Service::Create(
+    const engine::BatchOptions& options, const ServiceOptions& service) {
   PPDM_RETURN_IF_ERROR(ValidateEngine(options));
-  return std::unique_ptr<Service>(new Service(options));
+  // Register the resilience counters up front so a chaos run's exposition
+  // shows them (as 0) even when nothing was shed or retried.
+  internal::ServiceShedCounter();
+  internal::ServiceExpiredCounter();
+  internal::ServiceCancelledCounter();
+  retry::internal::TouchMetrics();
+  return std::unique_ptr<Service>(new Service(options, service));
+}
+
+Status Service::TryAdmit() {
+  if (Status injected = EnqueueFault().Fire(); !injected.ok()) {
+    return injected;
+  }
+  std::lock_guard<std::mutex> lock(mu_);
+  if (draining_) {
+    return Status::Unavailable("service is draining; resubmit after Resume");
+  }
+  if (service_options_.max_pending > 0 &&
+      queued_ >= service_options_.max_pending) {
+    return Status::ResourceExhausted(
+        StrFormat("pending-job queue full (%zu jobs)", queued_));
+  }
+  ++queued_;
+  ++in_flight_;
+  return Status::Ok();
+}
+
+void Service::OnJobStarted() {
+  std::lock_guard<std::mutex> lock(mu_);
+  --queued_;
+}
+
+void Service::OnJobFinished() {
+  {
+    std::lock_guard<std::mutex> lock(mu_);
+    --in_flight_;
+    if (in_flight_ > 0) return;
+  }
+  drained_cv_.notify_all();
+}
+
+void Service::Drain() {
+  std::unique_lock<std::mutex> lock(mu_);
+  draining_ = true;
+  drained_cv_.wait(lock, [this] { return in_flight_ == 0; });
+}
+
+void Service::Resume() {
+  std::lock_guard<std::mutex> lock(mu_);
+  draining_ = false;
+}
+
+std::size_t Service::pending() const {
+  std::lock_guard<std::mutex> lock(mu_);
+  return queued_;
 }
 
 }  // namespace ppdm::api

@@ -18,10 +18,21 @@
 // Do not Wait() on a handle from inside another job: a worker blocked in
 // Wait() cannot drain the queue in front of the awaited job. Frontend
 // threads (outside the pool) may always Wait().
+//
+// Admission control and degradation: ServiceOptions::max_pending bounds
+// the number of admitted-but-not-yet-started jobs; past the bound Submit
+// sheds the job — its handle completes immediately with
+// kResourceExhausted instead of queueing unbounded work. Each submission
+// may carry a deadline (expired jobs complete with kDeadlineExceeded
+// without running) and a CancellationToken (cancelled jobs complete with
+// kCancelled without running). Drain() blocks new submissions
+// (kUnavailable) and waits for every in-flight job; Resume() reopens
+// admission. The service.enqueue fault point sits in the admission path.
 
 #ifndef PPDM_API_SERVICE_H_
 #define PPDM_API_SERVICE_H_
 
+#include <atomic>
 #include <chrono>
 #include <condition_variable>
 #include <cstddef>
@@ -46,10 +57,16 @@ namespace internal {
 /// Service job telemetry (defined in service.cc): time a job sat in the
 /// pool queue before a worker picked it up, time it ran, and how many
 /// were submitted — the queue-wait-vs-run split that tells an operator
-/// whether latency is load (wait) or work (run).
+/// whether latency is load (wait) or work (run). The shed / expired /
+/// cancelled counters track jobs that completed without running: refused
+/// at admission, past their deadline, or cancelled before a worker
+/// reached them.
 obs::Histogram& ServiceQueueWaitHistogram();
 obs::Histogram& ServiceRunHistogram();
 obs::Counter& ServiceJobsCounter();
+obs::Counter& ServiceShedCounter();
+obs::Counter& ServiceExpiredCounter();
+obs::Counter& ServiceCancelledCounter();
 
 /// Shared completion state of one submitted job.
 template <typename T>
@@ -61,6 +78,39 @@ struct JobState {
 };
 
 }  // namespace internal
+
+/// Cooperative cancellation flag shared between a submitter and its jobs.
+/// Cancel() is sticky and thread-safe; a job whose token is cancelled
+/// before a worker reaches it completes with kCancelled without running.
+/// Jobs already running are not interrupted — cancellation is a promise
+/// about work that has not started, never a preemption.
+class CancellationToken {
+ public:
+  void Cancel() { cancelled_.store(true, std::memory_order_release); }
+  bool cancelled() const {
+    return cancelled_.load(std::memory_order_acquire);
+  }
+
+ private:
+  std::atomic<bool> cancelled_{false};
+};
+
+/// Per-submission controls; default-constructed means "run unconditionally".
+struct SubmitOptions {
+  /// Absolute deadline: a job still unstarted past this instant completes
+  /// with kDeadlineExceeded instead of running.
+  std::optional<std::chrono::steady_clock::time_point> deadline;
+
+  /// Cancellation token checked immediately before the job would run.
+  std::shared_ptr<CancellationToken> cancel;
+
+  /// Convenience: a deadline `timeout` from now.
+  static SubmitOptions After(std::chrono::microseconds timeout) {
+    SubmitOptions options;
+    options.deadline = std::chrono::steady_clock::now() + timeout;
+    return options;
+  }
+};
 
 /// Handle to one in-flight job. Cheap to copy; all copies observe the same
 /// completion.
@@ -78,6 +128,18 @@ class JobHandle {
   Result<T> Wait() const {
     std::unique_lock<std::mutex> lock(state_->mu);
     state_->cv.wait(lock, [this] { return state_->result.has_value(); });
+    return *state_->result;
+  }
+
+  /// Blocks up to `timeout` for the job to finish; nullopt on timeout
+  /// (the job keeps running — WaitFor bounds the wait, not the work).
+  std::optional<Result<T>> WaitFor(std::chrono::microseconds timeout) const {
+    std::unique_lock<std::mutex> lock(state_->mu);
+    if (!state_->cv.wait_for(lock, timeout, [this] {
+          return state_->result.has_value();
+        })) {
+      return std::nullopt;
+    }
     return *state_->result;
   }
 
@@ -112,6 +174,13 @@ class JobHandle {
   std::shared_ptr<internal::JobState<T>> state_;
 };
 
+/// Service-level knobs beyond the engine options.
+struct ServiceOptions {
+  /// Maximum admitted-but-not-yet-started jobs; 0 means unbounded. Past
+  /// the bound Submit sheds: the handle completes with kResourceExhausted.
+  std::size_t max_pending = 0;
+};
+
 /// The session-oriented service facade: owns the pool, accepts jobs.
 class Service {
  public:
@@ -120,6 +189,8 @@ class Service {
   /// an already-completed handle — same API, no concurrency.
   static Result<std::unique_ptr<Service>> Create(
       const engine::BatchOptions& options);
+  static Result<std::unique_ptr<Service>> Create(
+      const engine::BatchOptions& options, const ServiceOptions& service);
 
   /// Destruction drains the request queue: every submitted job completes
   /// before the pool joins.
@@ -135,22 +206,57 @@ class Service {
   engine::ThreadPool* pool() const { return pool_.get(); }
 
   /// Enqueues `job` and returns its handle. The job runs at most once, on
-  /// one pool worker (inline for a synchronous service).
+  /// one pool worker (inline for a synchronous service). A shed, expired,
+  /// or cancelled job never runs: its handle completes with the matching
+  /// resilience status instead.
   template <typename T>
   JobHandle<T> Submit(std::function<Result<T>()> job) {
+    return Submit(std::move(job), SubmitOptions{});
+  }
+
+  template <typename T>
+  JobHandle<T> Submit(std::function<Result<T>()> job, SubmitOptions opts) {
     auto state = std::make_shared<internal::JobState<T>>();
+    internal::ServiceJobsCounter().Increment();
+    if (Status admitted = TryAdmit(); !admitted.ok()) {
+      internal::ServiceShedCounter().Increment();
+      Complete(state, Result<T>(std::move(admitted)));
+      return JobHandle<T>(std::move(state));
+    }
     const auto submitted = std::chrono::steady_clock::now();
-    auto run = [state, job = std::move(job), submitted] {
+    // The lambda captures `this` for the job-accounting hooks; safe
+    // because ~Service joins the pool (draining every queued job) before
+    // the counters it touches are destroyed.
+    auto run = [this, state, job = std::move(job), opts = std::move(opts),
+                submitted] {
+      OnJobStarted();
       if (obs::TimingEnabled()) {
         internal::ServiceQueueWaitHistogram().Observe(
             std::chrono::duration<double>(std::chrono::steady_clock::now() -
                                           submitted)
                 .count());
       }
-      obs::ScopedTimer run_timer(&internal::ServiceRunHistogram());
-      Complete(state, job());
+      if (opts.cancel != nullptr && opts.cancel->cancelled()) {
+        internal::ServiceCancelledCounter().Increment();
+        Complete(state, Result<T>(Status::Cancelled(
+                            "job cancelled before it ran")));
+        OnJobFinished();
+        return;
+      }
+      if (opts.deadline.has_value() &&
+          std::chrono::steady_clock::now() >= *opts.deadline) {
+        internal::ServiceExpiredCounter().Increment();
+        Complete(state, Result<T>(Status::DeadlineExceeded(
+                            "job deadline passed before it ran")));
+        OnJobFinished();
+        return;
+      }
+      {
+        obs::ScopedTimer run_timer(&internal::ServiceRunHistogram());
+        Complete(state, job());
+      }
+      OnJobFinished();
     };
-    internal::ServiceJobsCounter().Increment();
     if (pool_ == nullptr) {
       run();
     } else {
@@ -158,6 +264,15 @@ class Service {
     }
     return JobHandle<T>(std::move(state));
   }
+
+  /// Blocks new submissions (they shed with kUnavailable) and waits until
+  /// every in-flight job has completed. Resume() reopens admission. Call
+  /// from a frontend thread only — never from inside a job.
+  void Drain();
+  void Resume();
+
+  /// Jobs admitted but not yet picked up by a worker.
+  std::size_t pending() const;
 
   /// Opens a streaming reconstruction session backed by this service's
   /// pool (Ingest fans out; Reconstruct's EM runs chunked over it).
@@ -174,8 +289,19 @@ class Service {
     return DatasetSession::Open(spec, pool_.get());
   }
 
+  const ServiceOptions& service_options() const { return service_options_; }
+
  private:
-  explicit Service(const engine::BatchOptions& options);
+  Service(const engine::BatchOptions& options,
+          const ServiceOptions& service);
+
+  /// Admission check (defined in service.cc): fires the service.enqueue
+  /// fault point, refuses while draining (kUnavailable) or past
+  /// max_pending (kResourceExhausted); on success counts the job as
+  /// queued and in flight.
+  Status TryAdmit();
+  void OnJobStarted();
+  void OnJobFinished();
 
   template <typename T>
   static void Complete(const std::shared_ptr<internal::JobState<T>>& state,
@@ -192,6 +318,16 @@ class Service {
   }
 
   engine::BatchOptions options_;
+  ServiceOptions service_options_;
+
+  // Admission state. Declared before pool_ so the pool's destructor (which
+  // drains queued jobs that touch these counters) runs first.
+  mutable std::mutex mu_;
+  std::condition_variable drained_cv_;
+  std::size_t queued_ = 0;    // admitted, not yet started
+  std::size_t in_flight_ = 0; // admitted, not yet completed
+  bool draining_ = false;
+
   std::unique_ptr<engine::ThreadPool> pool_;
 };
 

@@ -12,6 +12,7 @@
 #include "api/session.h"
 #include "api/spec.h"
 #include "data/row_batch.h"
+#include "common/fault.h"
 #include "common/strings.h"
 #include "core/metrics.h"
 #include "data/csv.h"
@@ -255,7 +256,7 @@ const char* UsageText() {
       "              [--intervals=K] [--registry-mb=M] [--seed=S]\n"
       "              [--threads=T] [--shard-size=N]\n"
       "              [--checkpoint-dir=DIR] [--checkpoint-every-batches=K]\n"
-      "              [--resume]\n"
+      "              [--resume] [--max-pending=N] [--faults=SPEC]\n"
       "  snapshot    --dir=DIR                      list stored snapshots\n"
       "              --dir=DIR --name=NAME [--records=N] [--batch-records=B]\n"
       "              [--reconstruct] [stream flags as in serve-sim]\n"
@@ -279,6 +280,16 @@ const char* UsageText() {
       "session there — every K batches with --checkpoint-every-batches=K,\n"
       "and always at stream end. --resume re-admits the checkpoint and\n"
       "streams N further records, simulating crash recovery.\n"
+      "\n"
+      "Periodic serve-sim checkpoints run as async service jobs; a new\n"
+      "checkpoint supersedes (cancels) a still-pending one. --max-pending=N\n"
+      "bounds the service's admitted-but-unstarted job queue (jobs past it\n"
+      "are shed with ResourceExhausted; 0 = unbounded). --faults=SPEC arms\n"
+      "deterministic fault points (same grammar as the PPDM_FAULTS env\n"
+      "var), e.g. --faults='store.put.io=every:50;spill.demote=once'.\n"
+      "Triggers: every:N, prob:P[:SEED], once, off; append ,permanent for\n"
+      "a non-retryable injected failure. serve-sim exits nonzero when the\n"
+      "session ends in a permanent-error state (final checkpoint failed).\n"
       "\n"
       "snapshot/restore are the operator surface of the same store: \n"
       "'snapshot --dir' lists what a directory holds; with --name it\n"
@@ -492,9 +503,19 @@ Status RunServeSim(const Args& args, std::ostream& out) {
                                   "registry-mb", "seed", "threads",
                                   "shard-size", "checkpoint-dir",
                                   "checkpoint-every-batches", "resume",
-                                  "metrics-out"});
+                                  "metrics-out", "faults", "max-pending"});
       !s.ok()) {
     return s;
+  }
+  // --faults arms the process-wide fault points for this run, on top of
+  // whatever PPDM_FAULTS armed at startup (the chaos harness uses both).
+  if (args.Has("faults")) {
+    PPDM_RETURN_IF_ERROR(fault::ArmFromSpec(args.GetString("faults", "")));
+  }
+  PPDM_ASSIGN_OR_RETURN(const long long max_pending,
+                        args.GetInt("max-pending", 0));
+  if (max_pending < 0) {
+    return Status::InvalidArgument("--max-pending must be >= 0");
   }
   PPDM_ASSIGN_OR_RETURN(const long long records,
                         args.GetInt("records", 20000));
@@ -529,10 +550,11 @@ Status RunServeSim(const Args& args, std::ostream& out) {
   // it is deterministic in (seed, shard_size).
   PPDM_ASSIGN_OR_RETURN(StreamSimSpec sim, StreamSimSpecFromFlags(args));
 
-  PPDM_ASSIGN_OR_RETURN(const std::unique_ptr<api::Service> service,
-                        api::Service::Create(sim.batch));
   // The snapshot store (when checkpointing) doubles as the registry's
   // spill tier: budget/TTL evictions demote instead of destroying.
+  // Declared before the service on purpose: async checkpoint jobs capture
+  // the store, and locals destroy LIFO — the service destructor drains
+  // those jobs while the store is still alive.
   std::optional<store::SnapshotStore> snapshots;
   std::optional<store::SessionSpillStore> spill;
   if (!checkpoint_dir.empty()) {
@@ -541,6 +563,10 @@ Status RunServeSim(const Args& args, std::ostream& out) {
     snapshots = std::move(opened);
     spill.emplace(*snapshots);
   }
+  api::ServiceOptions service_options;
+  service_options.max_pending = static_cast<std::size_t>(max_pending);
+  PPDM_ASSIGN_OR_RETURN(const std::unique_ptr<api::Service> service,
+                        api::Service::Create(sim.batch, service_options));
   api::SessionRegistryOptions registry_options;
   registry_options.max_bytes =
       static_cast<std::size_t>(registry_mb) << 20;
@@ -630,6 +656,18 @@ Status RunServeSim(const Args& args, std::ostream& out) {
   obs::ScopedTimer stream_timer(&ServeStreamHistogram());
   std::vector<double> perturbed;
   std::uint64_t checkpoints_written = 0;
+  // Periodic checkpoints run as async service jobs: the frontend encodes
+  // the session's state at the checkpoint instant (encoding must not race
+  // the next Ingest) and a pool job performs the store I/O. A checkpoint
+  // falling due while the previous is still pending supersedes it — the
+  // older job's token is cancelled so a slow store degrades to "fewer,
+  // fresher checkpoints" instead of an unbounded backlog of stale state.
+  struct CheckpointJob {
+    std::size_t batch;
+    api::JobHandle<bool> handle;
+    std::shared_ptr<api::CancellationToken> cancel;
+  };
+  std::vector<CheckpointJob> checkpoint_jobs;
   std::size_t batch_index =
       resumed ? static_cast<std::size_t>(session->batch_count()) : 0;
   while (!stream.Done()) {
@@ -646,9 +684,21 @@ Status RunServeSim(const Args& args, std::ostream& out) {
 
     if (snapshots && checkpoint_every > 0 &&
         batch_index % static_cast<std::size_t>(checkpoint_every) == 0) {
-      PPDM_RETURN_IF_ERROR(snapshots->Put(
-          session_name, store::EncodeDatasetSession(*session)));
-      ++checkpoints_written;
+      if (!checkpoint_jobs.empty() && !checkpoint_jobs.back().handle.Poll()) {
+        checkpoint_jobs.back().cancel->Cancel();
+      }
+      auto cancel = std::make_shared<api::CancellationToken>();
+      api::SubmitOptions submit;
+      submit.cancel = cancel;
+      api::JobHandle<bool> handle = service->Submit<bool>(
+          [store = &*snapshots, name = session_name,
+           bytes = store::EncodeDatasetSession(*session)]() -> Result<bool> {
+            PPDM_RETURN_IF_ERROR(store->Put(name, bytes));
+            return true;
+          },
+          submit);
+      checkpoint_jobs.push_back(
+          {batch_index, std::move(handle), std::move(cancel)});
     }
 
     const bool last = stream.Done();
@@ -679,13 +729,36 @@ Status RunServeSim(const Args& args, std::ostream& out) {
                      fit_ms);
   }
   const double total_ms = 1e3 * stream_timer.Stop();
+  // Quiesce the async checkpoints: Drain blocks new submissions and waits
+  // for every in-flight job, then the settled handles are tallied. A
+  // cancelled job was superseded by a fresher checkpoint — expected
+  // degradation, not an error.
+  service->Drain();
+  std::uint64_t checkpoint_cancelled = 0;
+  std::uint64_t checkpoint_failed = 0;
+  Status last_checkpoint_failure = Status::Ok();
+  for (const CheckpointJob& job : checkpoint_jobs) {
+    const Result<bool> settled = job.handle.Wait();
+    if (settled.ok()) {
+      ++checkpoints_written;
+    } else if (settled.status().code() == StatusCode::kCancelled) {
+      ++checkpoint_cancelled;
+    } else {
+      ++checkpoint_failed;
+      last_checkpoint_failure = settled.status();
+    }
+  }
+  service->Resume();
   // The stream survived; make that durable before reporting. This is
   // never redundant with a batch-aligned checkpoint: the final refresh
-  // above updated every attribute's warm-start masses after it.
+  // above updated every attribute's warm-start masses after it. Its
+  // failure is the session ending in a permanent-error state — reported
+  // below and returned as the command's status after the report.
+  Status final_checkpoint = Status::Ok();
   if (snapshots) {
-    PPDM_RETURN_IF_ERROR(snapshots->Put(
-        session_name, store::EncodeDatasetSession(*session)));
-    ++checkpoints_written;
+    final_checkpoint =
+        snapshots->Put(session_name, store::EncodeDatasetSession(*session));
+    if (final_checkpoint.ok()) ++checkpoints_written;
   }
   out << StrFormat(
       "stream complete: %zu records, %zu batches, %.2f ms total "
@@ -732,13 +805,55 @@ Status RunServeSim(const Args& args, std::ostream& out) {
         static_cast<unsigned long long>(registry_stats.readmissions),
         static_cast<unsigned long long>(registry_stats.spill_failures));
   }
+  // Resilience tallies: job dispositions, store retries, injected faults,
+  // and sessions retained in a degraded (unspillable) state.
+  auto& metric_registry = obs::MetricsRegistry::Global();
+  out << StrFormat(
+      "resilience: %llu job(s) (%llu shed, %llu expired, %llu cancelled), "
+      "%llu retry(ies), %llu giveup(s), %llu fault(s) injected, "
+      "%zu degraded session(s)\n",
+      static_cast<unsigned long long>(
+          metric_registry.GetCounter("ppdm_service_jobs_total")->Value()),
+      static_cast<unsigned long long>(
+          metric_registry.GetCounter("ppdm_service_shed_jobs_total")
+              ->Value()),
+      static_cast<unsigned long long>(
+          metric_registry.GetCounter("ppdm_service_expired_jobs_total")
+              ->Value()),
+      static_cast<unsigned long long>(
+          metric_registry.GetCounter("ppdm_service_cancelled_jobs_total")
+              ->Value()),
+      static_cast<unsigned long long>(
+          metric_registry.GetCounter("ppdm_retry_attempts_total")->Value()),
+      static_cast<unsigned long long>(
+          metric_registry.GetCounter("ppdm_retry_giveups_total")->Value()),
+      static_cast<unsigned long long>(fault::TotalInjected()),
+      registry_stats.degraded_sessions);
+  if (!checkpoint_jobs.empty()) {
+    out << StrFormat(
+        "checkpoint jobs: %zu submitted, %llu superseded, %llu failed\n",
+        checkpoint_jobs.size(),
+        static_cast<unsigned long long>(checkpoint_cancelled),
+        static_cast<unsigned long long>(checkpoint_failed));
+    if (checkpoint_failed > 0) {
+      out << StrFormat("  last failure: %s\n",
+                       last_checkpoint_failure.ToString().c_str());
+    }
+  }
+  if (!final_checkpoint.ok()) {
+    out << StrFormat("final checkpoint FAILED: %s\n",
+                     final_checkpoint.ToString().c_str());
+  }
   const std::string metrics_out = args.GetString("metrics-out", "");
   if (!metrics_out.empty()) {
     PPDM_RETURN_IF_ERROR(WriteMetricsFile(metrics_out));
     out << StrFormat("metrics exposition written to %s\n",
                      metrics_out.c_str());
   }
-  return Status::Ok();
+  // A session whose final durable capture failed ended in a
+  // permanent-error state: the report above still printed, but the
+  // command exits nonzero.
+  return final_checkpoint;
 }
 
 Status RunSnapshot(const Args& args, std::ostream& out) {

@@ -5,9 +5,18 @@
 
 #include "cli/args.h"
 #include "cli/commands.h"
+#include "common/fault.h"
 
 int main(int argc, char** argv) {
   using ppdm::cli::Args;
+
+  // PPDM_FAULTS=<spec> arms the deterministic fault points before any
+  // command runs, so every ppdm command can execute under injected
+  // failures without a rebuild.
+  if (ppdm::Status faults = ppdm::fault::ArmFromEnv(); !faults.ok()) {
+    std::cerr << "ppdm: PPDM_FAULTS: " << faults.ToString() << "\n";
+    return 2;
+  }
 
   ppdm::Result<Args> args = Args::Parse(argc, argv);
   if (!args.ok()) {

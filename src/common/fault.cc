@@ -1,0 +1,241 @@
+#include "common/fault.h"
+
+#include <cstdlib>
+#include <deque>
+#include <map>
+#include <utility>
+
+#include "common/strings.h"
+#include "obs/metrics.h"
+
+namespace ppdm::fault {
+namespace {
+
+// Fault points live forever (instrumented code caches references), so the
+// registry is a leaky singleton like the metrics registry it mirrors.
+struct PointRegistry {
+  std::mutex mu;
+  std::deque<FaultPoint> points;                 // stable addresses
+  std::map<std::string, FaultPoint*> by_name;
+
+  static PointRegistry& Get() {
+    static PointRegistry* const registry = new PointRegistry();
+    return *registry;
+  }
+};
+
+obs::Counter& InjectedCounter() {
+  static obs::Counter& counter = *obs::MetricsRegistry::Global().GetCounter(
+      "ppdm_fault_injected_total");
+  return counter;
+}
+
+// xorshift64*: tiny, seedable, and plenty uniform for a failure coin.
+std::uint64_t NextRandom(std::uint64_t* state) {
+  std::uint64_t x = *state;
+  x ^= x >> 12;
+  x ^= x << 25;
+  x ^= x >> 27;
+  *state = x;
+  return x * 0x2545F4914F6CDD1DULL;
+}
+
+double NextUniform(std::uint64_t* state) {
+  return static_cast<double>(NextRandom(state) >> 11) * 0x1.0p-53;
+}
+
+}  // namespace
+
+Status FaultPoint::Fire() {
+  // Disarmed fast path: the only cost the production binary ever pays.
+  if (!armed_.load(std::memory_order_acquire)) return Status::Ok();
+
+  bool fire = false;
+  StatusCode code = StatusCode::kUnavailable;
+  {
+    std::lock_guard<std::mutex> lock(mu_);
+    // Re-check under the lock: a concurrent Disarm may have won.
+    if (!armed_.load(std::memory_order_acquire)) return Status::Ok();
+    ++fire_count_;
+    switch (trigger_) {
+      case Trigger::kEveryNth:
+        fire = fire_count_ % every_n_ == 0;
+        break;
+      case Trigger::kProbability:
+        fire = NextUniform(&rng_state_) < probability_;
+        break;
+      case Trigger::kOnce:
+        fire = true;
+        armed_.store(false, std::memory_order_release);
+        break;
+    }
+    code = code_;
+  }
+  if (!fire) return Status::Ok();
+  injected_.fetch_add(1, std::memory_order_relaxed);
+  InjectedCounter().Increment();
+  return Status(code, StrFormat("%s fault injected at '%s'",
+                                code == StatusCode::kInternal ? "permanent"
+                                                              : "transient",
+                                name_.c_str()));
+}
+
+void FaultPoint::Arm(Trigger trigger, std::uint64_t every_n,
+                     double probability, std::uint64_t seed,
+                     StatusCode code) {
+  std::lock_guard<std::mutex> lock(mu_);
+  trigger_ = trigger;
+  every_n_ = every_n == 0 ? 1 : every_n;
+  fire_count_ = 0;
+  probability_ = probability;
+  rng_state_ = seed == 0 ? 1 : seed;  // xorshift must not start at 0
+  code_ = code;
+  armed_.store(true, std::memory_order_release);
+}
+
+void FaultPoint::Disarm() {
+  std::lock_guard<std::mutex> lock(mu_);
+  armed_.store(false, std::memory_order_release);
+}
+
+FaultPoint& Point(const std::string& name) {
+  PointRegistry& registry = PointRegistry::Get();
+  std::lock_guard<std::mutex> lock(registry.mu);
+  const auto it = registry.by_name.find(name);
+  if (it != registry.by_name.end()) return *it->second;
+  registry.points.emplace_back(name);
+  FaultPoint* point = &registry.points.back();
+  registry.by_name.emplace(name, point);
+  return *point;
+}
+
+Status ArmFromSpec(const std::string& spec) {
+  // Arming is the moment chaos becomes possible: register the injection
+  // counter now so a faulted run's exposition shows it even at zero.
+  InjectedCounter();
+  std::size_t begin = 0;
+  while (begin <= spec.size()) {
+    std::size_t end = spec.find(';', begin);
+    if (end == std::string::npos) end = spec.size();
+    const std::string entry = spec.substr(begin, end - begin);
+    begin = end + 1;
+    if (entry.empty()) continue;
+
+    const std::size_t eq = entry.find('=');
+    if (eq == std::string::npos || eq == 0) {
+      return Status::InvalidArgument(
+          StrFormat("fault spec entry '%s' is not name=trigger",
+                    entry.c_str()));
+    }
+    const std::string name = entry.substr(0, eq);
+    std::string trigger = entry.substr(eq + 1);
+
+    StatusCode code = StatusCode::kUnavailable;
+    const std::size_t comma = trigger.find(',');
+    if (comma != std::string::npos) {
+      const std::string kind = trigger.substr(comma + 1);
+      trigger.resize(comma);
+      if (kind == "permanent") {
+        code = StatusCode::kInternal;
+      } else if (kind != "transient") {
+        return Status::InvalidArgument(
+            StrFormat("fault spec entry '%s': kind must be "
+                      "transient|permanent",
+                      entry.c_str()));
+      }
+    }
+
+    FaultPoint& point = Point(name);
+    if (trigger == "off") {
+      point.Disarm();
+    } else if (trigger == "once") {
+      point.Arm(FaultPoint::Trigger::kOnce, 1, 0.0, 1, code);
+    } else if (trigger.rfind("every:", 0) == 0) {
+      char* parse_end = nullptr;
+      const std::string arg = trigger.substr(6);
+      const unsigned long long n =
+          std::strtoull(arg.c_str(), &parse_end, 10);
+      if (arg.empty() || parse_end == nullptr || *parse_end != '\0' ||
+          n == 0) {
+        return Status::InvalidArgument(
+            StrFormat("fault spec entry '%s': every:N needs N >= 1",
+                      entry.c_str()));
+      }
+      point.Arm(FaultPoint::Trigger::kEveryNth,
+                static_cast<std::uint64_t>(n), 0.0, 1, code);
+    } else if (trigger.rfind("prob:", 0) == 0) {
+      std::string arg = trigger.substr(5);
+      std::uint64_t seed = 1;
+      const std::size_t colon = arg.find(':');
+      if (colon != std::string::npos) {
+        char* parse_end = nullptr;
+        const std::string seed_str = arg.substr(colon + 1);
+        seed = std::strtoull(seed_str.c_str(), &parse_end, 10);
+        if (seed_str.empty() || parse_end == nullptr || *parse_end != '\0') {
+          return Status::InvalidArgument(
+              StrFormat("fault spec entry '%s': prob:P:SEED needs an "
+                        "integer seed",
+                        entry.c_str()));
+        }
+        arg.resize(colon);
+      }
+      char* parse_end = nullptr;
+      const double p = std::strtod(arg.c_str(), &parse_end);
+      if (arg.empty() || parse_end == nullptr || *parse_end != '\0' ||
+          !(p >= 0.0) || !(p <= 1.0)) {
+        return Status::InvalidArgument(
+            StrFormat("fault spec entry '%s': prob:P needs P in [0,1]",
+                      entry.c_str()));
+      }
+      point.Arm(FaultPoint::Trigger::kProbability, 1, p, seed, code);
+    } else {
+      return Status::InvalidArgument(
+          StrFormat("fault spec entry '%s': trigger must be every:N | "
+                    "prob:P[:SEED] | once | off",
+                    entry.c_str()));
+    }
+  }
+  return Status::Ok();
+}
+
+Status ArmFromEnv() {
+  const char* spec = std::getenv("PPDM_FAULTS");
+  if (spec == nullptr || *spec == '\0') return Status::Ok();
+  return ArmFromSpec(spec);
+}
+
+void DisarmAll() {
+  PointRegistry& registry = PointRegistry::Get();
+  std::lock_guard<std::mutex> lock(registry.mu);
+  for (FaultPoint& point : registry.points) point.Disarm();
+}
+
+bool AnyArmed() {
+  PointRegistry& registry = PointRegistry::Get();
+  std::lock_guard<std::mutex> lock(registry.mu);
+  for (const FaultPoint& point : registry.points) {
+    if (point.armed()) return true;
+  }
+  return false;
+}
+
+std::uint64_t TotalInjected() {
+  PointRegistry& registry = PointRegistry::Get();
+  std::lock_guard<std::mutex> lock(registry.mu);
+  std::uint64_t total = 0;
+  for (const FaultPoint& point : registry.points) total += point.injected();
+  return total;
+}
+
+std::vector<std::string> RegisteredPoints() {
+  PointRegistry& registry = PointRegistry::Get();
+  std::lock_guard<std::mutex> lock(registry.mu);
+  std::vector<std::string> names;
+  names.reserve(registry.points.size());
+  for (const FaultPoint& point : registry.points) {
+    names.push_back(point.name());
+  }
+  return names;
+}
+
+}  // namespace ppdm::fault

@@ -1,0 +1,125 @@
+// Deterministic fault injection: a process-wide registry of named fault
+// points compiled into failure-prone code paths (store I/O, spill
+// demotion, service admission, ...). A disarmed point costs one relaxed
+// atomic load and a predicted branch — nothing else — so the points stay
+// in release builds and the chaos harness runs against the binary that
+// ships. Every injected failure is a Status, never an abort: the fault
+// layer *tests* the "malformed or hostile input is a Status" contract,
+// it never weakens it.
+//
+// Arming is explicit and deterministic. A trigger is one of:
+//
+//   every:N           fail the Nth, 2Nth, 3Nth ... firing of the point
+//   prob:P[:SEED]     fail each firing with probability P, drawn from a
+//                     seeded per-point xorshift stream (default seed 1);
+//                     deterministic for a fixed firing sequence
+//   once              fail exactly the next firing, then self-disarm
+//   off               disarm the point
+//
+// and a spec string arms several points at once:
+//
+//   store.put.io=every:50;spill.demote=once;registry.readmit=prob:0.1:7
+//
+// An entry may append ",permanent": the injected Status is then
+// kInternal (never retried by retry::IsTransient) instead of the default
+// kUnavailable (transient — the retry layer will back off and retry).
+//
+// The registry is a leaky singleton; points are created on first use
+// (either by the instrumented code path's first Fire() or by arming a
+// name that no code has reached yet). ArmFromEnv() reads PPDM_FAULTS and
+// is called by the CLI entry point, so any ppdm command can run under
+// injected faults without a rebuild.
+
+#ifndef PPDM_COMMON_FAULT_H_
+#define PPDM_COMMON_FAULT_H_
+
+#include <atomic>
+#include <cstdint>
+#include <mutex>
+#include <string>
+#include <vector>
+
+#include "common/status.h"
+
+namespace ppdm::fault {
+
+/// One named fault point. Instrumented code holds a reference (the
+/// function-local static idiom) and calls Fire() at the spot where the
+/// real failure would surface.
+class FaultPoint {
+ public:
+  explicit FaultPoint(std::string name) : name_(std::move(name)) {}
+
+  FaultPoint(const FaultPoint&) = delete;
+  FaultPoint& operator=(const FaultPoint&) = delete;
+
+  /// Ok unless the point is armed and its trigger fires, in which case
+  /// the injected error Status (kUnavailable, or kInternal for a
+  /// ",permanent" arming). The disarmed fast path is one relaxed atomic
+  /// load; trigger bookkeeping runs under a per-point mutex only while
+  /// armed.
+  Status Fire();
+
+  const std::string& name() const { return name_; }
+
+  /// True while a trigger is installed (a fired `once` trigger disarms).
+  bool armed() const { return armed_.load(std::memory_order_acquire); }
+
+  /// Failures this point has injected since process start (monotone;
+  /// survives re-arming and DisarmAll).
+  std::uint64_t injected() const {
+    return injected_.load(std::memory_order_relaxed);
+  }
+
+  void Disarm();
+
+ private:
+  friend Status ArmFromSpec(const std::string& spec);
+
+  enum class Trigger { kEveryNth, kProbability, kOnce };
+
+  void Arm(Trigger trigger, std::uint64_t every_n, double probability,
+           std::uint64_t seed, StatusCode code);
+
+  const std::string name_;
+  std::atomic<bool> armed_{false};
+  std::atomic<std::uint64_t> injected_{0};
+
+  std::mutex mu_;                      // guards the trigger state below
+  Trigger trigger_ = Trigger::kOnce;
+  std::uint64_t every_n_ = 1;          // kEveryNth period
+  std::uint64_t fire_count_ = 0;       // firings since arming
+  double probability_ = 0.0;           // kProbability threshold
+  std::uint64_t rng_state_ = 1;        // kProbability xorshift stream
+  StatusCode code_ = StatusCode::kUnavailable;
+};
+
+/// The process-wide point named `name`, created on first use. The
+/// reference stays valid forever (leaky singleton registry).
+FaultPoint& Point(const std::string& name);
+
+/// Arms every `name=trigger[,permanent]` entry of `spec` (';'-separated;
+/// empty entries are skipped, so a trailing ';' is fine). kInvalidArgument
+/// on the first malformed entry; entries before it stay armed.
+Status ArmFromSpec(const std::string& spec);
+
+/// Arms from the PPDM_FAULTS environment variable; a no-op when unset or
+/// empty. Returns the ArmFromSpec status of its value.
+Status ArmFromEnv();
+
+/// Disarms every registered point (injected() counts are retained).
+void DisarmAll();
+
+/// True when at least one point is armed.
+bool AnyArmed();
+
+/// Total failures injected across all points since process start.
+std::uint64_t TotalInjected();
+
+/// Names of all points created so far (registration order): every point
+/// some code path has reached plus every armed name. Test/docs hook.
+std::vector<std::string> RegisteredPoints();
+
+}  // namespace ppdm::fault
+
+#endif  // PPDM_COMMON_FAULT_H_

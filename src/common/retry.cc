@@ -1,0 +1,75 @@
+#include "common/retry.h"
+
+#include <algorithm>
+#include <thread>
+
+#include "obs/metrics.h"
+
+namespace ppdm::retry {
+namespace {
+
+struct RetryMetrics {
+  obs::Counter& attempts;
+  obs::Counter& giveups;
+
+  static RetryMetrics& Get() {
+    auto& registry = obs::MetricsRegistry::Global();
+    static RetryMetrics* const metrics = new RetryMetrics{
+        *registry.GetCounter("ppdm_retry_attempts_total"),
+        *registry.GetCounter("ppdm_retry_giveups_total")};
+    return *metrics;
+  }
+};
+
+// splitmix64 on (seed, attempt): stateless, so BackoffFor is const and
+// two calls for the same attempt agree.
+std::uint64_t Mix(std::uint64_t x) {
+  x += 0x9E3779B97F4A7C15ULL;
+  x = (x ^ (x >> 30)) * 0xBF58476D1CE4E5B9ULL;
+  x = (x ^ (x >> 27)) * 0x94D049BB133111EBULL;
+  return x ^ (x >> 31);
+}
+
+}  // namespace
+
+bool IsTransient(const Status& status) {
+  return status.code() == StatusCode::kUnavailable ||
+         status.code() == StatusCode::kIoError;
+}
+
+std::chrono::microseconds RetryPolicy::BackoffFor(std::size_t attempt) const {
+  if (attempt == 0) attempt = 1;
+  double backoff = static_cast<double>(initial_backoff.count());
+  for (std::size_t k = 1; k < attempt; ++k) {
+    backoff *= multiplier;
+    if (backoff >= static_cast<double>(max_backoff.count())) break;
+  }
+  backoff = std::min(backoff, static_cast<double>(max_backoff.count()));
+  // Jitter in [0.5, 1.0]: spreads concurrent retriers without ever
+  // shortening the base delay below half.
+  const double jitter =
+      0.5 + 0.5 * static_cast<double>(Mix(jitter_seed ^ attempt) >> 11) *
+                0x1.0p-53;
+  return std::chrono::microseconds(
+      static_cast<std::chrono::microseconds::rep>(backoff * jitter));
+}
+
+namespace internal {
+
+void CountRetry() { RetryMetrics::Get().attempts.Increment(); }
+
+void CountGiveup() { RetryMetrics::Get().giveups.Increment(); }
+
+void TouchMetrics() { (void)RetryMetrics::Get(); }
+
+void SleepFor(const RetryPolicy& policy, std::size_t attempt) {
+  const std::chrono::microseconds backoff = policy.BackoffFor(attempt);
+  if (policy.sleep) {
+    policy.sleep(backoff);
+  } else if (backoff.count() > 0) {
+    std::this_thread::sleep_for(backoff);
+  }
+}
+
+}  // namespace internal
+}  // namespace ppdm::retry

@@ -1,0 +1,104 @@
+// Retry with exponential backoff for transient failures — the policy the
+// store's I/O paths (Put/Get, spill demotion, re-admission) run under.
+//
+// Classification: a Status is *transient* when retrying might succeed
+// without anything else changing — kUnavailable (injected-transient
+// faults, EAGAIN-shaped conditions) and kIoError (EIO-shaped flaky disk).
+// Everything else is *permanent* (bad arguments, corrupt captures,
+// kInternal injected-permanent faults, kDataLoss torn writes) and is
+// returned immediately: retrying a decode error burns attempts without
+// hope, and retrying a torn write could mask real damage.
+//
+// Determinism: backoff jitter is drawn from a seeded splitmix64 stream
+// keyed on (jitter_seed, attempt), so two runs with the same policy sleep
+// the same schedule. Tests inject a recording `sleep` and a zero-length
+// backoff; production code leaves the defaults (real sleeps, capped
+// exponential).
+//
+// Telemetry: every retry bumps ppdm_retry_attempts_total and every
+// exhausted policy bumps ppdm_retry_giveups_total, so a scrape shows
+// whether the store is riding through faults or giving up.
+
+#ifndef PPDM_COMMON_RETRY_H_
+#define PPDM_COMMON_RETRY_H_
+
+#include <chrono>
+#include <cstddef>
+#include <cstdint>
+#include <functional>
+#include <utility>
+
+#include "common/status.h"
+
+namespace ppdm::retry {
+
+/// True when `status` is worth retrying (kUnavailable or kIoError).
+bool IsTransient(const Status& status);
+
+/// How many times to try and how long to wait in between.
+struct RetryPolicy {
+  /// Total attempts including the first; 0 behaves as 1 (no retries).
+  std::size_t max_attempts = 3;
+
+  /// Backoff before retry k (k = 1, 2, ...) is
+  ///   min(initial_backoff * multiplier^(k-1), max_backoff)
+  /// scaled by a deterministic jitter factor in [0.5, 1.0].
+  std::chrono::microseconds initial_backoff{1000};
+  double multiplier = 2.0;
+  std::chrono::microseconds max_backoff{250000};
+
+  /// Seed of the jitter stream; a fixed seed gives a fixed schedule.
+  std::uint64_t jitter_seed = 0x9E3779B97F4A7C15ULL;
+
+  /// Test hook: replaces std::this_thread::sleep_for when set.
+  std::function<void(std::chrono::microseconds)> sleep;
+
+  /// The jittered backoff before retry `attempt` (1-based).
+  std::chrono::microseconds BackoffFor(std::size_t attempt) const;
+};
+
+namespace internal {
+
+/// Retry telemetry (defined in retry.cc). TouchMetrics registers both
+/// counters so they render (as 0) in an exposition even before the first
+/// retry — chaos tooling asserts on their presence.
+void CountRetry();
+void CountGiveup();
+void TouchMetrics();
+
+/// Sleeps policy.BackoffFor(attempt) via policy.sleep or the real clock.
+void SleepFor(const RetryPolicy& policy, std::size_t attempt);
+
+inline const Status& StatusOf(const Status& status) { return status; }
+template <typename T>
+Status StatusOf(const Result<T>& result) {
+  return result.status();
+}
+
+}  // namespace internal
+
+/// Runs `op` (returning Status or Result<T>) up to policy.max_attempts
+/// times, sleeping the jittered backoff between transient failures, and
+/// returns the last attempt's value. Permanent failures return
+/// immediately; an exhausted policy returns the final transient failure
+/// (and counts a giveup).
+template <typename Fn>
+auto Retry(const RetryPolicy& policy, Fn&& op) -> decltype(op()) {
+  const std::size_t attempts =
+      policy.max_attempts == 0 ? 1 : policy.max_attempts;
+  for (std::size_t attempt = 1;; ++attempt) {
+    auto result = op();
+    const Status status = internal::StatusOf(result);
+    if (status.ok() || !IsTransient(status)) return result;
+    if (attempt >= attempts) {
+      internal::CountGiveup();
+      return result;
+    }
+    internal::CountRetry();
+    internal::SleepFor(policy, attempt);
+  }
+}
+
+}  // namespace ppdm::retry
+
+#endif  // PPDM_COMMON_RETRY_H_

@@ -22,6 +22,11 @@ enum class StatusCode {
   kNotFound,          ///< A named entity (attribute, file, ...) is missing.
   kIoError,           ///< Underlying file / stream operation failed.
   kInternal,          ///< Invariant violation inside the library.
+  kUnavailable,       ///< Transient failure; retrying may succeed.
+  kResourceExhausted, ///< A bounded resource (queue, budget) is full.
+  kDeadlineExceeded,  ///< The operation's deadline passed before it ran.
+  kCancelled,         ///< The operation was cancelled before it ran.
+  kDataLoss,          ///< Written data may be torn or not durable.
 };
 
 /// Human-readable name of a status code (e.g. "InvalidArgument").
@@ -60,6 +65,21 @@ class Status {
   }
   static Status Internal(std::string msg) {
     return Status(StatusCode::kInternal, std::move(msg));
+  }
+  static Status Unavailable(std::string msg) {
+    return Status(StatusCode::kUnavailable, std::move(msg));
+  }
+  static Status ResourceExhausted(std::string msg) {
+    return Status(StatusCode::kResourceExhausted, std::move(msg));
+  }
+  static Status DeadlineExceeded(std::string msg) {
+    return Status(StatusCode::kDeadlineExceeded, std::move(msg));
+  }
+  static Status Cancelled(std::string msg) {
+    return Status(StatusCode::kCancelled, std::move(msg));
+  }
+  static Status DataLoss(std::string msg) {
+    return Status(StatusCode::kDataLoss, std::move(msg));
   }
 
   /// True iff the operation succeeded.

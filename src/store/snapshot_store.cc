@@ -1,15 +1,19 @@
 #include "store/snapshot_store.h"
 
+#include <fcntl.h>
 #include <unistd.h>
 
 #include <algorithm>
 #include <atomic>
 #include <cctype>
+#include <cerrno>
 #include <chrono>
+#include <cstring>
 #include <filesystem>
 #include <fstream>
 #include <system_error>
 
+#include "common/fault.h"
 #include "common/strings.h"
 #include "obs/metrics.h"
 #include "obs/trace.h"
@@ -48,6 +52,34 @@ struct StoreMetrics {
   }
 };
 constexpr char kHexDigits[] = "0123456789abcdef";
+
+// Fault points at every stage a real disk can fail: armed chaos runs
+// inject a Status exactly where EIO would surface. Disarmed cost: one
+// relaxed atomic load per stage.
+fault::FaultPoint& PutIoFault() {
+  static fault::FaultPoint& point = fault::Point("store.put.io");
+  return point;
+}
+fault::FaultPoint& PutSyncFault() {
+  static fault::FaultPoint& point = fault::Point("store.put.sync");
+  return point;
+}
+fault::FaultPoint& PutRenameFault() {
+  static fault::FaultPoint& point = fault::Point("store.put.rename");
+  return point;
+}
+fault::FaultPoint& GetIoFault() {
+  static fault::FaultPoint& point = fault::Point("store.get.io");
+  return point;
+}
+
+// Closes `fd` and removes `tmp` on an attempt that failed partway: the
+// temp must never be left to masquerade as a future snapshot.
+void AbandonTemp(int fd, const std::string& tmp) {
+  if (fd >= 0) ::close(fd);
+  std::error_code ignored;
+  fs::remove(tmp, ignored);
+}
 
 bool PassThrough(char c) {
   return std::isalnum(static_cast<unsigned char>(c)) || c == '-' || c == '_';
@@ -150,6 +182,11 @@ Status SnapshotStore::Put(const std::string& name,
     StoreMetrics::Get().io_failures.Increment();
     return Status::InvalidArgument("snapshot name must be non-empty");
   }
+  return retry::Retry(retry_, [&] { return PutOnce(name, bytes); });
+}
+
+Status SnapshotStore::PutOnce(const std::string& name,
+                              std::string_view bytes) const {
   const std::string path = PathFor(name);
   // The temp name must be unique per writer: a spill tier and an operator
   // CLI may share the directory, and a deterministic "<path>.tmp" would
@@ -161,30 +198,76 @@ Status SnapshotStore::Put(const std::string& name,
       "%s.%d.%llu.tmp", path.c_str(), static_cast<int>(::getpid()),
       static_cast<unsigned long long>(
           tmp_serial.fetch_add(1, std::memory_order_relaxed)));
-  {
-    std::ofstream out(tmp, std::ios::binary | std::ios::trunc);
-    if (!out) {
+
+  if (Status injected = PutIoFault().Fire(); !injected.ok()) {
+    StoreMetrics::Get().io_failures.Increment();
+    return injected;
+  }
+  const int fd = ::open(tmp.c_str(), O_WRONLY | O_CREAT | O_TRUNC | O_CLOEXEC,
+                        0644);
+  if (fd < 0) {
+    StoreMetrics::Get().io_failures.Increment();
+    return Status::IoError(StrFormat("cannot open %s for writing: %s",
+                                     tmp.c_str(), std::strerror(errno)));
+  }
+  std::size_t written = 0;
+  while (written < bytes.size()) {
+    const ::ssize_t n =
+        ::write(fd, bytes.data() + written, bytes.size() - written);
+    if (n < 0) {
+      if (errno == EINTR) continue;
+      const int err = errno;
+      AbandonTemp(fd, tmp);
       StoreMetrics::Get().io_failures.Increment();
-      return Status::IoError(StrFormat("cannot open %s for writing",
-                                       tmp.c_str()));
+      return Status::IoError(StrFormat("short write to %s: %s", tmp.c_str(),
+                                       std::strerror(err)));
     }
-    out.write(bytes.data(), static_cast<std::streamsize>(bytes.size()));
-    out.flush();
-    if (!out) {
-      std::error_code ec;
-      fs::remove(tmp, ec);
-      StoreMetrics::Get().io_failures.Increment();
-      return Status::IoError(StrFormat("short write to %s", tmp.c_str()));
-    }
+    written += static_cast<std::size_t>(n);
+  }
+  // fsync before rename: without it a crash shortly after Put can leave
+  // the *renamed* file empty or torn on some filesystems — the torn write
+  // the pre-resilience store could report as success. A failed fsync or
+  // close is kDataLoss, distinct from plain kIoError: the caller must not
+  // trust the bytes it just "wrote".
+  if (Status injected = PutSyncFault().Fire(); !injected.ok()) {
+    AbandonTemp(fd, tmp);
+    StoreMetrics::Get().io_failures.Increment();
+    return injected;
+  }
+  if (::fsync(fd) != 0) {
+    const int err = errno;
+    AbandonTemp(fd, tmp);
+    StoreMetrics::Get().io_failures.Increment();
+    return Status::DataLoss(StrFormat("fsync failed on %s: %s", tmp.c_str(),
+                                      std::strerror(err)));
+  }
+  if (::close(fd) != 0) {
+    const int err = errno;
+    AbandonTemp(-1, tmp);
+    StoreMetrics::Get().io_failures.Increment();
+    return Status::DataLoss(StrFormat("close failed on %s: %s", tmp.c_str(),
+                                      std::strerror(err)));
+  }
+  if (Status injected = PutRenameFault().Fire(); !injected.ok()) {
+    AbandonTemp(-1, tmp);
+    StoreMetrics::Get().io_failures.Increment();
+    return injected;
   }
   std::error_code ec;
   fs::rename(tmp, path, ec);
   if (ec) {
-    std::error_code ignored;
-    fs::remove(tmp, ignored);
+    AbandonTemp(-1, tmp);
     StoreMetrics::Get().io_failures.Increment();
     return Status::IoError(StrFormat("cannot publish %s: %s", path.c_str(),
                                      ec.message().c_str()));
+  }
+  // Make the directory entry durable too, best-effort: some filesystems
+  // reject directory fsync (EINVAL), and the rename itself already
+  // ordered correctly after the data fsync above.
+  const int dir_fd = ::open(directory_.c_str(), O_RDONLY | O_DIRECTORY);
+  if (dir_fd >= 0) {
+    (void)::fsync(dir_fd);
+    ::close(dir_fd);
   }
   StoreMetrics::Get().put_bytes.Increment(bytes.size());
   return Status::Ok();
@@ -193,11 +276,19 @@ Status SnapshotStore::Put(const std::string& name,
 Result<std::string> SnapshotStore::Get(const std::string& name) const {
   obs::ScopedSpan span("store.get", &StoreMetrics::Get().get_seconds);
   StoreMetrics::Get().gets.Increment();
+  return retry::Retry(retry_, [&] { return GetOnce(name); });
+}
+
+Result<std::string> SnapshotStore::GetOnce(const std::string& name) const {
   const std::string path = PathFor(name);
   std::error_code ec;
   if (name.empty() || !fs::exists(path, ec)) {
     return Status::NotFound(StrFormat("no snapshot named '%s' in %s",
                                       name.c_str(), directory_.c_str()));
+  }
+  if (Status injected = GetIoFault().Fire(); !injected.ok()) {
+    StoreMetrics::Get().io_failures.Increment();
+    return injected;
   }
   std::ifstream in(path, std::ios::binary);
   if (!in) {

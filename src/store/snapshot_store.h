@@ -5,10 +5,19 @@
 // the session codec owns the bytes.
 //
 // Concurrency / crash safety: Put() writes to a temp file in the same
-// directory and renames it over the target, so readers never observe a
-// half-written snapshot and a crash mid-Put leaves the previous version
-// intact. Durability is best-effort (no fsync); the recovery contract is
-// "the last completed checkpoint", not "the last write".
+// directory, fsyncs it, and renames it over the target, so readers never
+// observe a half-written snapshot, a crash mid-Put leaves the previous
+// version intact, and a successful Put survives power loss (the directory
+// entry is synced best-effort after the rename). Failure codes are
+// distinct per stage: open/write/rename surface kIoError, while a failed
+// fsync or close — the bytes may be torn or not durable — surfaces
+// kDataLoss and never reports success.
+//
+// Resilience: Put and Get run under a retry::RetryPolicy (transient
+// failures retried with jittered exponential backoff; see
+// set_retry_policy) and carry the store.put.io / store.put.sync /
+// store.put.rename / store.get.io fault points, so chaos runs can fail
+// any stage deterministically.
 //
 // Instances are cheap views over the directory (no in-memory index), so
 // several SnapshotStores — a spill tier and an operator CLI, say — can
@@ -20,8 +29,10 @@
 #include <cstdint>
 #include <string>
 #include <string_view>
+#include <utility>
 #include <vector>
 
+#include "common/retry.h"
 #include "common/status.h"
 
 namespace ppdm::store {
@@ -37,14 +48,26 @@ class SnapshotStore {
   /// Opens (creating if needed) `directory` as a snapshot store.
   static Result<SnapshotStore> Open(const std::string& directory);
 
-  /// Atomically publishes `bytes` under `name`, replacing any previous
-  /// snapshot of that name. Names must be non-empty (kInvalidArgument);
-  /// an empty name is treated as absent by every read path.
+  /// Atomically publishes `bytes` under `name` (write temp, fsync,
+  /// rename), replacing any previous snapshot of that name and retrying
+  /// transient failures under the retry policy. Names must be non-empty
+  /// (kInvalidArgument); an empty name is treated as absent by every read
+  /// path. kIoError for open/write/rename failures, kDataLoss when fsync
+  /// or close fails (the write may be torn — never reported as success).
   Status Put(const std::string& name, std::string_view bytes) const;
 
   /// The bytes last Put under `name`; kNotFound when absent, kIoError
-  /// when the file cannot be read.
+  /// when the file cannot be read. Transient read failures are retried
+  /// under the retry policy.
   Result<std::string> Get(const std::string& name) const;
+
+  /// Replaces the policy Put/Get retry transient failures under. The
+  /// default is 3 attempts with 1ms..250ms jittered exponential backoff;
+  /// `{.max_attempts = 1}` disables retries.
+  void set_retry_policy(retry::RetryPolicy policy) {
+    retry_ = std::move(policy);
+  }
+  const retry::RetryPolicy& retry_policy() const { return retry_; }
 
   /// True when a snapshot named `name` exists.
   bool Contains(const std::string& name) const;
@@ -69,7 +92,12 @@ class SnapshotStore {
 
   std::string PathFor(const std::string& name) const;
 
+  /// One write-fsync-rename attempt; Put wraps it in the retry policy.
+  Status PutOnce(const std::string& name, std::string_view bytes) const;
+  Result<std::string> GetOnce(const std::string& name) const;
+
   std::string directory_;
+  retry::RetryPolicy retry_;
 };
 
 }  // namespace ppdm::store

@@ -2,12 +2,32 @@
 
 #include <utility>
 
+#include "common/fault.h"
 #include "store/session_codec.h"
 
 namespace ppdm::store {
+namespace {
+
+// Fault points at the tier boundary, distinct from the snapshot store's
+// own I/O points: spill.demote fails a demotion before any bytes are
+// encoded (the registry must keep the session resident), registry.readmit
+// fails a re-admission before the capture is read (the registry must
+// surface a clean Status and leave the capture intact).
+fault::FaultPoint& DemoteFault() {
+  static fault::FaultPoint& point = fault::Point("spill.demote");
+  return point;
+}
+
+fault::FaultPoint& ReadmitFault() {
+  static fault::FaultPoint& point = fault::Point("registry.readmit");
+  return point;
+}
+
+}  // namespace
 
 Result<std::uint64_t> SessionSpillStore::Spill(
     const std::string& name, const api::DatasetSession& session) {
+  PPDM_RETURN_IF_ERROR(DemoteFault().Fire());
   const std::string bytes = EncodeDatasetSession(session);
   PPDM_RETURN_IF_ERROR(store_.Put(name, bytes));
   return static_cast<std::uint64_t>(bytes.size());
@@ -15,6 +35,7 @@ Result<std::uint64_t> SessionSpillStore::Spill(
 
 Result<std::shared_ptr<api::DatasetSession>> SessionSpillStore::Admit(
     const std::string& name, engine::ThreadPool* pool) {
+  PPDM_RETURN_IF_ERROR(ReadmitFault().Fire());
   PPDM_ASSIGN_OR_RETURN(const std::string bytes, store_.Get(name));
   PPDM_ASSIGN_OR_RETURN(std::unique_ptr<api::DatasetSession> session,
                         DecodeDatasetSession(bytes, pool));

@@ -917,6 +917,157 @@ TEST(ServiceTest, StreamingSessionDrivenByAsyncJobs) {
   EXPECT_TRUE(ReconstructionsIdentical(batch, streamed.value()));
 }
 
+// ------------------------------------------- service admission control
+
+TEST(ServiceTest, BoundedQueueShedsWithResourceExhausted) {
+  engine::BatchOptions options;
+  options.num_threads = 2;
+  ServiceOptions limits;
+  limits.max_pending = 1;
+  auto service = Service::Create(options, limits);
+  ASSERT_TRUE(service.ok());
+
+  // Park both workers so admitted jobs stay pending, then fill the
+  // one-slot queue. Wait for each blocker to start before submitting
+  // the next: an unstarted blocker still occupies the queue slot and
+  // would (correctly) shed its sibling.
+  std::atomic<bool> release{false};
+  std::atomic<int> started{0};
+  std::vector<JobHandle<int>> blockers;
+  for (int i = 0; i < 2; ++i) {
+    blockers.push_back(
+        service.value()->Submit<int>([&release, &started]() -> Result<int> {
+          ++started;
+          while (!release.load()) std::this_thread::yield();
+          return 1;
+        }));
+    while (started.load() < i + 1) std::this_thread::yield();
+  }
+  JobHandle<int> queued =
+      service.value()->Submit<int>([] { return Result<int>(2); });
+  EXPECT_EQ(service.value()->pending(), 1u);
+
+  // The queue is full: the next submission must shed, not block or grow.
+  JobHandle<int> shed =
+      service.value()->Submit<int>([] { return Result<int>(3); });
+  EXPECT_TRUE(shed.Poll());  // completed immediately, without running
+  EXPECT_EQ(shed.Wait().status().code(), StatusCode::kResourceExhausted);
+
+  release = true;
+  for (auto& h : blockers) EXPECT_TRUE(h.Wait().ok());
+  ASSERT_TRUE(queued.Wait().ok());
+  EXPECT_EQ(queued.Wait().value(), 2);
+  EXPECT_EQ(service.value()->pending(), 0u);
+}
+
+TEST(ServiceTest, ExpiredDeadlineCompletesWithoutRunning) {
+  auto service = Service::Create(engine::BatchOptions{});  // inline
+  ASSERT_TRUE(service.ok());
+  SubmitOptions opts;
+  opts.deadline =
+      std::chrono::steady_clock::now() - std::chrono::milliseconds(1);
+  bool ran = false;
+  JobHandle<int> handle = service.value()->Submit<int>(
+      [&ran]() -> Result<int> {
+        ran = true;
+        return 1;
+      },
+      opts);
+  EXPECT_EQ(handle.Wait().status().code(), StatusCode::kDeadlineExceeded);
+  EXPECT_FALSE(ran);
+
+  // A live deadline lets the job through.
+  JobHandle<int> fine = service.value()->Submit<int>(
+      [] { return Result<int>(4); },
+      SubmitOptions::After(std::chrono::microseconds(60'000'000)));
+  ASSERT_TRUE(fine.Wait().ok());
+  EXPECT_EQ(fine.Wait().value(), 4);
+}
+
+TEST(ServiceTest, CancelledTokenCompletesWithoutRunning) {
+  auto service = Service::Create(engine::BatchOptions{});  // inline
+  ASSERT_TRUE(service.ok());
+  SubmitOptions opts;
+  opts.cancel = std::make_shared<CancellationToken>();
+  opts.cancel->Cancel();
+  bool ran = false;
+  JobHandle<int> handle = service.value()->Submit<int>(
+      [&ran]() -> Result<int> {
+        ran = true;
+        return 1;
+      },
+      opts);
+  EXPECT_EQ(handle.Wait().status().code(), StatusCode::kCancelled);
+  EXPECT_FALSE(ran);
+}
+
+TEST(ServiceTest, WaitForTimesOutThenDeliversTheResult) {
+  engine::BatchOptions options;
+  options.num_threads = 2;
+  auto service = Service::Create(options);
+  ASSERT_TRUE(service.ok());
+  std::atomic<bool> release{false};
+  JobHandle<int> handle =
+      service.value()->Submit<int>([&release]() -> Result<int> {
+        while (!release.load()) std::this_thread::yield();
+        return 9;
+      });
+  EXPECT_FALSE(
+      handle.WaitFor(std::chrono::microseconds(1000)).has_value());
+  release = true;
+  const std::optional<Result<int>> settled =
+      handle.WaitFor(std::chrono::microseconds(60'000'000));
+  ASSERT_TRUE(settled.has_value());
+  ASSERT_TRUE(settled->ok());
+  EXPECT_EQ(settled->value(), 9);
+}
+
+TEST(ServiceTest, DrainBlocksSubmissionsUntilResume) {
+  engine::BatchOptions options;
+  options.num_threads = 2;
+  auto service = Service::Create(options);
+  ASSERT_TRUE(service.ok());
+  ASSERT_TRUE(
+      service.value()->Submit<int>([] { return Result<int>(1); }).Wait().ok());
+
+  // Drain returns only once every in-flight job has completed; while
+  // draining, new submissions shed with a retryable code.
+  service.value()->Drain();
+  JobHandle<int> refused =
+      service.value()->Submit<int>([] { return Result<int>(2); });
+  EXPECT_EQ(refused.Wait().status().code(), StatusCode::kUnavailable);
+
+  service.value()->Resume();
+  JobHandle<int> accepted =
+      service.value()->Submit<int>([] { return Result<int>(3); });
+  ASSERT_TRUE(accepted.Wait().ok());
+  EXPECT_EQ(accepted.Wait().value(), 3);
+}
+
+TEST(ServiceTest, DrainWaitsForInFlightJobs) {
+  engine::BatchOptions options;
+  options.num_threads = 2;
+  auto service = Service::Create(options);
+  ASSERT_TRUE(service.ok());
+  std::atomic<bool> release{false};
+  std::atomic<bool> finished{false};
+  JobHandle<int> handle = service.value()->Submit<int>(
+      [&release, &finished]() -> Result<int> {
+        while (!release.load()) std::this_thread::yield();
+        finished = true;
+        return 1;
+      });
+  std::thread releaser([&release] {
+    std::this_thread::sleep_for(std::chrono::milliseconds(20));
+    release = true;
+  });
+  service.value()->Drain();  // must not return before the job completes
+  EXPECT_TRUE(finished.load());
+  releaser.join();
+  service.value()->Resume();
+  EXPECT_TRUE(handle.Wait().ok());
+}
+
 // ------------------------------------------------------------- experiment
 
 TEST(RunExperimentTest, RejectsInvalidSpec) {

@@ -22,6 +22,8 @@
 
 #include "api/dataset_session.h"
 #include "api/registry.h"
+#include "common/fault.h"
+#include "common/retry.h"
 #include "data/row_batch.h"
 #include "engine/shard_stats.h"
 #include "engine/thread_pool.h"
@@ -792,6 +794,103 @@ TEST(SpillRegistryTest, SpillTrafficRacingIngestIsSafe) {
   EXPECT_GT(stats.spills, 0u);
   EXPECT_GT(stats.readmissions, 0u);
   EXPECT_EQ(stats.spill_failures, 0u);
+}
+
+// ------------------------------------------------- store under injection
+//
+// Deterministic fault points (common/fault.h) aimed at the persistence
+// seams. The broader chaos matrix lives in fault_test.cc; these pin the
+// store-local contracts: a torn write never replaces the previous
+// snapshot, and a demotion that dies mid-eviction leaves the budget
+// ledger exact.
+
+TEST(SnapshotStoreTest, TornWriteNeverReplacesThePublishedSnapshot) {
+  fault::DisarmAll();
+  TempDir dir;
+  const SnapshotStore store = SnapshotStore::Open(dir.path).value();
+  const api::DatasetSessionSpec spec = BenchmarkDatasetSpec(1, 8);
+  auto session = api::DatasetSession::Open(spec);
+  ASSERT_TRUE(session.ok());
+  const std::string v1 = EncodeDatasetSession(*session.value());
+  ASSERT_TRUE(store.Put("victim", v1).ok());
+
+  // The overwrite dies between write(2) and the rename publication —
+  // the torn-write window. Nothing may reach the published name.
+  ASSERT_TRUE(
+      fault::ArmFromSpec("store.put.sync=prob:1,permanent").ok());
+  EXPECT_FALSE(store.Put("victim", v1 + "tail that must never land").ok());
+  fault::DisarmAll();
+
+  const Result<std::string> survived = store.Get("victim");
+  ASSERT_TRUE(survived.ok());
+  EXPECT_EQ(survived.value(), v1);  // byte-identical, not merely decodable
+  EXPECT_TRUE(DecodeDatasetSession(survived.value()).ok());
+  for (const auto& entry : fs::directory_iterator(dir.path)) {
+    EXPECT_NE(entry.path().extension(), ".tmp") << entry.path();
+  }
+}
+
+TEST(SpillRegistryTest, DemotionFailureMidEvictionKeepsTheLedgerExact) {
+  fault::DisarmAll();
+  TempDir dir;
+  SnapshotStore snapshots = SnapshotStore::Open(dir.path).value();
+  SessionSpillStore spill(snapshots);
+
+  const api::DatasetSessionSpec spec = BenchmarkDatasetSpec(2);
+  const std::size_t per_session =
+      api::DatasetSession::Open(spec).value()->ApproxMemoryBytes();
+  api::SessionRegistryOptions options;
+  options.max_bytes = per_session + per_session / 2;  // room for one
+  options.spill = &spill;
+  options.spill_retry_backoff = std::chrono::milliseconds(0);
+  api::SessionRegistry registry(options);
+
+  auto a = registry.Open("a", spec);
+  ASSERT_TRUE(a.ok());
+  const std::vector<double> row = SmallBatch(spec, 30000.0);
+  ASSERT_TRUE(a.value()
+                  ->Ingest(data::RowBatch(row.data(), 1,
+                                          spec.schema.NumFields()))
+                  .ok());
+  a.value().reset();
+
+  // Opening "b" tries to evict "a"; the demotion dies. The registry must
+  // keep "a" whole — resident and over budget — not drop it on the floor.
+  ASSERT_TRUE(fault::ArmFromSpec("spill.demote=once").ok());
+  ASSERT_TRUE(registry.Open("b", spec).ok());
+  {
+    const api::SessionRegistry::Stats stats = registry.GetStats();
+    EXPECT_EQ(stats.open_sessions, 2u);
+    EXPECT_EQ(stats.evictions, 0u);
+    EXPECT_EQ(stats.spills, 0u);
+    EXPECT_EQ(stats.spill_failures, 1u);
+    EXPECT_EQ(stats.degraded_sessions, 1u);
+    EXPECT_GT(stats.approx_bytes, options.max_bytes);  // honest ledger
+    EXPECT_EQ(stats.spilled_sessions, 0u);
+    EXPECT_EQ(stats.spilled_bytes, 0u);  // no phantom capture accounted
+  }
+  EXPECT_TRUE(snapshots.List().value().empty());  // and none on disk
+
+  // The `once` trigger disarmed itself; the next touch retries the
+  // demotion and every ledger column lands exactly.
+  ASSERT_NE(registry.Lookup("b"), nullptr);
+  {
+    const api::SessionRegistry::Stats stats = registry.GetStats();
+    EXPECT_EQ(stats.open_sessions, 1u);
+    EXPECT_EQ(stats.evictions, 1u);
+    EXPECT_EQ(stats.spills, 1u);
+    EXPECT_EQ(stats.spilled_sessions, 1u);
+    EXPECT_GT(stats.spilled_bytes, 0u);
+    EXPECT_EQ(stats.degraded_sessions, 0u);
+    EXPECT_LE(stats.approx_bytes, options.max_bytes);
+  }
+
+  // The evidence ingested before the failed attempt survived the detour.
+  const std::shared_ptr<api::DatasetSession> readmitted =
+      registry.Lookup("a");
+  ASSERT_NE(readmitted, nullptr);
+  EXPECT_EQ(readmitted->record_count(), 1u);
+  fault::DisarmAll();
 }
 
 }  // namespace
