@@ -97,6 +97,29 @@ inline void PrintBanner(const std::string& experiment_id,
 /// "85.3" from 0.853.
 inline double Pct(double fraction) { return 100.0 * fraction; }
 
+/// One NDJSON result row: printed to stdout and, when PPDM_BENCH_JSON
+/// names a file, appended there too — dashboards scrape either. Fields
+/// are flat string→double pairs plus the bench/case labels; doubles are
+/// emitted with enough digits to round-trip.
+inline void EmitBenchJson(
+    const std::string& bench, const std::string& label,
+    const std::vector<std::pair<std::string, double>>& fields) {
+  std::string line = "{\"bench\":\"" + bench + "\",\"case\":\"" + label + "\"";
+  for (const auto& [key, value] : fields) {
+    char number[64];
+    std::snprintf(number, sizeof(number), "%.17g", value);
+    line += ",\"" + key + "\":" + number;
+  }
+  line += "}";
+  std::printf("%s\n", line.c_str());
+  if (const char* path = std::getenv("PPDM_BENCH_JSON")) {
+    if (std::FILE* file = std::fopen(path, "a")) {
+      std::fprintf(file, "%s\n", line.c_str());
+      std::fclose(file);
+    }
+  }
+}
+
 /// Wall-clock seconds spent running `fn` once.
 inline double WallSeconds(const std::function<void()>& fn) {
   const auto start = std::chrono::steady_clock::now();

@@ -1,10 +1,15 @@
 #include "cli/commands.h"
 
 #include <algorithm>
+#include <atomic>
+#include <chrono>
+#include <csignal>
 #include <fstream>
+#include <iterator>
 #include <memory>
 #include <optional>
 #include <ostream>
+#include <thread>
 
 #include "api/dataset_session.h"
 #include "api/registry.h"
@@ -17,6 +22,9 @@
 #include "core/metrics.h"
 #include "data/csv.h"
 #include "engine/batch.h"
+#include "net/client.h"
+#include "net/frame.h"
+#include "net/server.h"
 #include "obs/metrics.h"
 #include "obs/trace.h"
 #include "perturb/randomizer.h"
@@ -103,6 +111,23 @@ Result<engine::BatchOptions> BatchFromFlags(const Args& args) {
   options.shard_size = static_cast<std::size_t>(shard_size);
   PPDM_RETURN_IF_ERROR(api::ValidateEngine(options));
   return options;
+}
+
+// The flag names every command that builds a StreamSimSpec accepts
+// (serve-sim, snapshot, metrics, loadgen). One list, so a new stream
+// flag lands in every CheckKnown at once instead of drifting per
+// command.
+std::vector<std::string> StreamFlagNames() {
+  return {"attribute", "attrs",      "function", "noise",   "privacy",
+          "confidence", "intervals", "seed",     "threads", "shard-size"};
+}
+
+// StreamFlagNames() + the command's own flags, for CheckKnown.
+std::vector<std::string> WithStreamFlags(std::vector<std::string> own) {
+  std::vector<std::string> known = StreamFlagNames();
+  known.insert(known.end(), std::make_move_iterator(own.begin()),
+               std::make_move_iterator(own.end()));
+  return known;
 }
 
 // The shared shape of the streaming simulations (serve-sim, snapshot):
@@ -216,19 +241,23 @@ std::string LatencyCell(const obs::Histogram* histogram) {
                    static_cast<unsigned long long>(histogram->Count()));
 }
 
-// --metrics-out=FILE: the full Prometheus-style exposition at exit.
-Status WriteMetricsFile(const std::string& path) {
+Status WriteTextFile(const std::string& path, const std::string& text) {
   std::ofstream file(path, std::ios::trunc);
   if (!file) {
     return Status::IoError(
         StrFormat("cannot open %s for writing", path.c_str()));
   }
-  file << obs::MetricsRegistry::Global().RenderText();
+  file << text;
   file.flush();
   if (!file) {
     return Status::IoError(StrFormat("short write to %s", path.c_str()));
   }
   return Status::Ok();
+}
+
+// --metrics-out=FILE: the full Prometheus-style exposition at exit.
+Status WriteMetricsFile(const std::string& path) {
+  return WriteTextFile(path, obs::MetricsRegistry::Global().RenderText());
 }
 
 }  // namespace
@@ -266,6 +295,18 @@ const char* UsageText() {
       "  metrics     [--records=N] [--batch-records=B] [--spans]\n"
       "              [stream flags as in serve-sim]\n"
       "                                             exposition dump\n"
+      "  served      [--host=H] [--port=P] [--threads=T] [--shard-size=N]\n"
+      "              [--max-pending=N] [--max-connections=N]\n"
+      "              [--connection-window=N] [--max-body-mb=M]\n"
+      "              [--registry-mb=M] [--checkpoint-dir=DIR] [--resume]\n"
+      "              [--tenant-rate=R] [--tenant-burst=B] [--faults=SPEC]\n"
+      "  loadgen     --port=P [--host=H] [--tenants=N] [--records=N]\n"
+      "              [--batch-records=B] [--refresh=R] [--connections=C]\n"
+      "              [--snapshot-every=K] [--ttl-ms=T] [--masses-out=FILE]\n"
+      "              [--stats-out=FILE] [--tolerate-errors] [--close]\n"
+      "              [stream flags as in serve-sim]\n"
+      "\n"
+      "ppdm <command> --help prints this usage and exits 0.\n"
       "\n"
       "serve-sim simulates the paper's server: providers submit perturbed\n"
       "records in batches of B; a DatasetSession folds each record batch\n"
@@ -297,6 +338,22 @@ const char* UsageText() {
       "the session; 'restore' rebuilds a session from its snapshot,\n"
       "reports it, and with --reconstruct re-estimates from the restored\n"
       "counts (--print-masses prints the distributions).\n"
+      "\n"
+      "served is the real network daemon: it speaks the length-prefixed\n"
+      "frame protocol (open/ingest/reconstruct/snapshot/close/stats) on\n"
+      "TCP, one poll() loop feeding an async worker service (--threads=0\n"
+      "serves synchronously). --max-pending sheds excess queued requests\n"
+      "with ResourceExhausted; --connection-window pauses reads on any\n"
+      "connection with that many requests in flight (backpressure);\n"
+      "--tenant-rate/--tenant-burst token-bucket each tenant's requests.\n"
+      "SIGTERM drains: in-flight requests finish, every open tenant is\n"
+      "checkpointed to --checkpoint-dir, and a restart with --resume\n"
+      "re-admits them. loadgen drives a running daemon with N seeded\n"
+      "tenants over C connections (ingest every batch, reconstruct every\n"
+      "R rounds, optional snapshot verb every K rounds) and reports QPS\n"
+      "and client-side p50/p99; --masses-out writes every tenant's\n"
+      "reconstruction at full precision for byte-identity checks and\n"
+      "--stats-out saves the daemon's stats-verb exposition.\n"
       "\n"
       "metrics runs a small in-process stream through every instrumented\n"
       "layer and prints the process metrics registry in Prometheus text\n"
@@ -497,13 +554,10 @@ Status RunTrain(const Args& args, std::ostream& out) {
 }
 
 Status RunServeSim(const Args& args, std::ostream& out) {
-  if (Status s = args.CheckKnown({"records", "batch-records", "refresh",
-                                  "attribute", "attrs", "function", "noise",
-                                  "privacy", "confidence", "intervals",
-                                  "registry-mb", "seed", "threads",
-                                  "shard-size", "checkpoint-dir",
-                                  "checkpoint-every-batches", "resume",
-                                  "metrics-out", "faults", "max-pending"});
+  if (Status s = args.CheckKnown(WithStreamFlags(
+          {"records", "batch-records", "refresh", "registry-mb",
+           "checkpoint-dir", "checkpoint-every-batches", "resume",
+           "metrics-out", "faults", "max-pending"}));
       !s.ok()) {
     return s;
   }
@@ -857,11 +911,8 @@ Status RunServeSim(const Args& args, std::ostream& out) {
 }
 
 Status RunSnapshot(const Args& args, std::ostream& out) {
-  if (Status s = args.CheckKnown({"dir", "name", "records", "batch-records",
-                                  "reconstruct", "attribute", "attrs",
-                                  "function", "noise", "privacy",
-                                  "confidence", "intervals", "seed",
-                                  "threads", "shard-size"});
+  if (Status s = args.CheckKnown(WithStreamFlags(
+          {"dir", "name", "records", "batch-records", "reconstruct"}));
       !s.ok()) {
     return s;
   }
@@ -1014,10 +1065,8 @@ Status RunRestore(const Args& args, std::ostream& out) {
 }
 
 Status RunMetrics(const Args& args, std::ostream& out) {
-  if (Status s = args.CheckKnown({"records", "batch-records", "attribute",
-                                  "attrs", "function", "noise", "privacy",
-                                  "confidence", "intervals", "seed",
-                                  "threads", "shard-size", "spans"});
+  if (Status s = args.CheckKnown(
+          WithStreamFlags({"records", "batch-records", "spans"}));
       !s.ok()) {
     return s;
   }
@@ -1068,7 +1117,339 @@ Status RunMetrics(const Args& args, std::ostream& out) {
   return Status::Ok();
 }
 
+namespace {
+
+// SIGTERM/SIGINT → graceful drain: the handler forwards to whichever
+// daemon is live. RequestStop() is async-signal-safe by contract (an
+// atomic store plus a self-pipe write).
+std::atomic<net::Server*> g_served_server{nullptr};
+
+void ServedSignalHandler(int) {
+  net::Server* server = g_served_server.load(std::memory_order_acquire);
+  if (server != nullptr) server->RequestStop();
+}
+
+}  // namespace
+
+Status RunServed(const Args& args, std::ostream& out) {
+  if (Status s = args.CheckKnown(
+          {"host", "port", "threads", "shard-size", "max-pending",
+           "max-connections", "connection-window", "max-body-mb",
+           "registry-mb", "checkpoint-dir", "resume", "tenant-rate",
+           "tenant-burst", "faults"});
+      !s.ok()) {
+    return s;
+  }
+  if (args.Has("faults")) {
+    PPDM_RETURN_IF_ERROR(fault::ArmFromSpec(args.GetString("faults", "")));
+  }
+  PPDM_ASSIGN_OR_RETURN(const engine::BatchOptions batch,
+                        BatchFromFlags(args));
+  net::ServerOptions options;
+  options.host = args.GetString("host", "127.0.0.1");
+  PPDM_ASSIGN_OR_RETURN(const long long port, args.GetInt("port", 0));
+  if (port < 0 || port > 65535) {
+    return Status::InvalidArgument("--port must be in 0..65535");
+  }
+  options.port = static_cast<int>(port);
+  options.num_threads = batch.num_threads;
+  options.shard_size = batch.shard_size;
+  PPDM_ASSIGN_OR_RETURN(const long long max_pending,
+                        args.GetInt("max-pending", 0));
+  PPDM_ASSIGN_OR_RETURN(const long long max_connections,
+                        args.GetInt("max-connections", 64));
+  PPDM_ASSIGN_OR_RETURN(const long long window,
+                        args.GetInt("connection-window", 16));
+  PPDM_ASSIGN_OR_RETURN(const long long max_body_mb,
+                        args.GetInt("max-body-mb", 64));
+  PPDM_ASSIGN_OR_RETURN(const long long registry_mb,
+                        args.GetInt("registry-mb", 0));
+  if (max_pending < 0 || registry_mb < 0) {
+    return Status::InvalidArgument(
+        "--max-pending and --registry-mb must be >= 0");
+  }
+  if (max_connections <= 0 || window <= 0 || max_body_mb <= 0) {
+    return Status::InvalidArgument(
+        "--max-connections, --connection-window and --max-body-mb must be "
+        "positive");
+  }
+  options.max_pending = static_cast<std::size_t>(max_pending);
+  options.max_connections = static_cast<std::size_t>(max_connections);
+  options.connection_window = static_cast<std::size_t>(window);
+  options.max_body_bytes = static_cast<std::uint64_t>(max_body_mb) << 20;
+  options.registry_max_bytes = static_cast<std::size_t>(registry_mb) << 20;
+  options.checkpoint_dir = args.GetString("checkpoint-dir", "");
+  options.resume = args.Has("resume");
+  if (options.resume && options.checkpoint_dir.empty()) {
+    return Status::InvalidArgument("--resume needs --checkpoint-dir");
+  }
+  PPDM_ASSIGN_OR_RETURN(options.tenant_rate,
+                        args.GetDouble("tenant-rate", 0.0));
+  PPDM_ASSIGN_OR_RETURN(options.tenant_burst,
+                        args.GetDouble("tenant-burst", 0.0));
+
+  PPDM_ASSIGN_OR_RETURN(const std::unique_ptr<net::Server> server,
+                        net::Server::Start(options));
+  out << StrFormat(
+      "ppdm served listening on %s:%d (threads=%zu, max-pending=%zu, "
+      "max-connections=%zu%s%s)\n",
+      options.host.c_str(), server->port(), options.num_threads,
+      options.max_pending, options.max_connections,
+      options.checkpoint_dir.empty()
+          ? ""
+          : StrFormat(", checkpoint-dir=%s",
+                      options.checkpoint_dir.c_str()).c_str(),
+      options.resume ? ", resume" : "");
+  out << "send SIGTERM (or SIGINT) to drain and checkpoint\n" << std::flush;
+
+  g_served_server.store(server.get(), std::memory_order_release);
+  std::signal(SIGTERM, ServedSignalHandler);
+  std::signal(SIGINT, ServedSignalHandler);
+  server->AwaitLoopExit();
+  std::signal(SIGTERM, SIG_DFL);
+  std::signal(SIGINT, SIG_DFL);
+  g_served_server.store(nullptr, std::memory_order_release);
+
+  const Status stopped = server->Stop();
+  auto& metrics = obs::MetricsRegistry::Global();
+  out << StrFormat(
+      "drained: %llu connection(s) served, %zu tenant(s) open, "
+      "%zu checkpointed%s\n",
+      static_cast<unsigned long long>(
+          metrics.GetCounter("ppdm_net_connections_total")->Value()),
+      server->tenant_count(), server->drained_checkpoints(),
+      options.checkpoint_dir.empty()
+          ? " (no checkpoint dir)"
+          : StrFormat(" to %s", options.checkpoint_dir.c_str()).c_str());
+  if (!stopped.ok()) {
+    out << StrFormat("final checkpoint FAILED: %s\n",
+                     stopped.ToString().c_str());
+  }
+  return stopped;
+}
+
+Status RunLoadgen(const Args& args, std::ostream& out) {
+  if (Status s = args.CheckKnown(WithStreamFlags(
+          {"host", "port", "tenants", "records", "batch-records", "refresh",
+           "connections", "snapshot-every", "ttl-ms", "masses-out",
+           "stats-out", "tolerate-errors", "close"}));
+      !s.ok()) {
+    return s;
+  }
+  const std::string host = args.GetString("host", "127.0.0.1");
+  PPDM_ASSIGN_OR_RETURN(const long long port, args.GetInt("port", 0));
+  if (port <= 0 || port > 65535) {
+    return Status::InvalidArgument("loadgen needs --port=1..65535");
+  }
+  PPDM_ASSIGN_OR_RETURN(const long long tenants, args.GetInt("tenants", 4));
+  PPDM_ASSIGN_OR_RETURN(const long long records,
+                        args.GetInt("records", 20000));
+  PPDM_ASSIGN_OR_RETURN(const long long batch_records,
+                        args.GetInt("batch-records", 1000));
+  PPDM_ASSIGN_OR_RETURN(const long long refresh, args.GetInt("refresh", 5));
+  PPDM_ASSIGN_OR_RETURN(const long long connections,
+                        args.GetInt("connections", 2));
+  PPDM_ASSIGN_OR_RETURN(const long long snapshot_every,
+                        args.GetInt("snapshot-every", 0));
+  PPDM_ASSIGN_OR_RETURN(const long long ttl_ms, args.GetInt("ttl-ms", 0));
+  if (tenants <= 0 || batch_records <= 0 || connections <= 0) {
+    return Status::InvalidArgument(
+        "--tenants, --batch-records and --connections must be positive");
+  }
+  if (records < 0 || refresh < 0 || snapshot_every < 0 || ttl_ms < 0 ||
+      ttl_ms > 0xFFFFFFFFLL) {
+    return Status::InvalidArgument(
+        "--records, --refresh, --snapshot-every and --ttl-ms must be >= 0");
+  }
+  const bool tolerate = args.Has("tolerate-errors");
+  const std::uint32_t ttl = static_cast<std::uint32_t>(ttl_ms);
+  PPDM_ASSIGN_OR_RETURN(const StreamSimSpec sim,
+                        StreamSimSpecFromFlags(args));
+
+  auto& metrics = obs::MetricsRegistry::Global();
+  obs::Histogram* ingest_hist =
+      metrics.GetHistogram("ppdm_loadgen_ingest_seconds",
+                           obs::Histogram::LatencyBucketsSeconds());
+  obs::Histogram* reconstruct_hist =
+      metrics.GetHistogram("ppdm_loadgen_reconstruct_seconds",
+                           obs::Histogram::LatencyBucketsSeconds());
+  std::atomic<std::uint64_t> ok_requests{0};
+  std::atomic<std::uint64_t> error_requests{0};
+  std::atomic<std::uint64_t> snapshot_errors{0};
+
+  // One worker thread per connection; tenants round-robin across workers,
+  // and each worker interleaves its tenants batch by batch, so the daemon
+  // sees sustained concurrent multi-tenant traffic. All streams are
+  // seeded per tenant — two loadgen runs with the same flags send
+  // byte-identical ingest traffic (the drain/resume CI check relies on
+  // this).
+  auto worker = [&](const std::vector<std::uint64_t>& mine) -> Status {
+    PPDM_ASSIGN_OR_RETURN(net::Client client,
+                          net::Client::Connect(host, static_cast<int>(port)));
+    // A failed request under --tolerate-errors is counted and skipped;
+    // without it the first failure aborts the worker.
+    auto note = [&](const Status& s) -> Status {
+      if (s.ok()) {
+        ok_requests.fetch_add(1, std::memory_order_relaxed);
+        return Status::Ok();
+      }
+      error_requests.fetch_add(1, std::memory_order_relaxed);
+      return tolerate ? Status::Ok() : s;
+    };
+    const perturb::Randomizer randomizer(sim.session.schema, sim.noise);
+    struct TenantStream {
+      std::uint64_t id;
+      synth::RecordStream stream;
+      Rng noise_rng;
+      std::uint64_t rounds = 0;
+    };
+    std::vector<TenantStream> streams;
+    for (const std::uint64_t t : mine) {
+      PPDM_RETURN_IF_ERROR(note(client.Open(t, sim.session, ttl).status()));
+      synth::GeneratorOptions gen;
+      gen.num_records = static_cast<std::size_t>(records);
+      gen.function = sim.function;
+      gen.seed = sim.noise.seed + t * 1000003ULL;
+      streams.push_back(TenantStream{t, synth::RecordStream(gen),
+                                     Rng(gen.seed ^ 0x9E3779B97F4A7C15ULL)});
+    }
+    std::vector<double> perturbed;
+    bool progress = true;
+    while (progress) {
+      progress = false;
+      for (TenantStream& ts : streams) {
+        if (ts.stream.Done()) continue;
+        progress = true;
+        const data::RowBatch true_rows =
+            ts.stream.Next(static_cast<std::size_t>(batch_records));
+        // Provider-side perturbation with the same flag-derived
+        // calibration the daemon's session evaluates during EM.
+        perturbed.assign(true_rows.values(),
+                         true_rows.values() +
+                             true_rows.num_rows() * true_rows.num_cols());
+        for (std::size_t r = 0; r < true_rows.num_rows(); ++r) {
+          double* row = perturbed.data() + r * true_rows.num_cols();
+          for (const std::size_t col : sim.columns) {
+            row[col] += randomizer.ModelFor(col).Sample(&ts.noise_rng);
+          }
+        }
+        Status ingested;
+        {
+          obs::ScopedTimer timer(ingest_hist);
+          ingested = client.Ingest(ts.id, true_rows.num_rows(),
+                                   true_rows.num_cols(), perturbed, ttl)
+                         .status();
+        }
+        PPDM_RETURN_IF_ERROR(note(ingested));
+        ++ts.rounds;
+        if (refresh > 0 &&
+            ts.rounds % static_cast<std::uint64_t>(refresh) == 0) {
+          Status reconstructed;
+          {
+            obs::ScopedTimer timer(reconstruct_hist);
+            reconstructed = client.Reconstruct(ts.id, ttl).status();
+          }
+          PPDM_RETURN_IF_ERROR(note(reconstructed));
+        }
+        if (snapshot_every > 0 &&
+            ts.rounds % static_cast<std::uint64_t>(snapshot_every) == 0) {
+          // Snapshot failures never abort the run: under chaos the store
+          // is the component being shot at, and the daemon keeps serving.
+          if (const Status s = client.Snapshot(ts.id, ttl).status(); s.ok()) {
+            ok_requests.fetch_add(1, std::memory_order_relaxed);
+          } else {
+            snapshot_errors.fetch_add(1, std::memory_order_relaxed);
+          }
+        }
+      }
+    }
+    if (args.Has("close")) {
+      for (const TenantStream& ts : streams) {
+        PPDM_RETURN_IF_ERROR(note(client.CloseTenant(ts.id, ttl)));
+      }
+    }
+    return Status::Ok();
+  };
+
+  std::vector<std::vector<std::uint64_t>> shares(
+      static_cast<std::size_t>(connections));
+  for (long long t = 0; t < tenants; ++t) {
+    shares[static_cast<std::size_t>(t % connections)].push_back(
+        static_cast<std::uint64_t>(t));
+  }
+  const auto started = std::chrono::steady_clock::now();
+  std::vector<Status> results(shares.size());
+  std::vector<std::thread> threads;
+  for (std::size_t w = 0; w < shares.size(); ++w) {
+    threads.emplace_back(
+        [&, w] { results[w] = worker(shares[w]); });
+  }
+  for (std::thread& thread : threads) thread.join();
+  const double elapsed =
+      std::chrono::duration<double>(std::chrono::steady_clock::now() -
+                                    started)
+          .count();
+  for (const Status& result : results) {
+    PPDM_RETURN_IF_ERROR(result);
+  }
+
+  const std::uint64_t ok = ok_requests.load(std::memory_order_relaxed);
+  const std::uint64_t errors = error_requests.load(std::memory_order_relaxed);
+  out << StrFormat(
+      "loadgen: %lld tenant(s) over %zu connection(s), %llu request(s) ok, "
+      "%llu error(s), %llu snapshot error(s) in %.2f s -> %.0f req/s\n",
+      tenants, shares.size(), static_cast<unsigned long long>(ok),
+      static_cast<unsigned long long>(errors),
+      static_cast<unsigned long long>(
+          snapshot_errors.load(std::memory_order_relaxed)),
+      elapsed, elapsed > 0 ? static_cast<double>(ok) / elapsed : 0.0);
+  out << StrFormat(
+      "latency: ingest %s, reconstruct %s\n",
+      LatencyCell(metrics.FindHistogram("ppdm_loadgen_ingest_seconds"))
+          .c_str(),
+      LatencyCell(metrics.FindHistogram("ppdm_loadgen_reconstruct_seconds"))
+          .c_str());
+
+  // --masses-out: one deterministic cold reconstruct per tenant, written
+  // with full precision — the byte-identity artifact the drain/resume CI
+  // check diffs across daemon generations.
+  const std::string masses_out = args.GetString("masses-out", "");
+  if (!masses_out.empty()) {
+    PPDM_ASSIGN_OR_RETURN(net::Client client,
+                          net::Client::Connect(host, static_cast<int>(port)));
+    std::string text;
+    for (long long t = 0; t < tenants; ++t) {
+      PPDM_ASSIGN_OR_RETURN(
+          const std::vector<net::AttributeEstimate> estimates,
+          client.Reconstruct(static_cast<std::uint64_t>(t), ttl));
+      for (std::size_t a = 0; a < estimates.size(); ++a) {
+        for (std::size_t k = 0; k < estimates[a].masses.size(); ++k) {
+          text += StrFormat("t%lld a%zu %zu %.17g\n", t, a, k,
+                            estimates[a].masses[k]);
+        }
+      }
+    }
+    PPDM_RETURN_IF_ERROR(WriteTextFile(masses_out, text));
+    out << StrFormat("masses written to %s\n", masses_out.c_str());
+  }
+  const std::string stats_out = args.GetString("stats-out", "");
+  if (!stats_out.empty()) {
+    PPDM_ASSIGN_OR_RETURN(net::Client client,
+                          net::Client::Connect(host, static_cast<int>(port)));
+    PPDM_ASSIGN_OR_RETURN(const std::string exposition, client.Stats(ttl));
+    PPDM_RETURN_IF_ERROR(WriteTextFile(stats_out, exposition));
+    out << StrFormat("daemon stats written to %s\n", stats_out.c_str());
+  }
+  return Status::Ok();
+}
+
 Status RunCommand(const Args& args, std::ostream& out) {
+  // --help on any command prints the usage and succeeds — scripts probe
+  // capabilities with it.
+  if (args.Has("help")) {
+    out << UsageText();
+    return Status::Ok();
+  }
   if (args.command() == "generate") return RunGenerate(args, out);
   if (args.command() == "perturb") return RunPerturb(args, out);
   if (args.command() == "reconstruct") return RunReconstruct(args, out);
@@ -1077,6 +1458,8 @@ Status RunCommand(const Args& args, std::ostream& out) {
   if (args.command() == "snapshot") return RunSnapshot(args, out);
   if (args.command() == "restore") return RunRestore(args, out);
   if (args.command() == "metrics") return RunMetrics(args, out);
+  if (args.command() == "served") return RunServed(args, out);
+  if (args.command() == "loadgen") return RunLoadgen(args, out);
   if (args.command() == "help") {
     out << UsageText();
     return Status::Ok();

@@ -17,6 +17,14 @@
 //                layer and dump the process metrics registry in
 //                Prometheus text exposition format (--spans appends the
 //                recent trace spans)
+//   served       the real network daemon: serve the frame protocol
+//                (open/ingest/reconstruct/snapshot/close/stats) to TCP
+//                clients until SIGTERM, then drain and checkpoint every
+//                tenant; --resume re-admits them on restart
+//   loadgen      drive a running daemon with N tenants of sustained
+//                ingest/reconstruct traffic and report QPS + p50/p99
+//
+// `ppdm <command> --help` prints this usage and exits 0.
 //
 // Each command validates its flags through the api spec layer (invalid
 // requests come back as kInvalidArgument, never a CHECK abort), performs
@@ -50,6 +58,8 @@ Status RunServeSim(const Args& args, std::ostream& out);
 Status RunSnapshot(const Args& args, std::ostream& out);
 Status RunRestore(const Args& args, std::ostream& out);
 Status RunMetrics(const Args& args, std::ostream& out);
+Status RunServed(const Args& args, std::ostream& out);
+Status RunLoadgen(const Args& args, std::ostream& out);
 
 }  // namespace ppdm::cli
 

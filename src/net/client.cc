@@ -1,0 +1,133 @@
+#include "net/client.h"
+
+#include <utility>
+
+#include "common/strings.h"
+#include "store/codec.h"
+#include "store/session_codec.h"
+
+namespace ppdm::net {
+
+Result<Client> Client::Connect(const std::string& host, int port) {
+  PPDM_ASSIGN_OR_RETURN(Socket sock, ConnectTcp(host, port));
+  return Client(std::move(sock));
+}
+
+Status Client::SendRaw(std::string_view bytes) {
+  return WriteAll(sock_.fd(), bytes);
+}
+
+Result<Frame> Client::ReadFrame() {
+  char header_bytes[kHeaderSize];
+  PPDM_RETURN_IF_ERROR(ReadExact(sock_.fd(), header_bytes, kHeaderSize));
+  Frame frame;
+  PPDM_ASSIGN_OR_RETURN(
+      frame.header,
+      DecodeHeader(std::string_view(header_bytes, kHeaderSize),
+                   kDefaultMaxBodyBytes));
+  frame.body.resize(static_cast<std::size_t>(frame.header.body_length));
+  if (!frame.body.empty()) {
+    PPDM_RETURN_IF_ERROR(
+        ReadExact(sock_.fd(), frame.body.data(), frame.body.size()));
+  }
+  PPDM_RETURN_IF_ERROR(VerifyBody(frame.header, frame.body));
+  return frame;
+}
+
+Result<ResponseBody> Client::Call(Verb verb, std::uint64_t tenant,
+                                  std::uint32_t ttl_ms,
+                                  std::string_view payload) {
+  const std::uint64_t request_id = next_request_id_++;
+  PPDM_RETURN_IF_ERROR(
+      SendRaw(EncodeFrame(verb, request_id, tenant, ttl_ms, payload)));
+  PPDM_ASSIGN_OR_RETURN(const Frame frame, ReadFrame());
+  if (frame.header.request_id != request_id) {
+    return Status::Internal(StrFormat(
+        "response correlates request %llu, expected %llu",
+        static_cast<unsigned long long>(frame.header.request_id),
+        static_cast<unsigned long long>(request_id)));
+  }
+  return DecodeResponseBody(frame.body);
+}
+
+namespace {
+
+/// Unwraps a Call: transport errors pass through; an error envelope
+/// becomes the wrapper's error; otherwise yields the payload.
+Result<std::string> Payload(Result<ResponseBody> response) {
+  PPDM_RETURN_IF_ERROR(response.status());
+  if (!response.value().status.ok()) return response.value().status;
+  return std::move(response.value().payload);
+}
+
+}  // namespace
+
+Result<OpenResult> Client::Open(std::uint64_t tenant,
+                                const api::DatasetSessionSpec& spec,
+                                std::uint32_t ttl_ms) {
+  store::Writer writer;
+  store::EncodeDatasetSessionSpec(spec, &writer);
+  PPDM_ASSIGN_OR_RETURN(
+      const std::string payload,
+      Payload(Call(Verb::kOpen, tenant, ttl_ms, writer.Take())));
+  store::Reader reader(payload);
+  OpenResult result;
+  PPDM_ASSIGN_OR_RETURN(const std::uint8_t resumed, reader.ReadU8());
+  result.resumed = resumed != 0;
+  PPDM_ASSIGN_OR_RETURN(result.record_count, reader.ReadU64());
+  return result;
+}
+
+Result<std::uint64_t> Client::Ingest(std::uint64_t tenant, std::uint64_t rows,
+                                     std::uint64_t cols,
+                                     const std::vector<double>& values,
+                                     std::uint32_t ttl_ms) {
+  store::Writer writer;
+  writer.PutU64(rows);
+  writer.PutU64(cols);
+  writer.PutDoubleArray(values);
+  PPDM_ASSIGN_OR_RETURN(
+      const std::string payload,
+      Payload(Call(Verb::kIngest, tenant, ttl_ms, writer.Take())));
+  store::Reader reader(payload);
+  return reader.ReadU64();
+}
+
+Result<std::vector<AttributeEstimate>> Client::Reconstruct(
+    std::uint64_t tenant, std::uint32_t ttl_ms) {
+  PPDM_ASSIGN_OR_RETURN(const std::string payload,
+                        Payload(Call(Verb::kReconstruct, tenant, ttl_ms, "")));
+  store::Reader reader(payload);
+  PPDM_ASSIGN_OR_RETURN(const std::uint64_t count, reader.ReadU64());
+  std::vector<AttributeEstimate> estimates;
+  estimates.reserve(static_cast<std::size_t>(count));
+  for (std::uint64_t a = 0; a < count; ++a) {
+    AttributeEstimate estimate;
+    PPDM_ASSIGN_OR_RETURN(estimate.iterations, reader.ReadU64());
+    PPDM_ASSIGN_OR_RETURN(estimate.sample_count, reader.ReadU64());
+    PPDM_ASSIGN_OR_RETURN(estimate.masses, reader.ReadDoubleArray());
+    estimates.push_back(std::move(estimate));
+  }
+  return estimates;
+}
+
+Result<std::uint64_t> Client::Snapshot(std::uint64_t tenant,
+                                       std::uint32_t ttl_ms) {
+  PPDM_ASSIGN_OR_RETURN(const std::string payload,
+                        Payload(Call(Verb::kSnapshot, tenant, ttl_ms, "")));
+  store::Reader reader(payload);
+  return reader.ReadU64();
+}
+
+Status Client::CloseTenant(std::uint64_t tenant, std::uint32_t ttl_ms) {
+  return Payload(Call(Verb::kClose, tenant, ttl_ms, "")).status();
+}
+
+Result<std::string> Client::Stats(std::uint32_t ttl_ms) {
+  PPDM_ASSIGN_OR_RETURN(const std::string payload,
+                        Payload(Call(Verb::kStats, /*tenant=*/0, ttl_ms, "")));
+  store::Reader reader(payload);
+  return reader.ReadString();
+}
+
+}  // namespace ppdm::net

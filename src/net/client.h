@@ -1,0 +1,107 @@
+// Blocking client for the serving daemon's frame protocol: one TCP
+// connection, synchronous request/response, typed wrappers per verb. The
+// loadgen driver, the daemon loopback tests, and the serve benchmark all
+// speak through this class; raw Send/Read escape hatches exist so tests
+// can pipeline frames and inject hostile bytes.
+//
+// Error surfaces are kept distinct on purpose: transport and framing
+// failures come back as the Call()'s own Status (kIoError, kUnavailable,
+// kDataLoss...), while a server-side refusal (rate limit, shed, expired
+// deadline, handler error) arrives as a *successful* Call whose response
+// envelope carries the error — exactly what the daemon promised: protocol
+// errors are data, the connection keeps serving.
+
+#ifndef PPDM_NET_CLIENT_H_
+#define PPDM_NET_CLIENT_H_
+
+#include <cstdint>
+#include <string>
+#include <string_view>
+#include <vector>
+
+#include "api/dataset_session.h"
+#include "common/status.h"
+#include "net/frame.h"
+#include "net/socket.h"
+
+namespace ppdm::net {
+
+/// What an open verb answered.
+struct OpenResult {
+  /// True when the daemon served existing state (already open, or
+  /// re-admitted from a checkpoint under --resume) instead of opening
+  /// fresh.
+  bool resumed = false;
+  std::uint64_t record_count = 0;
+};
+
+/// One attribute's reconstruction as it travels over the wire.
+struct AttributeEstimate {
+  std::vector<double> masses;
+  std::uint64_t iterations = 0;
+  std::uint64_t sample_count = 0;
+};
+
+/// A connected daemon client. Move-only (owns the socket); not
+/// thread-safe — one connection per thread is the intended shape.
+class Client {
+ public:
+  static Result<Client> Connect(const std::string& host, int port);
+
+  Client(Client&&) = default;
+  Client& operator=(Client&&) = default;
+
+  /// One request/response round trip. The returned Status covers
+  /// transport and framing only; the server's verdict (possibly an error)
+  /// is the ResponseBody's status.
+  Result<ResponseBody> Call(Verb verb, std::uint64_t tenant,
+                            std::uint32_t ttl_ms, std::string_view payload);
+
+  // Typed wrappers: Call + payload codec, with the envelope's error
+  // status propagated as the wrapper's error.
+
+  Result<OpenResult> Open(std::uint64_t tenant,
+                          const api::DatasetSessionSpec& spec,
+                          std::uint32_t ttl_ms = 0);
+
+  /// Sends `rows * cols` row-major perturbed values; returns the tenant's
+  /// record count after the fold.
+  Result<std::uint64_t> Ingest(std::uint64_t tenant, std::uint64_t rows,
+                               std::uint64_t cols,
+                               const std::vector<double>& values,
+                               std::uint32_t ttl_ms = 0);
+
+  Result<std::vector<AttributeEstimate>> Reconstruct(std::uint64_t tenant,
+                                                     std::uint32_t ttl_ms = 0);
+
+  /// Checkpoints the tenant through the daemon's store; returns the
+  /// capture size in bytes.
+  Result<std::uint64_t> Snapshot(std::uint64_t tenant,
+                                 std::uint32_t ttl_ms = 0);
+
+  Status CloseTenant(std::uint64_t tenant, std::uint32_t ttl_ms = 0);
+
+  /// The daemon's metrics exposition (the stats verb).
+  Result<std::string> Stats(std::uint32_t ttl_ms = 0);
+
+  // Escape hatches for protocol tests.
+
+  /// Writes arbitrary bytes on the connection (hostile frames, pipelined
+  /// batches).
+  Status SendRaw(std::string_view bytes);
+
+  /// Reads exactly one response frame (header + verified body).
+  Result<Frame> ReadFrame();
+
+  int fd() const { return sock_.fd(); }
+
+ private:
+  explicit Client(Socket sock) : sock_(std::move(sock)) {}
+
+  Socket sock_;
+  std::uint64_t next_request_id_ = 1;
+};
+
+}  // namespace ppdm::net
+
+#endif  // PPDM_NET_CLIENT_H_

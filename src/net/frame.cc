@@ -1,0 +1,135 @@
+#include "net/frame.h"
+
+#include "common/strings.h"
+#include "store/codec.h"
+
+namespace ppdm::net {
+
+std::string VerbName(std::uint32_t verb) {
+  switch (static_cast<Verb>(verb)) {
+    case Verb::kOpen: return "open";
+    case Verb::kIngest: return "ingest";
+    case Verb::kReconstruct: return "reconstruct";
+    case Verb::kSnapshot: return "snapshot";
+    case Verb::kClose: return "close";
+    case Verb::kStats: return "stats";
+  }
+  return StrFormat("verb#%u", verb);
+}
+
+bool KnownVerb(std::uint32_t verb) {
+  return verb >= static_cast<std::uint32_t>(Verb::kOpen) &&
+         verb <= static_cast<std::uint32_t>(Verb::kStats);
+}
+
+std::string EncodeFrame(std::uint32_t verb, std::uint64_t request_id,
+                        std::uint64_t tenant, std::uint32_t ttl_ms,
+                        std::string_view body) {
+  store::Writer writer;
+  writer.PutU32(kFrameMagic);
+  writer.PutU32(kProtocolVersion);
+  writer.PutU32(verb);
+  writer.PutU64(request_id);
+  writer.PutU64(tenant);
+  writer.PutU32(ttl_ms);
+  writer.PutU64(body.size());
+  writer.PutU32(store::Crc32(body));
+  std::string frame = writer.Take();
+  frame.append(body.data(), body.size());
+  return frame;
+}
+
+Result<FrameHeader> DecodeHeader(std::string_view bytes,
+                                 std::uint64_t max_body_bytes) {
+  if (bytes.size() < kHeaderSize) {
+    return Status::IoError(
+        StrFormat("truncated frame header: %zu of %zu bytes", bytes.size(),
+                  kHeaderSize));
+  }
+  store::Reader reader(bytes.substr(0, kHeaderSize));
+  PPDM_ASSIGN_OR_RETURN(const std::uint32_t magic, reader.ReadU32());
+  if (magic != kFrameMagic) {
+    return Status::InvalidArgument("not a ppdm net frame (bad magic)");
+  }
+  FrameHeader header;
+  PPDM_ASSIGN_OR_RETURN(header.version, reader.ReadU32());
+  if (header.version == 0 || header.version > kProtocolVersion) {
+    return Status::FailedPrecondition(
+        StrFormat("frame version %u not supported (this peer speaks 1..%u)",
+                  header.version, kProtocolVersion));
+  }
+  PPDM_ASSIGN_OR_RETURN(header.verb, reader.ReadU32());
+  PPDM_ASSIGN_OR_RETURN(header.request_id, reader.ReadU64());
+  PPDM_ASSIGN_OR_RETURN(header.tenant, reader.ReadU64());
+  PPDM_ASSIGN_OR_RETURN(header.ttl_ms, reader.ReadU32());
+  PPDM_ASSIGN_OR_RETURN(header.body_length, reader.ReadU64());
+  if (header.body_length > max_body_bytes) {
+    return Status::ResourceExhausted(
+        StrFormat("frame body of %llu bytes exceeds the %llu-byte cap",
+                  static_cast<unsigned long long>(header.body_length),
+                  static_cast<unsigned long long>(max_body_bytes)));
+  }
+  PPDM_ASSIGN_OR_RETURN(header.body_crc, reader.ReadU32());
+  return header;
+}
+
+Status VerifyBody(const FrameHeader& header, std::string_view body) {
+  if (body.size() != header.body_length) {
+    return Status::IoError(
+        StrFormat("frame body is %zu bytes, header promised %llu",
+                  body.size(),
+                  static_cast<unsigned long long>(header.body_length)));
+  }
+  if (store::Crc32(body) != header.body_crc) {
+    return Status::DataLoss("frame body CRC mismatch");
+  }
+  return Status::Ok();
+}
+
+Result<Frame> DecodeFrame(std::string_view bytes,
+                          std::uint64_t max_body_bytes) {
+  PPDM_ASSIGN_OR_RETURN(const FrameHeader header,
+                        DecodeHeader(bytes, max_body_bytes));
+  const std::string_view rest = bytes.substr(kHeaderSize);
+  if (rest.size() < header.body_length) {
+    return Status::IoError(
+        StrFormat("truncated frame body: %zu of %llu bytes", rest.size(),
+                  static_cast<unsigned long long>(header.body_length)));
+  }
+  if (rest.size() > header.body_length) {
+    return Status::InvalidArgument(
+        StrFormat("%zu trailing bytes after the frame body",
+                  rest.size() - static_cast<std::size_t>(header.body_length)));
+  }
+  Frame frame;
+  frame.header = header;
+  frame.body.assign(rest.data(), rest.size());
+  PPDM_RETURN_IF_ERROR(VerifyBody(frame.header, frame.body));
+  return frame;
+}
+
+std::string EncodeResponseBody(const Status& status,
+                               std::string_view payload) {
+  store::Writer writer;
+  writer.PutU32(static_cast<std::uint32_t>(status.code()));
+  writer.PutString(status.message());
+  std::string body = writer.Take();
+  body.append(payload.data(), payload.size());
+  return body;
+}
+
+Result<ResponseBody> DecodeResponseBody(std::string_view body) {
+  store::Reader reader(body);
+  PPDM_ASSIGN_OR_RETURN(const std::uint32_t code, reader.ReadU32());
+  if (code > static_cast<std::uint32_t>(StatusCode::kDataLoss)) {
+    return Status::InvalidArgument(
+        StrFormat("response carries unknown status code %u", code));
+  }
+  PPDM_ASSIGN_OR_RETURN(std::string message, reader.ReadString());
+  ResponseBody response;
+  response.status = Status(static_cast<StatusCode>(code), std::move(message));
+  response.payload.assign(body.substr(body.size() - reader.remaining()));
+  return response;
+}
+
+}  // namespace ppdm::net

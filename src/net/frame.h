@@ -1,0 +1,127 @@
+// Length-prefixed binary frame protocol — the wire layer of the network
+// serving daemon. One frame per request and per response, in both
+// directions:
+//
+//   [u32 magic "PPDN"][u32 version][u32 verb][u64 request id]
+//   [u64 tenant id][u32 ttl_ms][u64 body length][u32 body crc32][body]
+//
+// All integers little-endian via the src/store codec primitives, the body
+// CRC32-guarded the same way store sections are, and every decode failure
+// (short header, wrong magic, future version, oversized body, CRC
+// mismatch, truncated payload) a Status, never an abort — these bytes
+// come off a socket from untrusted peers.
+//
+// Request bodies are verb-specific payloads (open carries an encoded
+// DatasetSessionSpec, ingest a row-major record block, …). Response
+// bodies share one envelope: [u32 status code][status message][payload],
+// so protocol-level failures (shed, rate-limited, expired, store fault)
+// travel as first-class Status values and the connection keeps serving.
+
+#ifndef PPDM_NET_FRAME_H_
+#define PPDM_NET_FRAME_H_
+
+#include <cstddef>
+#include <cstdint>
+#include <string>
+#include <string_view>
+
+#include "common/status.h"
+
+namespace ppdm::net {
+
+/// "PPDN" little-endian — distinct from the store's 8-byte "PPDMSNAP".
+inline constexpr std::uint32_t kFrameMagic = 0x4E445050;
+
+/// Current protocol version. Peers accept 1..kProtocolVersion.
+inline constexpr std::uint32_t kProtocolVersion = 1;
+
+/// Fixed wire size of a frame header (the body follows immediately).
+inline constexpr std::size_t kHeaderSize = 44;
+
+/// Default cap on a frame body; anything larger is rejected before any
+/// allocation happens (a hostile length prefix must not OOM the server).
+inline constexpr std::uint64_t kDefaultMaxBodyBytes = 64ull << 20;
+
+/// Request verbs. Responses echo the request's verb (and request id).
+enum class Verb : std::uint32_t {
+  kOpen = 1,         ///< Open (or resume) a tenant's dataset session.
+  kIngest = 2,       ///< Fold one perturbed record batch into the session.
+  kReconstruct = 3,  ///< Reconstruct every tracked attribute's distribution.
+  kSnapshot = 4,     ///< Checkpoint the session through the daemon's store.
+  kClose = 5,        ///< Close the tenant (drops RAM state and captures).
+  kStats = 6,        ///< Metrics exposition (obs::RenderText) — GET /metrics.
+};
+
+/// "open" / "ingest" / ... / "verb#N" for unknown values.
+std::string VerbName(std::uint32_t verb);
+
+/// True when `verb` names a verb this protocol version defines.
+bool KnownVerb(std::uint32_t verb);
+
+/// Decoded frame header. `body_length`/`body_crc` describe the body that
+/// follows on the wire.
+struct FrameHeader {
+  std::uint32_t version = kProtocolVersion;
+  std::uint32_t verb = 0;
+  std::uint64_t request_id = 0;
+  std::uint64_t tenant = 0;
+  /// Request time-to-live in milliseconds; 0 means no deadline. The
+  /// server maps a nonzero TTL onto the service's submit deadline.
+  std::uint32_t ttl_ms = 0;
+  std::uint64_t body_length = 0;
+  std::uint32_t body_crc = 0;
+};
+
+/// A fully decoded frame.
+struct Frame {
+  FrameHeader header;
+  std::string body;
+};
+
+/// Serializes one frame (header + body) for the wire. The uint32 overload
+/// exists so a response can echo a request's verb even when that verb is
+/// not one this peer defines.
+std::string EncodeFrame(std::uint32_t verb, std::uint64_t request_id,
+                        std::uint64_t tenant, std::uint32_t ttl_ms,
+                        std::string_view body);
+inline std::string EncodeFrame(Verb verb, std::uint64_t request_id,
+                               std::uint64_t tenant, std::uint32_t ttl_ms,
+                               std::string_view body) {
+  return EncodeFrame(static_cast<std::uint32_t>(verb), request_id, tenant,
+                     ttl_ms, body);
+}
+
+/// Decodes and validates a header from the first kHeaderSize bytes of
+/// `bytes`. Failures: kIoError for fewer than kHeaderSize bytes
+/// (truncated — wait for more), kInvalidArgument for a wrong magic,
+/// kFailedPrecondition for a version newer than kProtocolVersion, and
+/// kResourceExhausted for a body length past `max_body_bytes`.
+Result<FrameHeader> DecodeHeader(std::string_view bytes,
+                                 std::uint64_t max_body_bytes);
+
+/// Verifies `body` (which must be header.body_length long) against the
+/// header's CRC32; a mismatch is kDataLoss (bit rot or stream desync).
+Status VerifyBody(const FrameHeader& header, std::string_view body);
+
+/// One-shot decode of a complete frame (client side, tests). The frame
+/// must span `bytes` exactly; trailing bytes are kInvalidArgument.
+Result<Frame> DecodeFrame(std::string_view bytes,
+                          std::uint64_t max_body_bytes = kDefaultMaxBodyBytes);
+
+/// Response envelope: status code + message, then the verb's payload.
+struct ResponseBody {
+  Status status;
+  std::string payload;
+};
+
+/// Encodes the response envelope ([u32 code][message][payload]).
+std::string EncodeResponseBody(const Status& status,
+                               std::string_view payload);
+
+/// Decodes a response envelope; a wire code outside the StatusCode enum
+/// is itself a decode error (kInvalidArgument).
+Result<ResponseBody> DecodeResponseBody(std::string_view body);
+
+}  // namespace ppdm::net
+
+#endif  // PPDM_NET_FRAME_H_

@@ -1,0 +1,87 @@
+// Per-tenant token-bucket rate limiting for the serving daemon. A bucket
+// holds up to `burst` tokens and refills at `rate` tokens/second; each
+// admitted request spends one token, and an empty bucket maps onto a
+// protocol-level kResourceExhausted response — the same shedding currency
+// the service's admission control speaks.
+//
+// Time is passed in by the caller (the server's event loop reads the
+// clock once per poll iteration), which keeps the arithmetic trivially
+// testable with a fake clock. The class is not thread-safe: the daemon
+// consults its buckets from the event-loop thread only.
+
+#ifndef PPDM_NET_RATE_LIMITER_H_
+#define PPDM_NET_RATE_LIMITER_H_
+
+#include <algorithm>
+#include <chrono>
+#include <cstdint>
+#include <map>
+
+namespace ppdm::net {
+
+/// One tenant's bucket.
+class TokenBucket {
+ public:
+  /// `rate` tokens/second refill, capacity `burst` (both > 0). The bucket
+  /// starts full.
+  TokenBucket(double rate, double burst,
+              std::chrono::steady_clock::time_point now)
+      : rate_(rate), burst_(burst), tokens_(burst), last_(now) {}
+
+  /// Spends one token if available at `now`; false means rate-limited.
+  bool TryAcquire(std::chrono::steady_clock::time_point now) {
+    Refill(now);
+    if (tokens_ < 1.0) return false;
+    tokens_ -= 1.0;
+    return true;
+  }
+
+  double tokens() const { return tokens_; }
+
+ private:
+  void Refill(std::chrono::steady_clock::time_point now) {
+    if (now <= last_) return;
+    const double elapsed =
+        std::chrono::duration<double>(now - last_).count();
+    tokens_ = std::min(burst_, tokens_ + elapsed * rate_);
+    last_ = now;
+  }
+
+  double rate_;
+  double burst_;
+  double tokens_;
+  std::chrono::steady_clock::time_point last_;
+};
+
+/// Lazily created bucket per tenant id. rate <= 0 disables limiting
+/// (Admit always true).
+class TenantRateLimiter {
+ public:
+  /// `burst` <= 0 defaults to max(rate, 1).
+  TenantRateLimiter(double rate, double burst)
+      : rate_(rate), burst_(burst > 0 ? burst : std::max(rate, 1.0)) {}
+
+  bool enabled() const { return rate_ > 0; }
+
+  /// Spends one of `tenant`'s tokens at `now`; true when admitted.
+  bool Admit(std::uint64_t tenant, std::chrono::steady_clock::time_point now) {
+    if (!enabled()) return true;
+    auto it = buckets_.find(tenant);
+    if (it == buckets_.end()) {
+      it = buckets_.emplace(tenant, TokenBucket(rate_, burst_, now)).first;
+    }
+    return it->second.TryAcquire(now);
+  }
+
+  /// Drops `tenant`'s bucket (a closed tenant stops costing memory).
+  void Forget(std::uint64_t tenant) { buckets_.erase(tenant); }
+
+ private:
+  double rate_;
+  double burst_;
+  std::map<std::uint64_t, TokenBucket> buckets_;
+};
+
+}  // namespace ppdm::net
+
+#endif  // PPDM_NET_RATE_LIMITER_H_

@@ -1,0 +1,656 @@
+#include "net/server.h"
+
+#include <poll.h>
+#include <sys/socket.h>
+#include <unistd.h>
+
+#include <cerrno>
+#include <chrono>
+#include <cstring>
+#include <utility>
+
+#include "common/strings.h"
+#include "store/codec.h"
+#include "store/session_codec.h"
+
+namespace ppdm::net {
+namespace {
+
+/// Read chunk per POLLIN wakeup; frames larger than this assemble across
+/// chunks in the connection's input buffer.
+constexpr std::size_t kReadChunk = 64 * 1024;
+
+/// Poll timeouts: long when idle (the self-pipe delivers wakeups), short
+/// while draining so the exit condition is re-checked promptly.
+constexpr int kIdlePollMs = 200;
+constexpr int kDrainPollMs = 20;
+
+obs::Counter* NetCounter(const char* name) {
+  return obs::MetricsRegistry::Global().GetCounter(name);
+}
+
+}  // namespace
+
+std::string TenantName(std::uint64_t tenant) {
+  return StrFormat("t%llu", static_cast<unsigned long long>(tenant));
+}
+
+/// One live client connection. The event-loop thread owns the socket, the
+/// input buffer, and the parse/close state; the outbox is the one piece
+/// workers touch (completion callbacks append responses), so it sits
+/// behind its own mutex.
+struct Server::Connection {
+  Socket sock;
+
+  // Event-loop thread only.
+  std::string inbuf;
+  bool close_after_flush = false;
+  bool paused = false;
+
+  std::mutex mu;
+  std::string outbuf;       // guarded by mu
+  std::size_t out_pos = 0;  // guarded by mu
+
+  /// Requests dispatched and not yet answered (paired with the server's
+  /// global count); atomics because workers decrement on completion.
+  std::atomic<std::size_t> in_flight{0};
+  /// Set by CloseConnection so late completions drop their responses.
+  std::atomic<bool> closed{false};
+};
+
+Server::Server(const ServerOptions& options)
+    : options_(options),
+      limiter_(options.tenant_rate, options.tenant_burst),
+      connections_total_(NetCounter("ppdm_net_connections_total")),
+      connections_open_(
+          obs::MetricsRegistry::Global().GetGauge("ppdm_net_connections_open")),
+      protocol_errors_(NetCounter("ppdm_net_protocol_errors_total")),
+      rate_limited_(NetCounter("ppdm_net_rate_limited_total")),
+      read_pauses_(NetCounter("ppdm_net_read_pauses_total")),
+      bytes_read_(NetCounter("ppdm_net_bytes_read_total")),
+      bytes_written_(NetCounter("ppdm_net_bytes_written_total")),
+      drain_checkpoints_metric_(
+          NetCounter("ppdm_net_drain_checkpoints_total")),
+      request_seconds_(obs::MetricsRegistry::Global().GetHistogram(
+          "ppdm_net_request_seconds",
+          obs::Histogram::LatencyBucketsSeconds())) {
+  for (std::uint32_t v = 0; v <= 6; ++v) {
+    verb_requests_[v] = obs::MetricsRegistry::Global().GetCounter(
+        "ppdm_net_requests_total",
+        StrFormat("verb=\"%s\"", v == 0 ? "unknown" : VerbName(v).c_str()));
+  }
+}
+
+Result<std::unique_ptr<Server>> Server::Start(const ServerOptions& options) {
+  if (options.max_connections == 0) {
+    return Status::InvalidArgument("max_connections must be positive");
+  }
+  if (options.connection_window == 0) {
+    return Status::InvalidArgument("connection_window must be positive");
+  }
+  std::unique_ptr<Server> server(new Server(options));
+  PPDM_RETURN_IF_ERROR(server->Init());
+  return server;
+}
+
+Status Server::Init() {
+  if (!options_.checkpoint_dir.empty()) {
+    PPDM_ASSIGN_OR_RETURN(store::SnapshotStore store,
+                          store::SnapshotStore::Open(options_.checkpoint_dir));
+    snapshots_.emplace(store);
+    spill_.emplace(std::move(store));
+  }
+
+  engine::BatchOptions batch;
+  batch.num_threads = options_.num_threads;
+  batch.shard_size = options_.shard_size;
+  api::ServiceOptions service_options;
+  service_options.max_pending = options_.max_pending;
+  PPDM_ASSIGN_OR_RETURN(service_,
+                        api::Service::Create(batch, service_options));
+
+  api::SessionRegistryOptions registry_options;
+  registry_options.max_bytes = options_.registry_max_bytes;
+  registry_options.spill = spill_.has_value() ? &*spill_ : nullptr;
+  registry_ = std::make_unique<api::SessionRegistry>(registry_options,
+                                                     service_->pool());
+
+  PPDM_ASSIGN_OR_RETURN(
+      listener_, ListenTcp(options_.host, options_.port, /*backlog=*/128));
+  PPDM_RETURN_IF_ERROR(SetNonBlocking(listener_.fd()));
+  PPDM_ASSIGN_OR_RETURN(port_, BoundPort(listener_));
+
+  int pipe_fds[2];
+  if (::pipe(pipe_fds) != 0) {
+    return Status::IoError(
+        StrFormat("pipe: %s", std::strerror(errno)));
+  }
+  wake_read_ = Socket(pipe_fds[0]);
+  wake_write_ = Socket(pipe_fds[1]);
+  PPDM_RETURN_IF_ERROR(SetNonBlocking(wake_read_.fd()));
+  PPDM_RETURN_IF_ERROR(SetNonBlocking(wake_write_.fd()));
+
+  loop_thread_ = std::thread([this] { Loop(); });
+  return Status::Ok();
+}
+
+Server::~Server() { (void)Stop(); }
+
+void Server::RequestStop() {
+  draining_.store(true, std::memory_order_release);
+  // Async-signal-safe wakeup; a full pipe already guarantees a wakeup.
+  const char byte = 0;
+  [[maybe_unused]] ssize_t n = ::write(wake_write_.fd(), &byte, 1);
+}
+
+void Server::Wake() {
+  const char byte = 0;
+  [[maybe_unused]] ssize_t n = ::write(wake_write_.fd(), &byte, 1);
+}
+
+void Server::AwaitLoopExit() {
+  std::unique_lock<std::mutex> lock(loop_mu_);
+  loop_cv_.wait(lock, [this] { return loop_exited_; });
+}
+
+Status Server::Stop() {
+  std::lock_guard<std::mutex> lock(stop_mu_);
+  if (stopped_) return stop_status_;
+  RequestStop();
+  if (loop_thread_.joinable()) loop_thread_.join();
+  // The loop exited with every dispatched request answered; Drain() closes
+  // admission and catches any straggler the loop could not wait for.
+  service_->Drain();
+  stop_status_ = CheckpointAll();
+  stopped_ = true;
+  return stop_status_;
+}
+
+std::size_t Server::tenant_count() const {
+  std::lock_guard<std::mutex> lock(tenants_mu_);
+  return tenants_.size();
+}
+
+Status Server::CheckpointAll() {
+  drained_checkpoints_ = 0;
+  if (!snapshots_.has_value()) return Status::Ok();
+  std::set<std::string> names;
+  {
+    std::lock_guard<std::mutex> lock(tenants_mu_);
+    names = tenants_;
+  }
+  Status first_failure = Status::Ok();
+  for (const std::string& name : names) {
+    Result<std::shared_ptr<api::DatasetSession>> session =
+        registry_->TryLookup(name);
+    if (!session.ok()) {
+      if (session.status().code() == StatusCode::kNotFound) continue;
+      if (first_failure.ok()) first_failure = session.status();
+      continue;
+    }
+    const std::string bytes = store::EncodeDatasetSession(*session.value());
+    if (Status put = snapshots_->Put(name, bytes); !put.ok()) {
+      if (first_failure.ok()) first_failure = put;
+      continue;
+    }
+    ++drained_checkpoints_;
+    drain_checkpoints_metric_->Increment();
+  }
+  return first_failure;
+}
+
+void Server::Loop() {
+  std::vector<pollfd> fds;
+  std::vector<std::shared_ptr<Connection>> polled;
+  while (true) {
+    const bool draining = draining_.load(std::memory_order_acquire);
+
+    // Paused connections re-check their window each iteration (a worker
+    // completing a request wakes the loop); buffered frames parse first.
+    for (const std::shared_ptr<Connection>& conn : connections_) {
+      if (conn->paused && !draining) ParseFrames(conn);
+    }
+
+    fds.clear();
+    polled.clear();
+    fds.push_back({wake_read_.fd(), POLLIN, 0});
+    const bool accepting =
+        !draining && connections_.size() < options_.max_connections;
+    if (accepting) fds.push_back({listener_.fd(), POLLIN, 0});
+
+    // Drain exit needs "no in-flight work AND every outbox flushed".
+    // In-flight is loaded BEFORE the outbox scan: a completion appends its
+    // response before decrementing, so a zero read here guarantees the
+    // scan below sees every append — the reverse order could miss one.
+    const bool no_in_flight =
+        global_in_flight_.load(std::memory_order_acquire) == 0;
+
+    bool pending_writes = false;
+    for (const std::shared_ptr<Connection>& conn : connections_) {
+      short events = 0;
+      if (!draining && !conn->paused && !conn->close_after_flush) {
+        events |= POLLIN;
+      }
+      {
+        std::lock_guard<std::mutex> lock(conn->mu);
+        if (conn->out_pos < conn->outbuf.size()) {
+          events |= POLLOUT;
+          pending_writes = true;
+        }
+      }
+      if (events == 0) continue;
+      fds.push_back({conn->sock.fd(), events, 0});
+      polled.push_back(conn);
+    }
+
+    if (draining && no_in_flight && !pending_writes) break;
+
+    const int ready = ::poll(fds.data(), static_cast<nfds_t>(fds.size()),
+                             draining ? kDrainPollMs : kIdlePollMs);
+    if (ready < 0 && errno != EINTR) break;
+    if (ready <= 0) continue;
+
+    std::size_t index = 0;
+    if (fds[index].revents & POLLIN) {
+      char buf[256];
+      while (::read(wake_read_.fd(), buf, sizeof(buf)) > 0) {
+      }
+    }
+    ++index;
+    if (accepting) {
+      if (fds[index].revents & POLLIN) AcceptReady();
+      ++index;
+    }
+
+    for (std::size_t c = 0; c < polled.size(); ++c, ++index) {
+      const std::shared_ptr<Connection>& conn = polled[c];
+      const short revents = fds[index].revents;
+      if (revents == 0 || conn->closed.load(std::memory_order_acquire)) {
+        continue;
+      }
+      if (revents & (POLLERR | POLLNVAL)) {
+        CloseConnection(conn);
+        continue;
+      }
+      if (revents & POLLOUT) FlushWrites(conn);
+      if (conn->closed.load(std::memory_order_acquire)) continue;
+      if (revents & (POLLIN | POLLHUP)) {
+        if (ReadReady(conn)) {
+          ParseFrames(conn);
+        } else {
+          CloseConnection(conn);
+        }
+      }
+    }
+  }
+
+  {
+    std::lock_guard<std::mutex> lock(loop_mu_);
+    loop_exited_ = true;
+  }
+  loop_cv_.notify_all();
+}
+
+void Server::AcceptReady() {
+  while (connections_.size() < options_.max_connections) {
+    const int fd = ::accept(listener_.fd(), nullptr, nullptr);
+    if (fd < 0) {
+      // EAGAIN/EWOULDBLOCK: backlog drained; anything else waits for the
+      // next poll round too (a dying peer must not kill the loop).
+      return;
+    }
+    auto conn = std::make_shared<Connection>();
+    conn->sock = Socket(fd);
+    if (!SetNonBlocking(fd).ok()) continue;  // conn closes on scope exit
+    connections_.push_back(std::move(conn));
+    connections_total_->Increment();
+    connections_open_->Add(1);
+  }
+}
+
+bool Server::ReadReady(const std::shared_ptr<Connection>& conn) {
+  char buf[kReadChunk];
+  while (true) {
+    const ssize_t n = ::read(conn->sock.fd(), buf, sizeof(buf));
+    if (n > 0) {
+      conn->inbuf.append(buf, static_cast<std::size_t>(n));
+      bytes_read_->Increment(static_cast<std::uint64_t>(n));
+      continue;
+    }
+    if (n == 0) return false;  // peer closed
+    if (errno == EAGAIN || errno == EWOULDBLOCK) return true;
+    if (errno == EINTR) continue;
+    return false;
+  }
+}
+
+bool Server::ShouldPause(const Connection& conn) const {
+  if (conn.in_flight.load(std::memory_order_acquire) >=
+      options_.connection_window) {
+    return true;
+  }
+  return options_.max_pending > 0 &&
+         global_in_flight_.load(std::memory_order_acquire) >=
+             options_.max_pending;
+}
+
+void Server::ParseFrames(const std::shared_ptr<Connection>& conn) {
+  std::size_t pos = 0;
+  bool paused = false;
+  while (!conn->close_after_flush) {
+    if (ShouldPause(*conn)) {
+      paused = true;
+      break;
+    }
+    const std::string_view rest =
+        std::string_view(conn->inbuf).substr(pos);
+    if (rest.size() < kHeaderSize) break;
+    Result<FrameHeader> header =
+        DecodeHeader(rest, options_.max_body_bytes);
+    if (!header.ok()) {
+      // kIoError here means "fewer than kHeaderSize bytes", which the
+      // size check above already excluded — every failure is a poisoned
+      // stream: answer once, flush, close.
+      protocol_errors_->Increment();
+      EnqueueResponse(conn, FrameHeader{}, header.status(), "");
+      conn->close_after_flush = true;
+      break;
+    }
+    if (rest.size() - kHeaderSize < header.value().body_length) break;
+    const std::string_view body =
+        rest.substr(kHeaderSize,
+                    static_cast<std::size_t>(header.value().body_length));
+    if (Status verified = VerifyBody(header.value(), body); !verified.ok()) {
+      protocol_errors_->Increment();
+      EnqueueResponse(conn, header.value(), verified, "");
+      conn->close_after_flush = true;
+      break;
+    }
+    pos += kHeaderSize + body.size();
+    Dispatch(conn, header.value(), std::string(body));
+  }
+  if (paused && !conn->paused) read_pauses_->Increment();
+  conn->paused = paused;
+  if (pos > 0) conn->inbuf.erase(0, pos);
+}
+
+void Server::Dispatch(const std::shared_ptr<Connection>& conn,
+                      const FrameHeader& header, std::string body) {
+  verb_requests_[KnownVerb(header.verb) ? header.verb : 0]->Increment();
+  if (!KnownVerb(header.verb)) {
+    // Framing is intact — the connection survives an unknown verb.
+    EnqueueResponse(
+        conn, header,
+        Status::InvalidArgument(StrFormat(
+            "unknown verb %s", VerbName(header.verb).c_str())),
+        "");
+    return;
+  }
+  if (static_cast<Verb>(header.verb) == Verb::kStats) {
+    // Cheap and read-only: answered inline on the event loop, so stats
+    // stay scrapeable even when the workers are saturated.
+    EnqueueResponse(conn, header, Status::Ok(), [] {
+      store::Writer writer;
+      writer.PutString(obs::MetricsRegistry::Global().RenderText());
+      return writer.Take();
+    }());
+    return;
+  }
+  if (!limiter_.Admit(header.tenant, std::chrono::steady_clock::now())) {
+    rate_limited_->Increment();
+    EnqueueResponse(conn, header,
+                    Status::ResourceExhausted(StrFormat(
+                        "tenant %llu rate-limited",
+                        static_cast<unsigned long long>(header.tenant))),
+                    "");
+    return;
+  }
+
+  conn->in_flight.fetch_add(1, std::memory_order_acq_rel);
+  global_in_flight_.fetch_add(1, std::memory_order_acq_rel);
+  api::SubmitOptions submit;
+  if (header.ttl_ms > 0) {
+    submit = api::SubmitOptions::After(
+        std::chrono::microseconds(std::uint64_t{header.ttl_ms} * 1000));
+  }
+  const auto started = std::chrono::steady_clock::now();
+  auto handle = service_->Submit<std::string>(
+      [this, header, body = std::move(body)]() {
+        return HandleVerb(header, body);
+      },
+      submit);
+  handle.OnComplete([this, conn, header,
+                     started](const Result<std::string>& result) {
+    // Shed / expired / cancelled / handler errors all arrive here as the
+    // result's Status and travel back inside the response envelope.
+    if (obs::TimingEnabled()) {
+      request_seconds_->Observe(
+          std::chrono::duration<double>(std::chrono::steady_clock::now() -
+                                        started)
+              .count());
+    }
+    EnqueueResponse(conn, header,
+                    result.ok() ? Status::Ok() : result.status(),
+                    result.ok() ? result.value() : std::string());
+    conn->in_flight.fetch_sub(1, std::memory_order_acq_rel);
+    global_in_flight_.fetch_sub(1, std::memory_order_acq_rel);
+    Wake();
+  });
+}
+
+void Server::EnqueueResponse(const std::shared_ptr<Connection>& conn,
+                             const FrameHeader& request, const Status& status,
+                             std::string_view payload) {
+  if (conn->closed.load(std::memory_order_acquire)) return;
+  const std::string frame =
+      EncodeFrame(request.verb, request.request_id, request.tenant,
+                  /*ttl_ms=*/0, EncodeResponseBody(status, payload));
+  std::lock_guard<std::mutex> lock(conn->mu);
+  conn->outbuf.append(frame);
+}
+
+void Server::FlushWrites(const std::shared_ptr<Connection>& conn) {
+  bool done = false;
+  {
+    std::lock_guard<std::mutex> lock(conn->mu);
+    while (conn->out_pos < conn->outbuf.size()) {
+      const ssize_t n =
+          ::write(conn->sock.fd(), conn->outbuf.data() + conn->out_pos,
+                  conn->outbuf.size() - conn->out_pos);
+      if (n < 0) {
+        if (errno == EAGAIN || errno == EWOULDBLOCK) break;
+        if (errno == EINTR) continue;
+        done = true;  // broken pipe: close below
+        conn->close_after_flush = true;
+        break;
+      }
+      conn->out_pos += static_cast<std::size_t>(n);
+      bytes_written_->Increment(static_cast<std::uint64_t>(n));
+    }
+    if (conn->out_pos == conn->outbuf.size()) {
+      conn->outbuf.clear();
+      conn->out_pos = 0;
+      done = true;
+    }
+  }
+  if (done && conn->close_after_flush) CloseConnection(conn);
+}
+
+void Server::CloseConnection(const std::shared_ptr<Connection>& conn) {
+  if (conn->closed.exchange(true, std::memory_order_acq_rel)) return;
+  conn->sock.Close();
+  connections_open_->Add(-1);
+  for (auto it = connections_.begin(); it != connections_.end(); ++it) {
+    if (it->get() == conn.get()) {
+      connections_.erase(it);
+      break;
+    }
+  }
+}
+
+Result<std::string> Server::HandleVerb(const FrameHeader& header,
+                                       const std::string& body) {
+  switch (static_cast<Verb>(header.verb)) {
+    case Verb::kOpen:
+      return HandleOpen(header.tenant, body);
+    case Verb::kIngest:
+      return HandleIngest(header.tenant, body);
+    case Verb::kReconstruct:
+      return HandleReconstruct(header.tenant);
+    case Verb::kSnapshot:
+      return HandleSnapshot(header.tenant);
+    case Verb::kClose:
+      return HandleClose(header.tenant);
+    case Verb::kStats:
+      break;  // answered inline in Dispatch
+  }
+  return Status::Internal(
+      StrFormat("verb %s reached the worker path",
+                VerbName(header.verb).c_str()));
+}
+
+Result<std::shared_ptr<api::DatasetSession>> Server::LookupTenant(
+    std::uint64_t tenant) {
+  Result<std::shared_ptr<api::DatasetSession>> session =
+      registry_->TryLookup(TenantName(tenant));
+  if (!session.ok() && session.status().code() == StatusCode::kNotFound) {
+    return Status::NotFound(StrFormat(
+        "tenant %llu is not open (send an open frame first)",
+        static_cast<unsigned long long>(tenant)));
+  }
+  return session;
+}
+
+Result<std::string> Server::HandleOpen(std::uint64_t tenant,
+                                       const std::string& body) {
+  store::Reader reader(body);
+  PPDM_ASSIGN_OR_RETURN(const api::DatasetSessionSpec spec,
+                        store::DecodeDatasetSessionSpec(&reader));
+  const std::string name = TenantName(tenant);
+
+  bool known;
+  {
+    std::lock_guard<std::mutex> lock(tenants_mu_);
+    known = tenants_.count(name) > 0;
+  }
+  if (!known && !options_.resume && snapshots_.has_value() &&
+      snapshots_->Contains(name)) {
+    // A fresh (non-resume) daemon must not silently resurrect a previous
+    // life's capture: the first open of the tenant supersedes it.
+    PPDM_RETURN_IF_ERROR(snapshots_->Delete(name));
+  }
+
+  bool resumed = false;
+  std::shared_ptr<api::DatasetSession> session;
+  Result<std::shared_ptr<api::DatasetSession>> looked =
+      registry_->TryLookup(name);
+  if (looked.ok()) {
+    // Already open this life, or re-admitted from a capture (the resume
+    // path). Open is idempotent either way.
+    session = std::move(looked.value());
+    resumed = true;
+  } else if (looked.status().code() == StatusCode::kNotFound) {
+    Result<std::shared_ptr<api::DatasetSession>> opened =
+        registry_->Open(name, spec);
+    if (opened.ok()) {
+      session = std::move(opened.value());
+    } else if (opened.status().code() == StatusCode::kFailedPrecondition) {
+      // Lost an open race against a concurrent request for the same
+      // tenant; serve the winner's session.
+      PPDM_ASSIGN_OR_RETURN(session, registry_->TryLookup(name));
+      resumed = true;
+    } else {
+      return opened.status();
+    }
+  } else {
+    return looked.status();  // corrupt or unreadable capture
+  }
+
+  {
+    std::lock_guard<std::mutex> lock(tenants_mu_);
+    tenants_.insert(name);
+  }
+  store::Writer writer;
+  writer.PutU8(resumed ? 1 : 0);
+  writer.PutU64(session->record_count());
+  return writer.Take();
+}
+
+Result<std::string> Server::HandleIngest(std::uint64_t tenant,
+                                         const std::string& body) {
+  store::Reader reader(body);
+  PPDM_ASSIGN_OR_RETURN(const std::uint64_t rows, reader.ReadU64());
+  PPDM_ASSIGN_OR_RETURN(const std::uint64_t cols, reader.ReadU64());
+  PPDM_ASSIGN_OR_RETURN(const std::vector<double> values,
+                        reader.ReadDoubleArray());
+  if (cols == 0 || rows > values.size() || cols > values.size() ||
+      (rows > 0 && values.size() / rows != cols) ||
+      (rows == 0 && !values.empty())) {
+    return Status::InvalidArgument(
+        StrFormat("ingest shape %llux%llu does not match %zu values",
+                  static_cast<unsigned long long>(rows),
+                  static_cast<unsigned long long>(cols), values.size()));
+  }
+  PPDM_ASSIGN_OR_RETURN(const std::shared_ptr<api::DatasetSession> session,
+                        LookupTenant(tenant));
+  const std::size_t width = session->spec().schema.NumFields();
+  if (static_cast<std::size_t>(cols) != width) {
+    return Status::InvalidArgument(
+        StrFormat("ingest rows are %llu wide, tenant schema has %zu fields",
+                  static_cast<unsigned long long>(cols), width));
+  }
+  if (rows > 0) {
+    const data::RowBatch batch(values.data(),
+                               static_cast<std::size_t>(rows),
+                               static_cast<std::size_t>(cols));
+    PPDM_RETURN_IF_ERROR(session->Ingest(batch));
+  }
+  store::Writer writer;
+  writer.PutU64(session->record_count());
+  return writer.Take();
+}
+
+Result<std::string> Server::HandleReconstruct(std::uint64_t tenant) {
+  PPDM_ASSIGN_OR_RETURN(const std::shared_ptr<api::DatasetSession> session,
+                        LookupTenant(tenant));
+  PPDM_ASSIGN_OR_RETURN(
+      const std::vector<reconstruct::Reconstruction> estimates,
+      session->ReconstructAll());
+  store::Writer writer;
+  writer.PutU64(estimates.size());
+  for (const reconstruct::Reconstruction& estimate : estimates) {
+    writer.PutU64(estimate.iterations);
+    writer.PutU64(estimate.sample_count);
+    writer.PutDoubleArray(estimate.masses);
+  }
+  return writer.Take();
+}
+
+Result<std::string> Server::HandleSnapshot(std::uint64_t tenant) {
+  if (!snapshots_.has_value()) {
+    return Status::FailedPrecondition(
+        "daemon has no checkpoint directory (start with --checkpoint-dir)");
+  }
+  PPDM_ASSIGN_OR_RETURN(const std::shared_ptr<api::DatasetSession> session,
+                        LookupTenant(tenant));
+  const std::string bytes = store::EncodeDatasetSession(*session);
+  PPDM_RETURN_IF_ERROR(snapshots_->Put(TenantName(tenant), bytes));
+  store::Writer writer;
+  writer.PutU64(bytes.size());
+  return writer.Take();
+}
+
+Result<std::string> Server::HandleClose(std::uint64_t tenant) {
+  const std::string name = TenantName(tenant);
+  if (!registry_->Close(name)) {
+    return Status::NotFound(StrFormat(
+        "tenant %llu is not open", static_cast<unsigned long long>(tenant)));
+  }
+  {
+    std::lock_guard<std::mutex> lock(tenants_mu_);
+    tenants_.erase(name);
+  }
+  return std::string();
+}
+
+}  // namespace ppdm::net

@@ -1,0 +1,233 @@
+// The multi-tenant network serving daemon (`ppdm served`): a TCP
+// listener + poll() event loop feeding the api::Service worker pool, with
+// the whole engine→session→registry→store→obs→resilience stack behind a
+// socket for the first time.
+//
+// Thread model — listener/worker split:
+//   * One event-loop thread owns every socket: it accepts connections
+//     (bounded by max_connections), reads bytes into per-connection
+//     buffers, parses frames, and flushes per-connection write queues.
+//   * Request execution runs as api::Service jobs on the engine pool.
+//     Completion callbacks enqueue the response on the connection's
+//     outbox and wake the loop through a self-pipe. num_threads == 0
+//     degenerates to a synchronous service (jobs run inline on the event
+//     loop) — same byte-exact behaviour, no concurrency.
+//
+// Admission, backpressure, degradation (mapping straight onto the PR 7
+// primitives):
+//   * Per-tenant token-bucket rate limiting: an empty bucket is a
+//     protocol-level kResourceExhausted response, no work queued.
+//   * ServiceOptions::max_pending sheds excess jobs — the shed Status
+//     travels back as the response envelope, the connection lives on.
+//   * A frame's ttl_ms becomes the job's deadline: expired requests
+//     answer kDeadlineExceeded without running.
+//   * Backpressure: the loop stops *reading* a connection (and stops
+//     parsing its buffered frames) while its in-flight requests reach the
+//     connection window, or the server-wide in-flight total reaches
+//     max_pending — TCP flow control then pushes back on the client.
+//   * Every malformed frame (bad magic, future version, oversized body,
+//     CRC mismatch) gets an error response and a connection close after
+//     flush; the process keeps serving other connections.
+//
+// Durability: with a checkpoint directory the registry gets a spill tier
+// (evictions demote instead of destroy) and graceful shutdown — Stop(),
+// normally triggered by SIGTERM via the async-signal-safe RequestStop()
+// — drains in-flight requests, flushes every response, then checkpoints
+// every tenant through the store. A daemon restarted with resume=true
+// re-admits tenants from their captures on the next open verb.
+
+#ifndef PPDM_NET_SERVER_H_
+#define PPDM_NET_SERVER_H_
+
+#include <atomic>
+#include <condition_variable>
+#include <cstddef>
+#include <cstdint>
+#include <memory>
+#include <mutex>
+#include <optional>
+#include <set>
+#include <string>
+#include <thread>
+#include <vector>
+
+#include "api/registry.h"
+#include "api/service.h"
+#include "common/status.h"
+#include "net/frame.h"
+#include "net/rate_limiter.h"
+#include "net/socket.h"
+#include "obs/metrics.h"
+#include "store/snapshot_store.h"
+#include "store/spill_store.h"
+
+namespace ppdm::net {
+
+/// Everything a daemon needs up front. Validated by Server::Start.
+struct ServerOptions {
+  /// Bind address; loopback by default (an operator opts into exposure).
+  std::string host = "127.0.0.1";
+  /// 0 picks an ephemeral port; read it back with Server::port().
+  int port = 0;
+
+  /// Worker pool size (api::Service); 0 runs requests inline on the
+  /// event loop.
+  std::size_t num_threads = 0;
+  /// Engine shard size for session ingest/reconstruct decomposition.
+  std::size_t shard_size = 16384;
+
+  /// Admitted-but-unstarted job bound (service shedding) and the
+  /// server-wide read-pause high-water mark; 0 = unbounded.
+  std::size_t max_pending = 0;
+  /// Concurrent connection cap; the listener stops accepting at the cap
+  /// (further connects queue in the TCP backlog).
+  std::size_t max_connections = 64;
+  /// Reject frames whose body exceeds this many bytes.
+  std::uint64_t max_body_bytes = kDefaultMaxBodyBytes;
+  /// Per-connection in-flight request window; reads pause at the window.
+  std::size_t connection_window = 16;
+
+  /// Registry byte budget (0 = unbounded).
+  std::size_t registry_max_bytes = 0;
+
+  /// Snapshot store directory; empty disables persistence (snapshot verb
+  /// then answers kFailedPrecondition and shutdown skips checkpoints).
+  std::string checkpoint_dir;
+  /// Admit pre-existing captures on open (crash/drain recovery). When
+  /// false, a stale capture of a newly opened tenant is deleted instead.
+  bool resume = false;
+
+  /// Per-tenant token bucket: rate tokens/sec, burst capacity (burst <= 0
+  /// defaults to max(rate, 1)); rate <= 0 disables rate limiting.
+  double tenant_rate = 0.0;
+  double tenant_burst = 0.0;
+};
+
+/// A running daemon. Construction via Start(); destruction stops it.
+class Server {
+ public:
+  static Result<std::unique_ptr<Server>> Start(const ServerOptions& options);
+  ~Server();
+
+  Server(const Server&) = delete;
+  Server& operator=(const Server&) = delete;
+
+  /// The port actually bound (resolves port 0).
+  int port() const { return port_; }
+  const ServerOptions& options() const { return options_; }
+
+  /// Requests shutdown from any thread — async-signal-safe (an atomic
+  /// store plus a self-pipe write), so a SIGTERM handler may call it.
+  void RequestStop();
+
+  /// Blocks until the event loop has drained and exited (after
+  /// RequestStop, from this or another thread).
+  void AwaitLoopExit();
+
+  /// Full graceful shutdown: RequestStop + drain + join, then checkpoint
+  /// every tenant through the store. Idempotent. Returns the first
+  /// checkpoint failure (kOk without a store or on success).
+  Status Stop();
+
+  /// Tenants opened and not yet closed (RAM or spill tier).
+  std::size_t tenant_count() const;
+
+  /// Tenants checkpointed by the last Stop().
+  std::size_t drained_checkpoints() const { return drained_checkpoints_; }
+
+ private:
+  struct Connection;
+
+  explicit Server(const ServerOptions& options);
+
+  Status Init();
+  void Loop();
+  void Wake();
+  void AcceptReady();
+  /// Reads available bytes; false when the connection died.
+  bool ReadReady(const std::shared_ptr<Connection>& conn);
+  /// Parses complete frames out of the connection's input buffer until
+  /// exhausted, paused, or a protocol error schedules a close.
+  void ParseFrames(const std::shared_ptr<Connection>& conn);
+  /// True when `conn` must not parse further frames right now.
+  bool ShouldPause(const Connection& conn) const;
+  void FlushWrites(const std::shared_ptr<Connection>& conn);
+  void CloseConnection(const std::shared_ptr<Connection>& conn);
+  void Dispatch(const std::shared_ptr<Connection>& conn,
+                const FrameHeader& header, std::string body);
+  void EnqueueResponse(const std::shared_ptr<Connection>& conn,
+                       const FrameHeader& request, const Status& status,
+                       std::string_view payload);
+
+  /// Verb handlers — run inside service jobs (any worker). Each returns
+  /// the response payload; errors become the response envelope's Status.
+  Result<std::string> HandleVerb(const FrameHeader& header,
+                                 const std::string& body);
+  Result<std::string> HandleOpen(std::uint64_t tenant,
+                                 const std::string& body);
+  Result<std::string> HandleIngest(std::uint64_t tenant,
+                                   const std::string& body);
+  Result<std::string> HandleReconstruct(std::uint64_t tenant);
+  Result<std::string> HandleSnapshot(std::uint64_t tenant);
+  Result<std::string> HandleClose(std::uint64_t tenant);
+
+  Result<std::shared_ptr<api::DatasetSession>> LookupTenant(
+      std::uint64_t tenant);
+
+  /// Serializes every open tenant to the snapshot store (drain step).
+  Status CheckpointAll();
+
+  const ServerOptions options_;
+  int port_ = 0;
+
+  std::optional<store::SnapshotStore> snapshots_;
+  std::optional<store::SessionSpillStore> spill_;
+  std::unique_ptr<api::SessionRegistry> registry_;
+
+  mutable std::mutex tenants_mu_;
+  std::set<std::string> tenants_;  // guarded by tenants_mu_
+
+  TenantRateLimiter limiter_;  // event-loop thread only
+
+  Socket listener_;
+  Socket wake_read_;
+  Socket wake_write_;
+  std::vector<std::shared_ptr<Connection>> connections_;  // loop thread only
+
+  std::atomic<bool> draining_{false};
+  std::atomic<std::size_t> global_in_flight_{0};
+
+  std::mutex loop_mu_;
+  std::condition_variable loop_cv_;
+  bool loop_exited_ = false;  // guarded by loop_mu_
+
+  std::mutex stop_mu_;
+  bool stopped_ = false;            // guarded by stop_mu_
+  Status stop_status_;              // guarded by stop_mu_
+  std::size_t drained_checkpoints_ = 0;
+
+  // Instruments (process metrics registry; never destroyed).
+  obs::Counter* connections_total_;
+  obs::Gauge* connections_open_;
+  obs::Counter* protocol_errors_;
+  obs::Counter* rate_limited_;
+  obs::Counter* read_pauses_;
+  obs::Counter* bytes_read_;
+  obs::Counter* bytes_written_;
+  obs::Counter* drain_checkpoints_metric_;
+  obs::Histogram* request_seconds_;
+  obs::Counter* verb_requests_[7];  // indexed by verb, 0 = unknown
+
+  std::thread loop_thread_;
+
+  // Declared last so its destructor (which drains every in-flight job,
+  // whose completion callbacks touch the members above) runs first.
+  std::unique_ptr<api::Service> service_;
+};
+
+/// The registry/store name of a tenant id ("t42").
+std::string TenantName(std::uint64_t tenant);
+
+}  // namespace ppdm::net
+
+#endif  // PPDM_NET_SERVER_H_

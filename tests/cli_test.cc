@@ -98,6 +98,49 @@ TEST_F(CliFixture, HelpPrintsUsage) {
   EXPECT_NE(output.find("usage: ppdm"), std::string::npos);
 }
 
+TEST_F(CliFixture, HelpFlagSucceedsOnEverySubcommand) {
+  // `ppdm <command> --help` prints the usage and exits 0 — even when the
+  // command would otherwise demand flags (generate needs --out) and even
+  // alongside flags the command does not know.
+  for (const char* command :
+       {"generate", "perturb", "reconstruct", "train", "serve-sim",
+        "snapshot", "restore", "metrics", "served", "loadgen", "help"}) {
+    SCOPED_TRACE(command);
+    std::string output;
+    EXPECT_TRUE(Run({command, "--help"}, &output).ok());
+    EXPECT_NE(output.find("usage: ppdm"), std::string::npos);
+  }
+  std::string output;
+  EXPECT_TRUE(Run({"generate", "--help", "--no-such-flag=1"}, &output).ok());
+}
+
+TEST_F(CliFixture, UnknownCommandIsAnError) {
+  std::string output;
+  const Status status = Run({"fromulate"}, &output);
+  ASSERT_FALSE(status.ok());
+  EXPECT_EQ(status.code(), StatusCode::kInvalidArgument);
+  EXPECT_NE(status.message().find("unknown command"), std::string::npos);
+}
+
+TEST_F(CliFixture, UsageDocumentsTheNetworkCommands) {
+  std::string output;
+  ASSERT_TRUE(Run({"help"}, &output).ok());
+  EXPECT_NE(output.find("served"), std::string::npos);
+  EXPECT_NE(output.find("loadgen"), std::string::npos);
+  EXPECT_NE(output.find("--help"), std::string::npos);
+}
+
+TEST_F(CliFixture, ServedValidatesItsFlags) {
+  std::string output;
+  // resume without a checkpoint dir is contradictory.
+  EXPECT_FALSE(Run({"served", "--resume"}, &output).ok());
+  EXPECT_FALSE(Run({"served", "--port=99999"}, &output).ok());
+  EXPECT_FALSE(Run({"served", "--no-such-flag=1"}, &output).ok());
+  // loadgen refuses to run without a daemon port.
+  EXPECT_FALSE(Run({"loadgen"}, &output).ok());
+  EXPECT_FALSE(Run({"loadgen", "--port=7001", "--tenants=0"}, &output).ok());
+}
+
 TEST_F(CliFixture, UnknownCommandFails) {
   std::string output;
   const Status s = Run({"frobnicate"}, &output);
