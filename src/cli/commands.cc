@@ -1121,10 +1121,16 @@ namespace {
 
 // SIGTERM/SIGINT → graceful drain: the handler forwards to whichever
 // daemon is live. RequestStop() is async-signal-safe by contract (an
-// atomic store plus a self-pipe write).
+// atomic store plus a self-pipe write). The handlers are installed
+// BEFORE Server::Start binds and accepts, so no window exists where a
+// SIGTERM takes the default disposition and skips the drain/checkpoint;
+// a signal that lands before the server pointer is published sets
+// g_served_stop, which RunServed re-checks right after publishing.
 std::atomic<net::Server*> g_served_server{nullptr};
+std::atomic<bool> g_served_stop{false};
 
 void ServedSignalHandler(int) {
+  g_served_stop.store(true, std::memory_order_release);
   net::Server* server = g_served_server.load(std::memory_order_acquire);
   if (server != nullptr) server->RequestStop();
 }
@@ -1188,8 +1194,25 @@ Status RunServed(const Args& args, std::ostream& out) {
   PPDM_ASSIGN_OR_RETURN(options.tenant_burst,
                         args.GetDouble("tenant-burst", 0.0));
 
-  PPDM_ASSIGN_OR_RETURN(const std::unique_ptr<net::Server> server,
-                        net::Server::Start(options));
+  // A broken client pipe must be an EPIPE on that connection, never a
+  // daemon-killing SIGPIPE; the drain handlers go in before the listener
+  // binds so there is no window where SIGTERM bypasses the checkpoint.
+  std::signal(SIGPIPE, SIG_IGN);
+  g_served_stop.store(false, std::memory_order_release);
+  std::signal(SIGTERM, ServedSignalHandler);
+  std::signal(SIGINT, ServedSignalHandler);
+  Result<std::unique_ptr<net::Server>> started = net::Server::Start(options);
+  if (!started.ok()) {
+    std::signal(SIGTERM, SIG_DFL);
+    std::signal(SIGINT, SIG_DFL);
+    return started.status();
+  }
+  const std::unique_ptr<net::Server> server = std::move(started).value();
+  g_served_server.store(server.get(), std::memory_order_release);
+  if (g_served_stop.load(std::memory_order_acquire)) {
+    // A signal raced server startup: drain immediately.
+    server->RequestStop();
+  }
   out << StrFormat(
       "ppdm served listening on %s:%d (threads=%zu, max-pending=%zu, "
       "max-connections=%zu%s%s)\n",
@@ -1202,9 +1225,6 @@ Status RunServed(const Args& args, std::ostream& out) {
       options.resume ? ", resume" : "");
   out << "send SIGTERM (or SIGINT) to drain and checkpoint\n" << std::flush;
 
-  g_served_server.store(server.get(), std::memory_order_release);
-  std::signal(SIGTERM, ServedSignalHandler);
-  std::signal(SIGINT, ServedSignalHandler);
   server->AwaitLoopExit();
   std::signal(SIGTERM, SIG_DFL);
   std::signal(SIGINT, SIG_DFL);
@@ -1263,6 +1283,9 @@ Status RunLoadgen(const Args& args, std::ostream& out) {
   }
   const bool tolerate = args.Has("tolerate-errors");
   const std::uint32_t ttl = static_cast<std::uint32_t>(ttl_ms);
+  // A daemon that dies mid-run must surface as an EPIPE Status on the
+  // worker, not a SIGPIPE that kills the load driver.
+  std::signal(SIGPIPE, SIG_IGN);
   PPDM_ASSIGN_OR_RETURN(const StreamSimSpec sim,
                         StreamSimSpecFromFlags(args));
 

@@ -6,16 +6,26 @@
 //
 // Time is passed in by the caller (the server's event loop reads the
 // clock once per poll iteration), which keeps the arithmetic trivially
-// testable with a fake clock. The class is not thread-safe: the daemon
-// consults its buckets from the event-loop thread only.
+// testable with a fake clock. The class is thread-safe: Admit runs on the
+// event-loop thread while Forget arrives from worker threads handling the
+// close verb.
+//
+// Memory: tenant ids are attacker-chosen values off an unauthenticated
+// socket, so the bucket map must not grow without bound. Closed tenants
+// drop their bucket via Forget, and whenever the map reaches
+// kSweepThreshold, buckets that have refilled to burst are swept — a full
+// bucket is behaviourally identical to no bucket (new buckets start
+// full), so only tenants actively spending tokens retain an entry.
 
 #ifndef PPDM_NET_RATE_LIMITER_H_
 #define PPDM_NET_RATE_LIMITER_H_
 
 #include <algorithm>
 #include <chrono>
+#include <cstddef>
 #include <cstdint>
 #include <map>
+#include <mutex>
 
 namespace ppdm::net {
 
@@ -34,6 +44,13 @@ class TokenBucket {
     if (tokens_ < 1.0) return false;
     tokens_ -= 1.0;
     return true;
+  }
+
+  /// True when the bucket has refilled to capacity at `now` — equivalent
+  /// to a bucket that was never created, so it is safe to drop.
+  bool IsFull(std::chrono::steady_clock::time_point now) {
+    Refill(now);
+    return tokens_ >= burst_;
   }
 
   double tokens() const { return tokens_; }
@@ -57,6 +74,10 @@ class TokenBucket {
 /// (Admit always true).
 class TenantRateLimiter {
  public:
+  /// Map size that triggers a sweep of refilled-full buckets on the next
+  /// insert (bounds memory against hostile tenant-id churn).
+  static constexpr std::size_t kSweepThreshold = 4096;
+
   /// `burst` <= 0 defaults to max(rate, 1).
   TenantRateLimiter(double rate, double burst)
       : rate_(rate), burst_(burst > 0 ? burst : std::max(rate, 1.0)) {}
@@ -66,20 +87,42 @@ class TenantRateLimiter {
   /// Spends one of `tenant`'s tokens at `now`; true when admitted.
   bool Admit(std::uint64_t tenant, std::chrono::steady_clock::time_point now) {
     if (!enabled()) return true;
+    std::lock_guard<std::mutex> lock(mu_);
     auto it = buckets_.find(tenant);
     if (it == buckets_.end()) {
+      if (buckets_.size() >= kSweepThreshold) SweepFullLocked(now);
       it = buckets_.emplace(tenant, TokenBucket(rate_, burst_, now)).first;
     }
     return it->second.TryAcquire(now);
   }
 
   /// Drops `tenant`'s bucket (a closed tenant stops costing memory).
-  void Forget(std::uint64_t tenant) { buckets_.erase(tenant); }
+  void Forget(std::uint64_t tenant) {
+    std::lock_guard<std::mutex> lock(mu_);
+    buckets_.erase(tenant);
+  }
+
+  /// Live bucket count (tenants that have spent tokens recently).
+  std::size_t size() const {
+    std::lock_guard<std::mutex> lock(mu_);
+    return buckets_.size();
+  }
 
  private:
+  void SweepFullLocked(std::chrono::steady_clock::time_point now) {
+    for (auto it = buckets_.begin(); it != buckets_.end();) {
+      if (it->second.IsFull(now)) {
+        it = buckets_.erase(it);
+      } else {
+        ++it;
+      }
+    }
+  }
+
   double rate_;
   double burst_;
-  std::map<std::uint64_t, TokenBucket> buckets_;
+  mutable std::mutex mu_;
+  std::map<std::uint64_t, TokenBucket> buckets_;  // guarded by mu_
 };
 
 }  // namespace ppdm::net

@@ -454,9 +454,11 @@ void Server::FlushWrites(const std::shared_ptr<Connection>& conn) {
   {
     std::lock_guard<std::mutex> lock(conn->mu);
     while (conn->out_pos < conn->outbuf.size()) {
+      // MSG_NOSIGNAL: a client that resets with unread data must cost an
+      // EPIPE on this connection, not a SIGPIPE that kills every tenant.
       const ssize_t n =
-          ::write(conn->sock.fd(), conn->outbuf.data() + conn->out_pos,
-                  conn->outbuf.size() - conn->out_pos);
+          ::send(conn->sock.fd(), conn->outbuf.data() + conn->out_pos,
+                 conn->outbuf.size() - conn->out_pos, MSG_NOSIGNAL);
       if (n < 0) {
         if (errno == EAGAIN || errno == EWOULDBLOCK) break;
         if (errno == EINTR) continue;
@@ -583,9 +585,12 @@ Result<std::string> Server::HandleIngest(std::uint64_t tenant,
   PPDM_ASSIGN_OR_RETURN(const std::uint64_t cols, reader.ReadU64());
   PPDM_ASSIGN_OR_RETURN(const std::vector<double> values,
                         reader.ReadDoubleArray());
-  if (cols == 0 || rows > values.size() || cols > values.size() ||
-      (rows > 0 && values.size() / rows != cols) ||
-      (rows == 0 && !values.empty())) {
+  // Exact shape match, division-only so rows*cols can never overflow:
+  // values.size() == rows*cols iff size/rows == cols && size%rows == 0.
+  if (cols == 0 ||
+      (rows == 0 ? !values.empty()
+                 : (values.size() / rows != cols ||
+                    values.size() % rows != 0))) {
     return Status::InvalidArgument(
         StrFormat("ingest shape %llux%llu does not match %zu values",
                   static_cast<unsigned long long>(rows),
@@ -650,6 +655,7 @@ Result<std::string> Server::HandleClose(std::uint64_t tenant) {
     std::lock_guard<std::mutex> lock(tenants_mu_);
     tenants_.erase(name);
   }
+  limiter_.Forget(tenant);
   return std::string();
 }
 

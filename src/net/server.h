@@ -187,7 +187,8 @@ class Server {
   mutable std::mutex tenants_mu_;
   std::set<std::string> tenants_;  // guarded by tenants_mu_
 
-  TenantRateLimiter limiter_;  // event-loop thread only
+  // Thread-safe: Admit on the event loop, Forget from close-verb workers.
+  TenantRateLimiter limiter_;
 
   Socket listener_;
   Socket wake_read_;

@@ -129,8 +129,10 @@ Status SetNonBlocking(int fd) {
 Status WriteAll(int fd, std::string_view bytes) {
   std::size_t written = 0;
   while (written < bytes.size()) {
-    const ssize_t n =
-        ::write(fd, bytes.data() + written, bytes.size() - written);
+    // MSG_NOSIGNAL: a peer that reset the connection surfaces as an EPIPE
+    // Status instead of a process-killing SIGPIPE.
+    const ssize_t n = ::send(fd, bytes.data() + written,
+                             bytes.size() - written, MSG_NOSIGNAL);
     if (n < 0) {
       if (errno == EINTR) continue;
       return ErrnoStatus("write", errno);

@@ -60,7 +60,9 @@ Result<Socket> ConnectTcp(const std::string& host, int port);
 /// Marks `fd` non-blocking.
 Status SetNonBlocking(int fd);
 
-/// Writes all of `bytes` to a blocking socket (EINTR-safe loop).
+/// Writes all of `bytes` to a blocking socket (EINTR-safe loop). Sends
+/// with MSG_NOSIGNAL: a peer that reset the connection is an EPIPE
+/// Status, never a process-killing SIGPIPE.
 Status WriteAll(int fd, std::string_view bytes);
 
 /// Reads exactly `size` bytes into `buf` from a blocking socket;

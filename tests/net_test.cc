@@ -241,6 +241,24 @@ TEST(RateLimiterTest, TenantsAreIndependentAndZeroRateDisables) {
   for (int i = 0; i < 100; ++i) EXPECT_TRUE(off.Admit(7, t0));
 }
 
+TEST(RateLimiterTest, RefilledBucketsAreSweptSoHostileIdsCannotGrowTheMap) {
+  // Tenant ids arrive off an unauthenticated socket, so a flood of fresh
+  // ids must not grow the bucket map without bound: once the map reaches
+  // the sweep threshold, buckets that have refilled to burst (equivalent
+  // to never having existed) are dropped on the next insert.
+  const auto t0 = std::chrono::steady_clock::time_point{};
+  TenantRateLimiter limiter(/*rate=*/1.0, /*burst=*/1.0);
+  for (std::uint64_t id = 0; id < TenantRateLimiter::kSweepThreshold; ++id) {
+    EXPECT_TRUE(limiter.Admit(id, t0));
+  }
+  EXPECT_EQ(limiter.size(), TenantRateLimiter::kSweepThreshold);
+  // Two seconds refill every bucket to burst; the threshold-crossing
+  // insert sweeps them all, leaving only the newcomer.
+  const auto t1 = t0 + std::chrono::seconds(2);
+  EXPECT_TRUE(limiter.Admit(TenantRateLimiter::kSweepThreshold + 1, t1));
+  EXPECT_EQ(limiter.size(), 1u);
+}
+
 // ------------------------------------------------------------ loopback
 
 TEST(ServerTest, LoopbackIsByteIdenticalToDirectSessionAtEveryThreadCount) {
@@ -399,6 +417,16 @@ TEST(ServerTest, RequestsForUnknownTenantsAnswerNotFound) {
       client.value().Call(Verb::kIngest, 1, 0, writer.Take());
   ASSERT_TRUE(response.ok()) << response.status().ToString();
   EXPECT_EQ(response.value().status.code(), StatusCode::kInvalidArgument);
+  // The shape check is exact, not floor division: 31 values for a 10x3
+  // ingest (30 + one trailing stray) is rejected, not silently truncated.
+  store::Writer stray;
+  stray.PutU64(10);
+  stray.PutU64(3);
+  stray.PutDoubleArray(std::vector<double>(31, 0.5));
+  Result<ResponseBody> extra =
+      client.value().Call(Verb::kIngest, 1, 0, stray.Take());
+  ASSERT_TRUE(extra.ok()) << extra.status().ToString();
+  EXPECT_EQ(extra.value().status.code(), StatusCode::kInvalidArgument);
   ASSERT_TRUE(server.value()->Stop().ok());
 }
 
@@ -454,6 +482,13 @@ TEST(ServerTest, RateLimitedTenantGetsResourceExhaustedOthersProceed) {
   // Another tenant has its own bucket; stats bypasses limiting entirely.
   ASSERT_TRUE(client.value().Open(2, spec).ok());
   EXPECT_TRUE(client.value().Stats().ok());
+  // Close drops the tenant's bucket: open + close spend the whole burst,
+  // yet the reopened tenant starts from a fresh full bucket (without the
+  // Forget-on-close it would already be rate-limited here).
+  ASSERT_TRUE(client.value().Open(3, spec).ok());        // token 1
+  ASSERT_TRUE(client.value().CloseTenant(3).ok());       // token 2
+  ASSERT_TRUE(client.value().Open(3, spec).ok());        // fresh token 1
+  EXPECT_TRUE(client.value().Reconstruct(3).ok());       // fresh token 2
   ASSERT_TRUE(server.value()->Stop().ok());
 }
 
