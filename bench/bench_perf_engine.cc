@@ -12,6 +12,8 @@
 
 #include "bench/bench_util.h"
 #include "engine/batch.h"
+#include "engine/shard_stats.h"
+#include "engine/simd.h"
 #include "engine/thread_pool.h"
 #include "perturb/randomizer.h"
 #include "reconstruct/by_class.h"
@@ -52,7 +54,7 @@ int main() {
   const perturb::Randomizer randomizer(train.schema(), noise);
 
   const std::vector<std::size_t> thread_counts{1, 2, 4, 8};
-  bench::ThroughputReporter reporter("records");
+  bench::ThroughputReporter reporter("records", 3, "perf_engine");
   char label[64];
 
   // ---------------------------------------------- sharded perturbation
@@ -64,7 +66,7 @@ int main() {
     reporter.Measure(label, train.NumRows(), "perturb", [&] {
       const data::Dataset p = batch.PerturbShards(randomizer, train);
       (void)p;
-    });
+    }, threads);
   }
   const data::Dataset perturbed = engine::Batch({1, 16384})
                                       .PerturbShards(randomizer, train);
@@ -84,8 +86,73 @@ int main() {
     std::snprintf(label, sizeof(label), "EM binned K=100 t=%zu", threads);
     reporter.Measure(label, train.NumRows(), "em", [&] {
       result = batch.ReconstructParallel(salary, partition, reconstructor);
-    });
+    }, threads);
     em_results.push_back(result);
+  }
+
+  // ------------------------------------------- E-step SIMD path sweep
+  // Single-threaded so the rows isolate the kernel speedup (off = the
+  // pre-dispatch sequential loops, the anchor). scalar and avx2 must be
+  // byte-identical; off may differ from them by summation-order rounding.
+  namespace simd = engine::simd;
+  std::vector<simd::Path> paths{simd::Path::kOff, simd::Path::kScalar};
+  if (simd::Avx2Supported()) paths.push_back(simd::Path::kAvx2);
+  const engine::Batch single({1, 16384});
+  std::vector<reconstruct::Reconstruction> simd_results;
+  for (simd::Path path : paths) {
+    (void)simd::SetPath(path);
+    reconstruct::Reconstruction result;
+    std::snprintf(label, sizeof(label), "EM binned K=100 simd=%s",
+                  simd::PathName(path));
+    reporter.Measure(label, train.NumRows(), "simd", [&] {
+      result = single.ReconstructParallel(salary, partition, reconstructor);
+    });
+    simd_results.push_back(result);
+  }
+  (void)simd::SetPath(simd::Avx2Supported() ? simd::Path::kAvx2
+                                            : simd::Path::kScalar);
+
+  // --------------------------------- kernel-cache warm-refresh speedup
+  // A streaming refresh pays O(wbins·K) to rebuild the likelihood table
+  // unless the cached one still matches. Cold rebuilds every call; warm
+  // reuses one prebuilt table — the speedup is what AttributeState's
+  // cache buys a warm-started session refresh.
+  for (const auto kind :
+       {perturb::NoiseKind::kUniform, perturb::NoiseKind::kGaussian}) {
+    engine::ThreadPool pool(1);
+    const char* kind_name =
+        kind == perturb::NoiseKind::kUniform ? "uniform" : "gauss";
+    const perturb::NoiseModel noise_model = perturb::NoiseForPrivacy(
+        kind, 1.0, partition.hi() - partition.lo(), 0.95);
+    const reconstruct::BayesReconstructor rec(noise_model, {});
+    const stats::Histogram whist = rec.PerturbedBinning(partition);
+    const engine::ShardStats counts = engine::IngestBinnedColumn(
+        salary.data(), salary.size(), whist.lo(), whist.hi(), whist.width(),
+        whist.bins(), &pool, 16384);
+    const std::vector<double> weights = counts.BinWeights();
+    const double total = static_cast<double>(salary.size());
+    const reconstruct::KernelTable table = rec.BuildKernelTable(partition,
+                                                                &pool);
+    // Warm-start from the converged masses so both rows time a
+    // short refresh (the steady-state shape), not a cold convergence.
+    const std::vector<double> masses =
+        rec.FitFromCounts(weights, total, partition, &pool, nullptr, &table)
+            .masses;
+    const std::string anchor = std::string("refresh-") + kind_name;
+    std::snprintf(label, sizeof(label), "refresh cold %s (rebuild)",
+                  kind_name);
+    reporter.Measure(label, salary.size(), anchor, [&] {
+      const reconstruct::Reconstruction r = rec.FitFromCounts(
+          weights, total, partition, &pool, &masses, nullptr);
+      (void)r;
+    });
+    std::snprintf(label, sizeof(label), "refresh warm %s (cached)",
+                  kind_name);
+    reporter.Measure(label, salary.size(), anchor, [&] {
+      const reconstruct::Reconstruction r = rec.FitFromCounts(
+          weights, total, partition, &pool, &masses, &table);
+      (void)r;
+    });
   }
 
   // ----------------------- per-attribute / per-class fan-out (ByClass)
@@ -104,7 +171,7 @@ int main() {
             reconstruct::ReconstructByClass(perturbed, col, p, rec);
         (void)r;
       });
-    });
+    }, threads);
   }
 
   // ------------------------------------------------ determinism check
@@ -114,5 +181,14 @@ int main() {
   }
   std::printf("\nEM masses byte-identical across thread counts: %s\n",
               identical ? "yes" : "NO — DETERMINISM VIOLATION");
-  return identical ? 0 : 1;
+  // scalar vs avx2 (entries 1..) must agree bitwise; the off row (entry 0)
+  // is excluded — its summation order legitimately differs.
+  bool simd_identical = true;
+  for (std::size_t i = 2; i < simd_results.size(); ++i) {
+    simd_identical =
+        simd_identical && SameMasses(simd_results[1], simd_results[i]);
+  }
+  std::printf("EM masses byte-identical across SIMD paths: %s\n",
+              simd_identical ? "yes" : "NO — DETERMINISM VIOLATION");
+  return identical && simd_identical ? 0 : 1;
 }

@@ -140,12 +140,17 @@ inline double WallSeconds(const std::function<void()>& fn) {
 /// can print a per-case p50/p99 summary over the repeat samples and
 /// PPDM_BENCH_METRICS=1 dumps the full Prometheus text exposition —
 /// engine/store counters included — after the rows.
+/// A non-empty `bench` additionally emits one NDJSON row per Measure()
+/// (EmitBenchJson: seconds, items/sec, items/sec/core, cores, speedup) so
+/// dashboards scrape the perf sweeps without parsing the table.
 class ThroughputReporter {
  public:
-  explicit ThroughputReporter(std::string unit = "records", int repeats = 3)
-      : unit_(std::move(unit)), repeats_(repeats) {
-    std::printf("%-36s %10s %16s %9s\n", "case", "seconds",
-                (unit_ + "/sec").c_str(), "speedup");
+  explicit ThroughputReporter(std::string unit = "records", int repeats = 3,
+                              std::string bench = "")
+      : unit_(std::move(unit)), repeats_(repeats), bench_(std::move(bench)) {
+    std::printf("%-36s %10s %16s %16s %9s\n", "case", "seconds",
+                (unit_ + "/sec").c_str(), (unit_ + "/sec/core").c_str(),
+                "speedup");
   }
 
   ~ThroughputReporter() {
@@ -157,9 +162,13 @@ class ThroughputReporter {
   }
 
   /// Times fn, records `items` processed under `label`; returns seconds.
+  /// `cores` is the worker parallelism of the run (default 1) — the
+  /// per-core throughput column divides by it, making scaling sweeps
+  /// comparable across thread counts (flat items/sec/core = linear
+  /// scaling).
   double Measure(const std::string& label, std::size_t items,
                  const std::string& baseline_of,
-                 const std::function<void()>& fn) {
+                 const std::function<void()>& fn, std::size_t cores = 1) {
     obs::Histogram* const samples =
         obs::MetricsRegistry::Global().GetHistogram(
             "ppdm_bench_run_seconds",
@@ -183,13 +192,26 @@ class ThroughputReporter {
     }
     const double throughput =
         seconds > 0.0 ? static_cast<double>(items) / seconds : 0.0;
+    const double per_core =
+        cores > 0 ? throughput / static_cast<double>(cores) : throughput;
+    double speedup = 0.0;
     if (baseline_of.empty() || seconds <= 0.0 ||
         baselines_.count(baseline_of) == 0) {
-      std::printf("%-36s %10.4f %16.0f %9s\n", label.c_str(), seconds,
-                  throughput, "-");
+      std::printf("%-36s %10.4f %16.0f %16.0f %9s\n", label.c_str(),
+                  seconds, throughput, per_core, "-");
     } else {
-      std::printf("%-36s %10.4f %16.0f %8.2fx\n", label.c_str(), seconds,
-                  throughput, baselines_[baseline_of] / seconds);
+      speedup = baselines_[baseline_of] / seconds;
+      std::printf("%-36s %10.4f %16.0f %16.0f %8.2fx\n", label.c_str(),
+                  seconds, throughput, per_core, speedup);
+    }
+    if (!bench_.empty()) {
+      EmitBenchJson(bench_, label,
+                    {{"seconds", seconds},
+                     {"items", static_cast<double>(items)},
+                     {"per_sec", throughput},
+                     {"per_sec_per_core", per_core},
+                     {"cores", static_cast<double>(cores)},
+                     {"speedup", speedup}});
     }
     return seconds;
   }
@@ -213,6 +235,7 @@ class ThroughputReporter {
  private:
   std::string unit_;
   int repeats_;
+  std::string bench_;  // NDJSON bench id; empty = table only
   std::map<std::string, double> baselines_;
   /// Measurement order, one entry per distinct label (repeated labels
   /// resolve to the same histogram and are recorded once).

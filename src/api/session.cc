@@ -57,22 +57,16 @@ Status ReconstructionSession::Ingest(const double* values,
 
   // Bin the batch on arrival, sharded over the pool, outside the session
   // lock: each shard accumulates its own integer counts, so the merged
-  // result is identical for every pool size and every batching.
-  const std::vector<engine::ChunkRange> shards =
-      engine::MakeChunks(count, spec_.shard_size);
-  std::vector<engine::ShardStats> partials(
-      shards.size(), engine::ShardStats(state_.num_bins(), 1));
-  engine::ParallelFor(pool_, shards.size(), [&](std::size_t s) {
-    engine::ShardStats& local = partials[s];
-    for (std::size_t i = shards[s].begin; i < shards[s].end; ++i) {
-      local.Add(state_.BinOf(values[i]), 0);
-    }
-  });
+  // result is identical for every pool size and every batching. The
+  // equi-width fast path computes bin indices with the dispatched batch
+  // kernel — identical indices to BinOf on every SIMD path.
+  const stats::Histogram& layout = state_.layout();
+  engine::ShardStats binned = engine::IngestBinnedColumn(
+      values, count, layout.lo(), layout.hi(), layout.width(), layout.bins(),
+      pool_, spec_.shard_size);
 
   std::lock_guard<std::mutex> lock(mu_);
-  for (const engine::ShardStats& partial : partials) {
-    state_.stats().MergeFrom(partial);
-  }
+  state_.stats().MergeFrom(binned);
   ++batches_;
   return Status::Ok();
 }
@@ -88,6 +82,7 @@ Result<reconstruct::Reconstruction> ReconstructionSession::Reconstruct() {
   double total_weight = 0.0;
   std::vector<double> initial;
   bool warm = false;
+  std::shared_ptr<const reconstruct::KernelTable> kernel;
   {
     std::lock_guard<std::mutex> lock(mu_);
     weights = state_.stats().BinWeights();
@@ -96,15 +91,20 @@ Result<reconstruct::Reconstruction> ReconstructionSession::Reconstruct() {
       initial = state_.last_masses();
       warm = true;
     }
+    kernel = state_.kernel_cache();
   }
 
+  // Cache hit skips the O(wbins·K) table rebuild; either way the table
+  // contents (and so the masses) are identical.
+  kernel = state_.ResolveKernelTable(std::move(kernel), pool_);
   reconstruct::Reconstruction recon = state_.reconstructor().FitFromCounts(
       weights, total_weight, state_.partition(), pool_,
-      warm ? &initial : nullptr);
+      warm ? &initial : nullptr, kernel.get());
 
   {
     std::lock_guard<std::mutex> lock(mu_);
     state_.set_last_masses(recon.masses);
+    state_.set_kernel_cache(std::move(kernel));
   }
   return recon;
 }

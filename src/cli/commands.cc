@@ -22,6 +22,7 @@
 #include "core/metrics.h"
 #include "data/csv.h"
 #include "engine/batch.h"
+#include "engine/simd.h"
 #include "net/client.h"
 #include "net/frame.h"
 #include "net/server.h"
@@ -118,8 +119,9 @@ Result<engine::BatchOptions> BatchFromFlags(const Args& args) {
 // flag lands in every CheckKnown at once instead of drifting per
 // command.
 std::vector<std::string> StreamFlagNames() {
-  return {"attribute", "attrs",      "function", "noise",   "privacy",
-          "confidence", "intervals", "seed",     "threads", "shard-size"};
+  return {"attribute",  "attrs",     "function", "noise",   "privacy",
+          "confidence", "intervals", "seed",     "threads", "shard-size",
+          "simd"};
 }
 
 // StreamFlagNames() + the command's own flags, for CheckKnown.
@@ -308,6 +310,12 @@ const char* UsageText() {
       "\n"
       "ppdm <command> --help prints this usage and exits 0.\n"
       "\n"
+      "Every command also accepts --simd=off|scalar|avx2, pinning the EM /\n"
+      "ingest kernel dispatch (overrides the PPDM_SIMD env var; default is\n"
+      "avx2 when the build and CPU support it, else scalar). All paths are\n"
+      "byte-identical — the flag exists for benchmarking and for pinning a\n"
+      "known path in CI; 'off' keeps the pre-dispatch sequential loops.\n"
+      "\n"
       "serve-sim simulates the paper's server: providers submit perturbed\n"
       "records in batches of B; a DatasetSession folds each record batch\n"
       "into every tracked attribute in one pass and every R batches all\n"
@@ -375,7 +383,7 @@ const char* UsageText() {
 
 Status RunGenerate(const Args& args, std::ostream& out) {
   if (Status s = args.CheckKnown(
-          {"out", "function", "records", "seed", "label-noise"});
+          {"out", "function", "records", "seed", "label-noise", "simd"});
       !s.ok()) {
     return s;
   }
@@ -408,7 +416,7 @@ Status RunGenerate(const Args& args, std::ostream& out) {
 Status RunPerturb(const Args& args, std::ostream& out) {
   if (Status s = args.CheckKnown({"in", "out", "noise", "privacy",
                                   "confidence", "seed", "threads",
-                                  "shard-size"});
+                                  "shard-size", "simd"});
       !s.ok()) {
     return s;
   }
@@ -444,7 +452,7 @@ Status RunPerturb(const Args& args, std::ostream& out) {
 Status RunReconstruct(const Args& args, std::ostream& out) {
   if (Status s = args.CheckKnown({"in", "attribute", "noise", "privacy",
                                   "confidence", "intervals", "by-class",
-                                  "seed", "threads", "shard-size"});
+                                  "seed", "threads", "shard-size", "simd"});
       !s.ok()) {
     return s;
   }
@@ -503,7 +511,7 @@ Status RunTrain(const Args& args, std::ostream& out) {
   if (Status s = args.CheckKnown({"train", "test", "mode", "noise",
                                   "privacy", "confidence", "intervals",
                                   "print-tree", "seed", "threads",
-                                  "shard-size"});
+                                  "shard-size", "simd"});
       !s.ok()) {
     return s;
   }
@@ -1005,7 +1013,8 @@ Status RunSnapshot(const Args& args, std::ostream& out) {
 
 Status RunRestore(const Args& args, std::ostream& out) {
   if (Status s = args.CheckKnown({"dir", "name", "reconstruct",
-                                  "print-masses", "threads", "shard-size"});
+                                  "print-masses", "threads", "shard-size",
+                                  "simd"});
       !s.ok()) {
     return s;
   }
@@ -1142,7 +1151,7 @@ Status RunServed(const Args& args, std::ostream& out) {
           {"host", "port", "threads", "shard-size", "max-pending",
            "max-connections", "connection-window", "max-body-mb",
            "registry-mb", "checkpoint-dir", "resume", "tenant-rate",
-           "tenant-burst", "faults"});
+           "tenant-burst", "faults", "simd"});
       !s.ok()) {
     return s;
   }
@@ -1472,6 +1481,13 @@ Status RunCommand(const Args& args, std::ostream& out) {
   if (args.Has("help")) {
     out << UsageText();
     return Status::Ok();
+  }
+  // --simd=off|scalar|avx2 pins the kernel dispatch for this run (it
+  // overrides PPDM_SIMD). All paths are byte-identical; the flag exists
+  // for benchmarking and for pinning a known path in CI.
+  if (args.Has("simd")) {
+    PPDM_RETURN_IF_ERROR(
+        engine::simd::SetPathFromString(args.GetString("simd", "")));
   }
   if (args.command() == "generate") return RunGenerate(args, out);
   if (args.command() == "perturb") return RunPerturb(args, out);

@@ -6,6 +6,7 @@
 #include "cli/args.h"
 #include "cli/commands.h"
 #include "common/fault.h"
+#include "engine/simd.h"
 
 int main(int argc, char** argv) {
   using ppdm::cli::Args;
@@ -15,6 +16,14 @@ int main(int argc, char** argv) {
   // failures without a rebuild.
   if (ppdm::Status faults = ppdm::fault::ArmFromEnv(); !faults.ok()) {
     std::cerr << "ppdm: PPDM_FAULTS: " << faults.ToString() << "\n";
+    return 2;
+  }
+
+  // PPDM_SIMD=off|scalar|avx2 pins the kernel dispatch path. Resolve it
+  // eagerly so a typo fails loudly here instead of silently running the
+  // default path (library users get the lenient lazy resolve instead).
+  if (ppdm::Status simd = ppdm::engine::simd::InitFromEnv(); !simd.ok()) {
+    std::cerr << "ppdm: PPDM_SIMD: " << simd.ToString() << "\n";
     return 2;
   }
 

@@ -1,6 +1,9 @@
 #include "engine/shard_stats.h"
 
+#include <algorithm>
+
 #include "common/check.h"
+#include "engine/simd.h"
 
 namespace ppdm::engine {
 
@@ -106,6 +109,33 @@ ShardStats IngestSharded(const std::vector<double>& values,
           const std::size_t klass =
               labels == nullptr ? 0 : static_cast<std::size_t>((*labels)[i]);
           local.Add(bin_of(values[i]), klass);
+        }
+        return local;
+      },
+      [](ShardStats* acc, const ShardStats& shard) { acc->MergeFrom(shard); });
+}
+
+ShardStats IngestBinnedColumn(const double* values, std::size_t count,
+                              double lo, double hi, double width,
+                              std::size_t num_bins, ThreadPool* pool,
+                              std::size_t shard_size) {
+  const std::vector<ChunkRange> shards = MakeChunks(count, shard_size);
+  ShardStats init(num_bins, 1);
+  if (shards.empty()) return init;
+  // Bin a batch at a time so the index computation vectorizes; 256 values
+  // keeps the index scratch inside one page and well inside L1.
+  constexpr std::size_t kBatch = 256;
+  return ChunkedReduce<ShardStats>(
+      pool, shards, std::move(init),
+      [&](std::size_t /*shard*/, const ChunkRange& range) {
+        ShardStats local(num_bins, 1);
+        std::uint32_t idx[kBatch];
+        for (std::size_t i = range.begin; i < range.end; i += kBatch) {
+          const std::size_t n = std::min(kBatch, range.end - i);
+          simd::BinIndices(values + i, n, lo, hi, width, num_bins, idx);
+          for (std::size_t j = 0; j < n; ++j) {
+            local.Add(idx[j], 0);
+          }
         }
         return local;
       },

@@ -55,8 +55,12 @@ class ShardStats {
 
   /// Heap bytes held by the counts table — the accounting unit for
   /// session memory budgets (per-session ApproxMemoryBytes sums these).
+  /// Sized from size(), not capacity(): the table is allocated once at its
+  /// final num_bins * num_classes shape, so size() is the real footprint,
+  /// while capacity() could over-report by an allocator-dependent amount
+  /// and make budget admission non-portable.
   std::size_t ApproxHeapBytes() const {
-    return counts_.capacity() * sizeof(std::uint64_t);
+    return counts_.size() * sizeof(std::uint64_t);
   }
 
   /// The flattened counts table ([klass * num_bins + bin]) — what the
@@ -92,6 +96,19 @@ ShardStats IngestSharded(const std::vector<double>& values,
                          const std::function<std::size_t(double)>& bin_of,
                          std::size_t num_bins, ThreadPool* pool,
                          std::size_t shard_size);
+
+/// Equi-width specialization of IngestSharded for the unlabeled hot path:
+/// bins `values[0..count)` into `num_bins` clamped equi-width bins
+/// ([lo, hi), width `width` — pass the histogram's stored width) without
+/// the per-value std::function indirection. Bin indices come from the
+/// dispatched engine::simd::BinIndices batch kernel, which reproduces
+/// stats::Histogram::BinOf exactly on every SIMD path, so the counts are
+/// identical to IngestSharded with a BinOf functor — for every pool size
+/// and every PPDM_SIMD setting (integer outputs; no rounding freedom).
+ShardStats IngestBinnedColumn(const double* values, std::size_t count,
+                              double lo, double hi, double width,
+                              std::size_t num_bins, ThreadPool* pool,
+                              std::size_t shard_size);
 
 }  // namespace ppdm::engine
 

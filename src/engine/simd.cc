@@ -1,0 +1,231 @@
+// Dispatch state plus the scalar lane-blocked reference kernels. This
+// translation unit is compiled with -ffp-contract=off (see CMakeLists.txt)
+// so no mul+add here can be fused into an FMA the AVX2 path doesn't do —
+// the two paths must stay byte-identical.
+
+#include "engine/simd.h"
+
+#include <atomic>
+#include <cstdio>
+#include <cstdlib>
+
+#include "common/check.h"
+#include "obs/metrics.h"
+
+namespace ppdm::engine::simd {
+namespace {
+
+constexpr int kUnresolved = -1;
+
+// The resolved path, shared process-wide. Lazy: first ActivePath() wins
+// the race (both racers compute the same value, so the CAS is benign).
+std::atomic<int> g_path{kUnresolved};
+
+// ppdm_simd_path{path="..."} — an info gauge: 1 on the active path's
+// label, 0 on the others, so a scrape names the dispatched kernels.
+void PublishPathGauge(Path active) {
+  static constexpr Path kAll[] = {Path::kOff, Path::kScalar, Path::kAvx2};
+  for (Path p : kAll) {
+    obs::MetricsRegistry::Global()
+        .GetGauge("ppdm_simd_path",
+                  std::string("path=\"") + PathName(p) + "\"")
+        ->Set(p == active ? 1 : 0);
+  }
+}
+
+void Publish(Path path) {
+  g_path.store(static_cast<int>(path), std::memory_order_relaxed);
+  PublishPathGauge(path);
+}
+
+Path DefaultPath() { return Avx2Supported() ? Path::kAvx2 : Path::kScalar; }
+
+// Lenient env resolution for library users that never call InitFromEnv():
+// a bad value or an unsupported avx2 request warns once and falls back.
+Path ResolveLazily() {
+  const char* env = std::getenv("PPDM_SIMD");
+  if (env == nullptr) return DefaultPath();
+  const std::string name(env);
+  if (name == "off") return Path::kOff;
+  if (name == "scalar") return Path::kScalar;
+  if (name == "avx2") {
+    if (Avx2Supported()) return Path::kAvx2;
+    std::fprintf(stderr,
+                 "ppdm: PPDM_SIMD=avx2 but AVX2 is unavailable; "
+                 "using scalar\n");
+    return Path::kScalar;
+  }
+  std::fprintf(stderr,
+               "ppdm: PPDM_SIMD='%s' is not off|scalar|avx2; using the "
+               "default path\n",
+               env);
+  return DefaultPath();
+}
+
+}  // namespace
+
+const char* PathName(Path path) {
+  switch (path) {
+    case Path::kOff:
+      return "off";
+    case Path::kScalar:
+      return "scalar";
+    case Path::kAvx2:
+      return "avx2";
+  }
+  return "?";
+}
+
+bool Avx2Supported() {
+  if (!internal::Avx2Compiled()) return false;
+#if defined(__x86_64__) || defined(__i386__)
+  return __builtin_cpu_supports("avx2") != 0;
+#else
+  return false;
+#endif
+}
+
+Path ActivePath() {
+  const int raw = g_path.load(std::memory_order_relaxed);
+  if (raw != kUnresolved) return static_cast<Path>(raw);
+  const Path resolved = ResolveLazily();
+  int expected = kUnresolved;
+  if (g_path.compare_exchange_strong(expected, static_cast<int>(resolved),
+                                     std::memory_order_relaxed)) {
+    PublishPathGauge(resolved);
+    return resolved;
+  }
+  return static_cast<Path>(expected);
+}
+
+Status SetPath(Path path) {
+  if (path == Path::kAvx2 && !Avx2Supported()) {
+    return Status::InvalidArgument(
+        internal::Avx2Compiled()
+            ? "simd path 'avx2' requested but this CPU lacks AVX2"
+            : "simd path 'avx2' requested but this build carries no AVX2 "
+              "code");
+  }
+  Publish(path);
+  return Status::Ok();
+}
+
+Status SetPathFromString(const std::string& name) {
+  if (name == "off") return SetPath(Path::kOff);
+  if (name == "scalar") return SetPath(Path::kScalar);
+  if (name == "avx2") return SetPath(Path::kAvx2);
+  return Status::InvalidArgument("simd path '" + name +
+                                 "' is not off|scalar|avx2");
+}
+
+Status InitFromEnv() {
+  const char* env = std::getenv("PPDM_SIMD");
+  if (env == nullptr) {
+    Publish(DefaultPath());
+    return Status::Ok();
+  }
+  return SetPathFromString(env);
+}
+
+double Dot(const double* a, const double* b, std::size_t n, Path path) {
+  return path == Path::kAvx2 ? internal::DotAvx2(a, b, n)
+                             : internal::DotScalar(a, b, n);
+}
+
+void ScaleAdd(double* acc, const double* a, const double* b, double scale,
+              std::size_t n, Path path) {
+  if (path == Path::kAvx2) {
+    internal::ScaleAddAvx2(acc, a, b, scale, n);
+  } else {
+    internal::ScaleAddScalar(acc, a, b, scale, n);
+  }
+}
+
+void UniformCdfShift(const double* mids, std::size_t n, double shift,
+                     double alpha, double* out) {
+  if (ActivePath() == Path::kAvx2) {
+    internal::UniformCdfShiftAvx2(mids, n, shift, alpha, out);
+  } else {
+    internal::UniformCdfShiftScalar(mids, n, shift, alpha, out);
+  }
+}
+
+void Sub(const double* a, const double* b, std::size_t n, double* out) {
+  if (ActivePath() == Path::kAvx2) {
+    internal::SubAvx2(a, b, n, out);
+  } else {
+    internal::SubScalar(a, b, n, out);
+  }
+}
+
+void BinIndices(const double* values, std::size_t n, double lo, double hi,
+                double width, std::size_t bins, std::uint32_t* out) {
+  if (ActivePath() == Path::kAvx2) {
+    internal::BinIndicesAvx2(values, n, lo, hi, width, bins, out);
+  } else {
+    internal::BinIndicesScalar(values, n, lo, hi, width, bins, out);
+  }
+}
+
+namespace internal {
+
+double DotScalar(const double* a, const double* b, std::size_t n) {
+  PPDM_CHECK_EQ(n % kLanes, 0u);
+  // Four independent accumulators, lane l summing indices ≡ l (mod 4) in
+  // ascending order — exactly what one AVX2 vector accumulator does per
+  // lane. The reduction tree (l0+l1)+(l2+l3) matches the vector path's
+  // horizontal reduce.
+  double l0 = 0.0, l1 = 0.0, l2 = 0.0, l3 = 0.0;
+  for (std::size_t i = 0; i < n; i += kLanes) {
+    l0 += a[i] * b[i];
+    l1 += a[i + 1] * b[i + 1];
+    l2 += a[i + 2] * b[i + 2];
+    l3 += a[i + 3] * b[i + 3];
+  }
+  return (l0 + l1) + (l2 + l3);
+}
+
+void ScaleAddScalar(double* acc, const double* a, const double* b,
+                    double scale, std::size_t n) {
+  PPDM_CHECK_EQ(n % kLanes, 0u);
+  for (std::size_t i = 0; i < n; ++i) {
+    acc[i] += (scale * a[i]) * b[i];
+  }
+}
+
+void UniformCdfShiftScalar(const double* mids, std::size_t n, double shift,
+                           double alpha, double* out) {
+  const double two_alpha = 2.0 * alpha;
+  for (std::size_t i = 0; i < n; ++i) {
+    const double y = shift - mids[i];
+    double t = (y + alpha) / two_alpha;
+    if (y <= -alpha) t = 0.0;
+    if (y >= alpha) t = 1.0;
+    out[i] = t;
+  }
+}
+
+void SubScalar(const double* a, const double* b, std::size_t n,
+               double* out) {
+  for (std::size_t i = 0; i < n; ++i) out[i] = a[i] - b[i];
+}
+
+void BinIndicesScalar(const double* values, std::size_t n, double lo,
+                      double hi, double width, std::size_t bins,
+                      std::uint32_t* out) {
+  const std::uint32_t last = static_cast<std::uint32_t>(bins - 1);
+  for (std::size_t i = 0; i < n; ++i) {
+    const double v = values[i];
+    if (v <= lo) {
+      out[i] = 0;
+    } else if (v >= hi) {
+      out[i] = last;
+    } else {
+      const auto b = static_cast<std::uint32_t>((v - lo) / width);
+      out[i] = b < last ? b : last;
+    }
+  }
+}
+
+}  // namespace internal
+}  // namespace ppdm::engine::simd

@@ -5,12 +5,15 @@
 
 #include "common/check.h"
 #include "engine/shard_stats.h"
+#include "engine/simd.h"
 #include "engine/thread_pool.h"
 #include "obs/metrics.h"
 #include "stats/histogram.h"
 
 namespace ppdm::reconstruct {
 namespace {
+
+namespace simd = engine::simd;
 
 constexpr double kTinyDensity = 1e-300;
 
@@ -49,6 +52,7 @@ std::vector<double> UniformMasses(std::size_t k) {
 }
 
 // Exact histogram — the degenerate reconstruction when there is no noise.
+// An empty sample yields the uniform distribution (the EM prior).
 Reconstruction HistogramMasses(const std::vector<double>& values,
                                const Partition& partition) {
   Reconstruction out;
@@ -64,62 +68,81 @@ Reconstruction HistogramMasses(const std::vector<double>& values,
   return out;
 }
 
-// Shared EM loop. `weights[j]` perturbed observations sit at `points[j]`;
-// `kernel[j*K + k]` holds f_Y(points[j] − m_k). `fallback[j]` is the
-// interval that absorbs observation j if every component density vanishes
-// (possible only at the clamped edges of the binned variant).
+// Shared EM loop over a prebuilt likelihood table: `weights[j]` perturbed
+// observations sit in table row j. The E-step is decomposed into fixed
+// chunks of `em_chunk` observations; per-chunk partial sums are folded in
+// ascending chunk order, so for a fixed em_chunk the output is
+// bit-identical regardless of `pool` (nullptr runs the identical
+// decomposition inline). em_chunk == 0 keeps everything in one chunk,
+// reproducing the sequential accumulation order exactly.
 //
-// The E-step is decomposed into fixed chunks of `em_chunk` observations;
-// per-chunk partial sums are folded in ascending chunk order, so for a
-// fixed em_chunk the output is bit-identical regardless of `pool` (nullptr
-// runs the identical decomposition inline). em_chunk == 0 keeps everything
-// in one chunk, reproducing the sequential accumulation order exactly.
+// The inner product and scale-accumulate run on the dispatched SIMD path
+// (engine::simd::ActivePath()): kOff preserves the historical sequential
+// accumulation bit for bit; kScalar and kAvx2 share one lane-blocked
+// decomposition and are byte-identical to each other. Mass vectors live in
+// stride-wide buffers whose padding lanes hold exact zeros, so the blocked
+// kernels never need a remainder tail (the padded products are +0.0 —
+// exact).
 //
 // `initial` (optional) seeds the iteration in place of the uniform prior —
 // the warm-start path of streaming sessions. Floored and renormalized so no
 // component starts at exactly zero.
 Reconstruction RunEm(const std::vector<double>& weights,
-                     const std::vector<double>& kernel,
-                     const std::vector<std::size_t>& fallback,
-                     std::size_t num_intervals, double total_weight,
+                     const KernelTable& table, double total_weight,
                      const ReconstructionOptions& options,
                      engine::ThreadPool* pool, std::size_t em_chunk,
                      const std::vector<double>* initial = nullptr) {
   obs::ScopedTimer fit_timer(&EmFitSecondsHistogram());
+  PPDM_CHECK_EQ(weights.size(), table.wbins);
+  const std::size_t num_intervals = table.intervals;
+  const std::size_t stride = table.stride;
+  const std::vector<double>& kernel = table.kernel;
+  const std::vector<std::size_t>& fallback = table.fallback;
+  const simd::Path path = simd::ActivePath();
+
   Reconstruction out;
   out.sample_count = static_cast<std::size_t>(total_weight + 0.5);
-  std::vector<double> p;
+  std::vector<double> p(stride, 0.0);
   if (initial != nullptr) {
     PPDM_CHECK_EQ(initial->size(), num_intervals);
-    p = *initial;
     double start_mass = 0.0;
-    for (double& m : p) {
-      m = std::max(m, kWarmStartFloor);
-      start_mass += m;
+    for (std::size_t k = 0; k < num_intervals; ++k) {
+      p[k] = std::max((*initial)[k], kWarmStartFloor);
+      start_mass += p[k];
     }
-    for (double& m : p) m /= start_mass;
+    for (std::size_t k = 0; k < num_intervals; ++k) p[k] /= start_mass;
   } else {
-    p = UniformMasses(num_intervals);
+    const double uniform = 1.0 / static_cast<double>(num_intervals);
+    for (std::size_t k = 0; k < num_intervals; ++k) p[k] = uniform;
   }
-  std::vector<double> next(num_intervals, 0.0);
+  std::vector<double> next(stride, 0.0);
 
   const std::vector<engine::ChunkRange> chunks =
       engine::MakeChunks(weights.size(), em_chunk);
-  // Per-chunk workspaces, allocated once and reused across iterations.
-  std::vector<std::vector<double>> partial_next(
-      chunks.size(), std::vector<double>(num_intervals, 0.0));
+  // Per-chunk accumulators in one arena, each chunk's slice rounded up to
+  // a whole number of cache lines and the arena 64-byte-aligned, so pool
+  // threads never write into each other's cache lines (no false sharing).
+  const std::size_t acc_stride = (stride + 7) / 8 * 8;
+  simd::AlignedDoubles partial_arena(chunks.size() * acc_stride);
   std::vector<double> partial_ll(chunks.size(), 0.0);
 
   for (std::size_t iter = 0; iter < options.max_iterations; ++iter) {
     engine::ParallelFor(pool, chunks.size(), [&](std::size_t c) {
-      std::vector<double>& local = partial_next[c];
-      std::fill(local.begin(), local.end(), 0.0);
+      double* local = partial_arena.data() + c * acc_stride;
+      std::fill(local, local + acc_stride, 0.0);
       double ll = 0.0;
       for (std::size_t j = chunks[c].begin; j < chunks[c].end; ++j) {
         if (weights[j] == 0.0) continue;
-        const double* row = &kernel[j * num_intervals];
-        double denom = 0.0;
-        for (std::size_t k = 0; k < num_intervals; ++k) denom += row[k] * p[k];
+        const double* row = &kernel[j * stride];
+        double denom;
+        if (path == simd::Path::kOff) {
+          denom = 0.0;
+          for (std::size_t k = 0; k < num_intervals; ++k) {
+            denom += row[k] * p[k];
+          }
+        } else {
+          denom = simd::Dot(row, p.data(), stride, path);
+        }
         if (denom <= kTinyDensity) {
           // No component reaches this observation (clamped edge bin under
           // bounded noise): attribute it wholly to the nearest interval.
@@ -129,8 +152,12 @@ Reconstruction RunEm(const std::vector<double>& weights,
         }
         ll += weights[j] * std::log(denom);
         const double scale = weights[j] / denom;
-        for (std::size_t k = 0; k < num_intervals; ++k) {
-          local[k] += scale * row[k] * p[k];
+        if (path == simd::Path::kOff) {
+          for (std::size_t k = 0; k < num_intervals; ++k) {
+            local[k] += scale * row[k] * p[k];
+          }
+        } else {
+          simd::ScaleAdd(local, row, p.data(), scale, stride, path);
         }
       }
       partial_ll[c] = ll;
@@ -140,8 +167,9 @@ Reconstruction RunEm(const std::vector<double>& weights,
     std::fill(next.begin(), next.end(), 0.0);
     double log_likelihood = 0.0;
     for (std::size_t c = 0; c < chunks.size(); ++c) {
+      const double* local = partial_arena.data() + c * acc_stride;
       for (std::size_t k = 0; k < num_intervals; ++k) {
-        next[k] += partial_next[c][k];
+        next[k] += local[k];
       }
       log_likelihood += partial_ll[c];
     }
@@ -149,9 +177,9 @@ Reconstruction RunEm(const std::vector<double>& weights,
 
     // Numerical safety: renormalize so the masses stay a distribution.
     double mass = 0.0;
-    for (double m : next) mass += m;
+    for (std::size_t k = 0; k < num_intervals; ++k) mass += next[k];
     PPDM_CHECK_GT(mass, 0.0);
-    for (double& m : next) m /= mass;
+    for (std::size_t k = 0; k < num_intervals; ++k) next[k] /= mass;
 
     const double chi2 = stats::ChiSquareDistance(next, p);
     out.log_likelihood_trace.push_back(log_likelihood);
@@ -160,48 +188,104 @@ Reconstruction RunEm(const std::vector<double>& weights,
     ++out.iterations;
     if (chi2 < options.chi_square_epsilon) break;
   }
-  out.masses = std::move(p);
+  out.masses.assign(p.begin(), p.begin() + num_intervals);
   EmIterationsHistogram().Observe(static_cast<double>(out.iterations));
   return out;
 }
 
-// Component likelihood table of the binned EM: kernel[j*K + k] is
-// P(W ∈ w-bin j | X = m_k), integrated exactly over the w bin via the
-// noise CDF. Integration (rather than a midpoint pdf evaluation) kills the
-// half-bin boundary bias that bounded noise would otherwise exhibit.
-// fallback[j] is the interval absorbing bin j if every component density
-// vanishes there (possible only at the clamped edges of bounded noise).
-// Each row is independent and writes only its own slots, so the table is
-// identical for every pool size.
-void BuildBinnedKernel(const stats::Histogram& whist,
-                       const Partition& partition,
-                       const perturb::NoiseModel& noise,
-                       engine::ThreadPool* pool, std::vector<double>* kernel,
-                       std::vector<std::size_t>* fallback) {
-  const std::size_t num_wbins = whist.bins();
-  const std::size_t num_intervals = partition.intervals();
-  fallback->resize(num_wbins);
-  kernel->resize(num_wbins * num_intervals);
+// Builds the binned-EM component likelihood table (see KernelTable):
+// kernel[j*stride + k] is P(W ∈ w-bin j | X = m_k), integrated exactly
+// over the w bin via the noise CDF. Integration (rather than a midpoint
+// pdf evaluation) kills the half-bin boundary bias that bounded noise
+// would otherwise exhibit. Each row is independent and writes only its
+// own slots, so the table is identical for every pool size; uniform-noise
+// CDF rows go through the dispatched batch kernel, whose scalar and
+// vector variants compute the very operations NoiseModel::Cdf does — the
+// table contents are therefore identical on every SIMD path too.
+KernelTable BuildBinnedKernelTable(const stats::Histogram& whist,
+                                   const Partition& partition,
+                                   const perturb::NoiseModel& noise,
+                                   engine::ThreadPool* pool) {
+  KernelTable table;
+  table.wbins = whist.bins();
+  table.intervals = partition.intervals();
+  table.stride = simd::PadLanes(table.intervals);
+  table.kernel.assign(table.wbins * table.stride, 0.0);
+  table.fallback.resize(table.wbins);
+  table.noise_kind = noise.kind();
+  table.noise_scale = noise.scale();
+  table.partition_lo = partition.lo();
+  table.partition_hi = partition.hi();
+  table.whist_lo = whist.lo();
+  table.whist_hi = whist.hi();
+
+  const std::size_t num_wbins = table.wbins;
+  const std::size_t num_intervals = table.intervals;
+  std::vector<double> mids(num_intervals);
+  for (std::size_t k = 0; k < num_intervals; ++k) mids[k] = partition.Mid(k);
+
+  // The batch CDF kernel only exists for uniform noise; Gaussian (erf) and
+  // the historical kOff path evaluate the scalar CDF per cell.
+  const bool batch_cdf = noise.kind() == perturb::NoiseKind::kUniform &&
+                         simd::ActivePath() != simd::Path::kOff;
+  const double alpha = noise.scale();
+
   const std::vector<engine::ChunkRange> rows =
       engine::MakeChunks(num_wbins, pool == nullptr ? 0 : kKernelChunkRows);
   engine::ParallelFor(pool, rows.size(), [&](std::size_t c) {
+    std::vector<double> upper(num_intervals), lower(num_intervals);
     for (std::size_t j = rows[c].begin; j < rows[c].end; ++j) {
       const double bin_lo = whist.BinLo(j);
       const double bin_hi = whist.BinHi(j);
-      (*fallback)[j] = partition.IntervalOf(whist.BinMid(j));
-      for (std::size_t k = 0; k < num_intervals; ++k) {
-        const double mid = partition.Mid(k);
+      table.fallback[j] = partition.IntervalOf(whist.BinMid(j));
+      double* row = &table.kernel[j * table.stride];
+      if (batch_cdf) {
         // The outermost bins also absorb the clamped tails.
-        const double upper = j + 1 == num_wbins ? 1.0
-                                                : noise.Cdf(bin_hi - mid);
-        const double lower = j == 0 ? 0.0 : noise.Cdf(bin_lo - mid);
-        (*kernel)[j * num_intervals + k] = upper - lower;
+        if (j + 1 == num_wbins) {
+          std::fill(upper.begin(), upper.end(), 1.0);
+        } else {
+          simd::UniformCdfShift(mids.data(), num_intervals, bin_hi, alpha,
+                                upper.data());
+        }
+        if (j == 0) {
+          std::fill(lower.begin(), lower.end(), 0.0);
+        } else {
+          simd::UniformCdfShift(mids.data(), num_intervals, bin_lo, alpha,
+                                lower.data());
+        }
+        simd::Sub(upper.data(), lower.data(), num_intervals, row);
+      } else {
+        for (std::size_t k = 0; k < num_intervals; ++k) {
+          const double mid = mids[k];
+          const double u =
+              j + 1 == num_wbins ? 1.0 : noise.Cdf(bin_hi - mid);
+          const double l = j == 0 ? 0.0 : noise.Cdf(bin_lo - mid);
+          row[k] = u - l;
+        }
       }
     }
   });
+  return table;
 }
 
 }  // namespace
+
+bool KernelTable::Matches(const perturb::NoiseModel& noise,
+                          const Partition& partition,
+                          const stats::Histogram& whist) const {
+  return noise_kind == noise.kind() && noise_scale == noise.scale() &&
+         partition_lo == partition.lo() &&
+         partition_hi == partition.hi() &&
+         intervals == partition.intervals() && whist_lo == whist.lo() &&
+         whist_hi == whist.hi() && wbins == whist.bins() &&
+         stride == engine::simd::PadLanes(intervals) &&
+         kernel.size() == wbins * stride && fallback.size() == wbins;
+}
+
+std::size_t KernelTable::ApproxHeapBytes() const {
+  return kernel.capacity() * sizeof(double) +
+         fallback.capacity() * sizeof(std::size_t);
+}
 
 double Reconstruction::CdfAtEdge(std::size_t k) const {
   PPDM_CHECK_LE(k, masses.size());
@@ -262,30 +346,37 @@ stats::Histogram BayesReconstructor::PerturbedBinning(
       partition.intervals() + 2 * extension);
 }
 
+KernelTable BayesReconstructor::BuildKernelTable(
+    const Partition& partition, engine::ThreadPool* pool) const {
+  return BuildBinnedKernelTable(PerturbedBinning(partition), partition,
+                                noise_, pool);
+}
+
 Reconstruction BayesReconstructor::FitBinned(
     const std::vector<double>& perturbed, const Partition& partition,
     engine::ThreadPool* pool, std::size_t shard_size,
     std::size_t em_chunk) const {
   // Sharded ingestion: per-shard integer bin counts merged in shard order
-  // are exactly the sequential histogram, for every pool size.
+  // are exactly the sequential histogram, for every pool size. The bin
+  // index is computed by the dispatched batch kernel, which reproduces
+  // Histogram::BinOf exactly on every path (integer outputs — no rounding
+  // freedom).
   const stats::Histogram whist = PerturbedBinning(partition);
-  const engine::ShardStats ingested = engine::IngestSharded(
-      perturbed, /*labels=*/nullptr, /*num_classes=*/1,
-      [&whist](double v) { return whist.BinOf(v); }, whist.bins(), pool,
-      shard_size);
+  const engine::ShardStats ingested = engine::IngestBinnedColumn(
+      perturbed.data(), perturbed.size(), whist.lo(), whist.hi(),
+      whist.width(), whist.bins(), pool, shard_size);
 
-  std::vector<std::size_t> fallback;
-  std::vector<double> kernel;
-  BuildBinnedKernel(whist, partition, noise_, pool, &kernel, &fallback);
-  return RunEm(ingested.BinWeights(), kernel, fallback,
-               partition.intervals(), static_cast<double>(perturbed.size()),
-               options_, pool, em_chunk);
+  const KernelTable table =
+      BuildBinnedKernelTable(whist, partition, noise_, pool);
+  return RunEm(ingested.BinWeights(), table,
+               static_cast<double>(perturbed.size()), options_, pool,
+               em_chunk);
 }
 
 Reconstruction BayesReconstructor::FitFromCounts(
     const std::vector<double>& weights, double total_weight,
     const Partition& partition, engine::ThreadPool* pool,
-    const std::vector<double>* initial) const {
+    const std::vector<double>* initial, const KernelTable* kernel) const {
   const stats::Histogram whist = PerturbedBinning(partition);
   PPDM_CHECK_EQ(weights.size(), whist.bins());
   if (total_weight <= 0.0) {
@@ -302,13 +393,18 @@ Reconstruction BayesReconstructor::FitFromCounts(
     for (double& m : out.masses) m /= total_weight;
     return out;
   }
-  std::vector<std::size_t> fallback;
-  std::vector<double> kernel;
-  BuildBinnedKernel(whist, partition, noise_, pool, &kernel, &fallback);
+  // Reuse the caller's cached table only when it was built from exactly
+  // this layout; a stale or absent cache triggers a fresh build, whose
+  // contents are identical — the result never depends on the cache.
+  KernelTable built;
+  if (kernel == nullptr || !kernel->Matches(noise_, partition, whist)) {
+    built = BuildBinnedKernelTable(whist, partition, noise_, pool);
+    kernel = &built;
+  }
   // kEmChunkBins matches FitParallel's decomposition, so a cold start
   // (initial == nullptr) reproduces the batch masses bit for bit.
-  return RunEm(weights, kernel, fallback, partition.intervals(),
-               total_weight, options_, pool, kEmChunkBins, initial);
+  return RunEm(weights, *kernel, total_weight, options_, pool, kEmChunkBins,
+               initial);
 }
 
 Reconstruction BayesReconstructor::FitExact(
@@ -316,22 +412,27 @@ Reconstruction BayesReconstructor::FitExact(
     engine::ThreadPool* pool, std::size_t em_chunk) const {
   const std::size_t num_intervals = partition.intervals();
   std::vector<double> weights(perturbed.size(), 1.0);
-  std::vector<std::size_t> fallback(perturbed.size());
-  std::vector<double> kernel(perturbed.size() * num_intervals);
+  // Ad-hoc per-sample table: row j holds f_Y(w_j − m_k). Same padded
+  // layout as the binned table so RunEm's blocked kernels apply.
+  KernelTable table;
+  table.wbins = perturbed.size();
+  table.intervals = num_intervals;
+  table.stride = simd::PadLanes(num_intervals);
+  table.kernel.assign(table.wbins * table.stride, 0.0);
+  table.fallback.resize(table.wbins);
   const std::vector<engine::ChunkRange> rows = engine::MakeChunks(
       perturbed.size(), pool == nullptr ? 0 : kKernelChunkRows);
   engine::ParallelFor(pool, rows.size(), [&](std::size_t c) {
     for (std::size_t j = rows[c].begin; j < rows[c].end; ++j) {
-      fallback[j] = partition.IntervalOf(perturbed[j]);
+      table.fallback[j] = partition.IntervalOf(perturbed[j]);
+      double* row = &table.kernel[j * table.stride];
       for (std::size_t k = 0; k < num_intervals; ++k) {
-        kernel[j * num_intervals + k] =
-            noise_.Pdf(perturbed[j] - partition.Mid(k));
+        row[k] = noise_.Pdf(perturbed[j] - partition.Mid(k));
       }
     }
   });
-  return RunEm(weights, kernel, fallback, num_intervals,
-               static_cast<double>(perturbed.size()), options_, pool,
-               em_chunk);
+  return RunEm(weights, table, static_cast<double>(perturbed.size()),
+               options_, pool, em_chunk);
 }
 
 }  // namespace ppdm::reconstruct

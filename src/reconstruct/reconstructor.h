@@ -14,6 +14,7 @@
 #include <cstddef>
 #include <vector>
 
+#include "engine/simd.h"
 #include "engine/thread_pool.h"
 #include "perturb/noise_model.h"
 #include "reconstruct/partition.h"
@@ -63,6 +64,42 @@ struct Reconstruction {
   double CdfAtEdge(std::size_t k) const;
 };
 
+/// Precomputed component-likelihood table of the binned EM:
+/// `kernel[j * stride + k]` holds P(W ∈ w-bin j | X = m_k), integrated
+/// exactly over the w bin via the noise CDF. Rows are padded from
+/// `intervals` to `stride` (a SIMD lane multiple) with exact zeros, so the
+/// blocked E-step kernels run without a remainder tail. `fallback[j]` is
+/// the interval absorbing bin j if every component density vanishes there.
+///
+/// The table depends only on (noise params, partition edges, w-hist
+/// edges) — the key fields below — never on the counts, the thread count,
+/// or the dispatched SIMD path, so warm-start refreshes can cache it
+/// (api::AttributeState does) and skip the O(wbins·K) rebuild.
+struct KernelTable {
+  std::size_t wbins = 0;      ///< perturbed-value bins (table rows)
+  std::size_t intervals = 0;  ///< partition intervals (logical columns)
+  std::size_t stride = 0;     ///< row stride: intervals padded to a lane multiple
+  std::vector<double> kernel;          ///< wbins × stride, padding zero
+  std::vector<std::size_t> fallback;   ///< absorbing interval per row
+
+  // Cache key — the inputs the table was built from.
+  perturb::NoiseKind noise_kind = perturb::NoiseKind::kNone;
+  double noise_scale = 0.0;
+  double partition_lo = 0.0;
+  double partition_hi = 0.0;
+  double whist_lo = 0.0;
+  double whist_hi = 0.0;
+
+  /// True when this table was built from exactly these layout inputs (and
+  /// its shape is internally consistent) — the staleness check cached
+  /// tables go through before reuse.
+  bool Matches(const perturb::NoiseModel& noise, const Partition& partition,
+               const stats::Histogram& whist) const;
+
+  /// Heap bytes behind the table (cache-size reporting).
+  std::size_t ApproxHeapBytes() const;
+};
+
 /// Fits interval masses to perturbed samples by iterated Bayes / EM.
 class BayesReconstructor {
  public:
@@ -105,12 +142,23 @@ class BayesReconstructor {
   /// warm-starts EM from a previous estimate instead of the uniform prior:
   /// masses are floored at a tiny positive value and renormalized so a
   /// zero in the old estimate can never absorb an interval permanently.
+  /// A non-null `kernel` skips rebuilding the O(wbins·K) likelihood table
+  /// when it matches this fit's layout (stale tables are rebuilt, never
+  /// trusted); the table's contents are identical to a fresh build, so
+  /// the result is byte-identical with or without the cache.
   Reconstruction FitFromCounts(const std::vector<double>& weights,
                                double total_weight,
                                const Partition& partition,
                                engine::ThreadPool* pool,
-                               const std::vector<double>* initial =
-                                   nullptr) const;
+                               const std::vector<double>* initial = nullptr,
+                               const KernelTable* kernel = nullptr) const;
+
+  /// Builds the binned-EM likelihood table for `partition` — what
+  /// FitFromCounts does internally when handed no cached table. Depends
+  /// only on the reconstructor's noise model and the partition layout;
+  /// deterministic for every pool size and SIMD path.
+  KernelTable BuildKernelTable(const Partition& partition,
+                               engine::ThreadPool* pool) const;
 
   const perturb::NoiseModel& noise() const { return noise_; }
   const ReconstructionOptions& options() const { return options_; }

@@ -18,6 +18,7 @@
 
 #include <gtest/gtest.h>
 
+#include "api/attribute_state.h"
 #include "api/dataset_session.h"
 #include "api/registry.h"
 #include "api/service.h"
@@ -218,6 +219,25 @@ bool ReconstructionsIdentical(const reconstruct::Reconstruction& a,
          a.chi_square_trace == b.chi_square_trace &&
          a.log_likelihood_trace == b.log_likelihood_trace &&
          a.sample_count == b.sample_count;
+}
+
+TEST(AttributeStateTest, KernelCacheHitReusesTableMissRebuilds) {
+  const perturb::NoiseModel noise = perturb::NoiseModel::Uniform(0.25);
+  const AttributeState state(0.0, 1.0, 12, noise, {});
+  const auto built = state.ResolveKernelTable(nullptr, nullptr);
+  ASSERT_NE(built, nullptr);
+  EXPECT_TRUE(built->Matches(state.noise_model(), state.partition(),
+                             state.layout()));
+  // Matching cache: the same table comes back — the rebuild is skipped.
+  const auto hit = state.ResolveKernelTable(built, nullptr);
+  EXPECT_EQ(hit.get(), built.get());
+  // A table built for a different layout is stale: rebuilt, never reused.
+  const AttributeState other(0.0, 1.0, 24, noise, {});
+  const auto rebuilt = other.ResolveKernelTable(built, nullptr);
+  ASSERT_NE(rebuilt, nullptr);
+  EXPECT_NE(rebuilt.get(), built.get());
+  EXPECT_TRUE(rebuilt->Matches(other.noise_model(), other.partition(),
+                               other.layout()));
 }
 
 // The acceptance property: Ingest in 1 batch vs. many batches vs. batch

@@ -14,7 +14,9 @@
 
 #include "engine/batch.h"
 #include "engine/shard_stats.h"
+#include "engine/simd.h"
 #include "engine/thread_pool.h"
+#include "stats/histogram.h"
 #include "perturb/noise_model.h"
 #include "perturb/randomizer.h"
 #include "reconstruct/by_class.h"
@@ -213,6 +215,135 @@ TEST(ShardStatsTest, IngestEmptyInput) {
                     nullptr, 16);
   EXPECT_EQ(stats.record_count(), 0u);
   EXPECT_EQ(stats.BinCount(0), 0u);
+}
+
+TEST(ShardStatsTest, ApproxHeapBytesTracksSizeNotCapacity) {
+  const ShardStats stats(7, 3);
+  // The counts table is allocated once at its final shape; the accounting
+  // must report that shape, not whatever the allocator rounded up to.
+  EXPECT_EQ(stats.ApproxHeapBytes(), 7u * 3u * sizeof(std::uint64_t));
+  EXPECT_EQ(stats.counts().size(), 21u);
+}
+
+// ------------------------------------------------------------------- SIMD
+
+// Restores the dispatched path on scope exit.
+struct PathGuard {
+  simd::Path saved = simd::ActivePath();
+  ~PathGuard() { (void)simd::SetPath(saved); }
+};
+
+TEST(SimdTest, PadLanesRoundsUpToLaneMultiple) {
+  EXPECT_EQ(simd::PadLanes(0), 0u);
+  EXPECT_EQ(simd::PadLanes(1), 4u);
+  EXPECT_EQ(simd::PadLanes(4), 4u);
+  EXPECT_EQ(simd::PadLanes(5), 8u);
+  EXPECT_EQ(simd::PadLanes(100), 100u);
+}
+
+TEST(SimdTest, SetPathFromStringRejectsUnknownNames) {
+  PathGuard guard;
+  EXPECT_FALSE(simd::SetPathFromString("sse9").ok());
+  EXPECT_TRUE(simd::SetPathFromString("scalar").ok());
+  EXPECT_EQ(simd::ActivePath(), simd::Path::kScalar);
+  EXPECT_TRUE(simd::SetPathFromString("off").ok());
+  EXPECT_EQ(simd::ActivePath(), simd::Path::kOff);
+}
+
+TEST(SimdTest, BinIndicesMatchesHistogramBinOfOnEveryPath) {
+  PathGuard guard;
+  const stats::Histogram hist(-0.3, 1.3, 16);
+  Rng rng(41);
+  std::vector<double> values;
+  // Random interior values plus every hazardous edge: the exact bounds,
+  // bin edges, values far outside the range (the cvttpd overflow hazard),
+  // and values a ULP around the clamps.
+  for (int i = 0; i < 1000; ++i) values.push_back(rng.UniformReal(-1.0, 2.0));
+  for (std::size_t b = 0; b <= 16; ++b) {
+    values.push_back(-0.3 + 0.1 * static_cast<double>(b));
+  }
+  values.insert(values.end(),
+                {-0.3, 1.3, -1e18, 1e18, -0.3000000000000001,
+                 1.2999999999999998, 0.0, 1.0});
+
+  std::vector<simd::Path> paths{simd::Path::kOff, simd::Path::kScalar};
+  if (simd::Avx2Supported()) paths.push_back(simd::Path::kAvx2);
+  for (simd::Path path : paths) {
+    ASSERT_TRUE(simd::SetPath(path).ok());
+    std::vector<std::uint32_t> idx(values.size());
+    simd::BinIndices(values.data(), values.size(), hist.lo(), hist.hi(),
+                     hist.width(), hist.bins(), idx.data());
+    for (std::size_t i = 0; i < values.size(); ++i) {
+      EXPECT_EQ(idx[i], hist.BinOf(values[i]))
+          << "path=" << simd::PathName(path) << " value=" << values[i];
+    }
+  }
+}
+
+TEST(SimdTest, DotAndScaleAddByteIdenticalScalarVsAvx2) {
+  if (!simd::Avx2Supported()) GTEST_SKIP() << "AVX2 unavailable";
+  Rng rng(43);
+  const std::size_t n = simd::PadLanes(157);
+  std::vector<double> a(n, 0.0), b(n, 0.0);
+  for (std::size_t i = 0; i < 157; ++i) {
+    a[i] = rng.UniformReal(-1.0, 1.0);
+    b[i] = rng.UniformReal(0.0, 2.0);
+  }
+  const double dot_scalar = simd::Dot(a.data(), b.data(), n,
+                                      simd::Path::kScalar);
+  const double dot_avx2 = simd::Dot(a.data(), b.data(), n,
+                                    simd::Path::kAvx2);
+  EXPECT_EQ(std::memcmp(&dot_scalar, &dot_avx2, sizeof(double)), 0);
+
+  std::vector<double> acc1(n, 0.5), acc2(n, 0.5);
+  simd::ScaleAdd(acc1.data(), a.data(), b.data(), 1.7, n,
+                 simd::Path::kScalar);
+  simd::ScaleAdd(acc2.data(), a.data(), b.data(), 1.7, n,
+                 simd::Path::kAvx2);
+  EXPECT_EQ(std::memcmp(acc1.data(), acc2.data(), n * sizeof(double)), 0);
+}
+
+TEST(SimdTest, IngestBinnedColumnEqualsFunctorIngest) {
+  PathGuard guard;
+  const stats::Histogram hist(0.0, 1.0, 12);
+  Rng rng(47);
+  std::vector<double> values(5000);
+  for (double& v : values) v = rng.UniformReal(-0.5, 1.5);
+  const auto bin_of = [&](double v) { return hist.BinOf(v); };
+  const ShardStats reference =
+      IngestSharded(values, nullptr, 1, bin_of, hist.bins(), nullptr, 0);
+
+  ThreadPool pool(4);
+  std::vector<simd::Path> paths{simd::Path::kOff, simd::Path::kScalar};
+  if (simd::Avx2Supported()) paths.push_back(simd::Path::kAvx2);
+  for (simd::Path path : paths) {
+    ASSERT_TRUE(simd::SetPath(path).ok());
+    for (std::size_t shard_size : {std::size_t{0}, std::size_t{100},
+                                   std::size_t{333}}) {
+      const ShardStats binned = IngestBinnedColumn(
+          values.data(), values.size(), hist.lo(), hist.hi(), hist.width(),
+          hist.bins(), shard_size == 0 ? nullptr : &pool, shard_size);
+      EXPECT_TRUE(StatsEqual(reference, binned))
+          << "path=" << simd::PathName(path)
+          << " shard_size=" << shard_size;
+    }
+  }
+}
+
+TEST(SimdTest, IngestBinnedColumnEmptyInput) {
+  const ShardStats stats =
+      IngestBinnedColumn(nullptr, 0, 0.0, 1.0, 0.25, 4, nullptr, 16);
+  EXPECT_EQ(stats.record_count(), 0u);
+  EXPECT_EQ(stats.num_bins(), 4u);
+}
+
+TEST(SimdTest, AlignedDoublesIsCacheLineAlignedAndZeroed) {
+  simd::AlignedDoubles buf(37);
+  ASSERT_NE(buf.data(), nullptr);
+  EXPECT_EQ(reinterpret_cast<std::uintptr_t>(buf.data()) % 64, 0u);
+  for (std::size_t i = 0; i < buf.size(); ++i) {
+    EXPECT_EQ(buf.data()[i], 0.0);
+  }
 }
 
 // ------------------------------------------------------------------ Batch

@@ -6,10 +6,13 @@
 
 #include <algorithm>
 #include <cmath>
+#include <cstring>
 #include <memory>
 
 #include <gtest/gtest.h>
 
+#include "engine/simd.h"
+#include "engine/thread_pool.h"
 #include "perturb/noise_model.h"
 #include "reconstruct/assign.h"
 #include "reconstruct/by_class.h"
@@ -328,6 +331,167 @@ TEST(ReconstructorTest, SampleCountIsRecorded) {
   for (double& w : perturbed) w = rng.UniformDouble();
   const BayesReconstructor rec(NoiseModel::Uniform(0.2), {});
   EXPECT_EQ(rec.Fit(perturbed, Partition(0.0, 1.0, 5)).sample_count, 321u);
+}
+
+// --------------------------------------------------- SIMD path determinism
+
+namespace simd = engine::simd;
+
+// Restores the dispatched path on scope exit so a failing test can't leak
+// a forced path into later tests.
+struct PathGuard {
+  simd::Path saved = simd::ActivePath();
+  ~PathGuard() { (void)simd::SetPath(saved); }
+};
+
+std::vector<double> PlateauPerturbed(std::size_t n, const NoiseModel& noise) {
+  Rng rng(31);
+  const stats::PlateauDistribution truth(0.0, 1.0, 0.25);
+  std::vector<double> w(n);
+  for (double& v : w) v = truth.Sample(&rng) + noise.Sample(&rng);
+  return w;
+}
+
+bool BytesEqual(const std::vector<double>& a, const std::vector<double>& b) {
+  return a.size() == b.size() &&
+         std::memcmp(a.data(), b.data(), a.size() * sizeof(double)) == 0;
+}
+
+// The tentpole determinism contract: every dispatched path produces
+// byte-identical Reconstruction::masses to the scalar lane-blocked
+// reference, at every pool size (0 = inline) — for both noise kinds and
+// for the streaming FitFromCounts entry point.
+TEST(SimdDeterminismProperty, PathsByteIdenticalAcrossThreadCounts) {
+  PathGuard guard;
+  std::vector<simd::Path> paths{simd::Path::kScalar};
+  if (simd::Avx2Supported()) paths.push_back(simd::Path::kAvx2);
+  const std::size_t thread_counts[] = {0, 1, 2, 8};
+  for (const NoiseModel& noise :
+       {NoiseModel::Uniform(0.3), NoiseModel::Gaussian(0.15)}) {
+    const std::vector<double> w = PlateauPerturbed(4000, noise);
+    const Partition p(0.0, 1.0, 20);
+    const BayesReconstructor rec(noise, {});
+
+    ASSERT_TRUE(simd::SetPath(simd::Path::kScalar).ok());
+    engine::ThreadPool one(1);
+    const Reconstruction reference =
+        rec.FitParallel(w, p, &one, /*shard_size=*/512);
+    ASSERT_FALSE(reference.masses.empty());
+
+    for (simd::Path path : paths) {
+      ASSERT_TRUE(simd::SetPath(path).ok());
+      for (std::size_t threads : thread_counts) {
+        engine::ThreadPool pool(threads);
+        const Reconstruction got =
+            rec.FitParallel(w, p, threads == 0 ? nullptr : &pool, 512);
+        EXPECT_TRUE(BytesEqual(got.masses, reference.masses))
+            << "path=" << simd::PathName(path) << " threads=" << threads;
+        EXPECT_EQ(got.log_likelihood_trace, reference.log_likelihood_trace)
+            << "path=" << simd::PathName(path) << " threads=" << threads;
+      }
+    }
+  }
+}
+
+TEST(SimdDeterminismProperty, OffPathStaysFiniteAndClose) {
+  // kOff preserves the historical sequential loops; its masses may differ
+  // from the blocked paths by summation-order rounding only.
+  PathGuard guard;
+  const NoiseModel noise = NoiseModel::Uniform(0.3);
+  const std::vector<double> w = PlateauPerturbed(4000, noise);
+  const Partition p(0.0, 1.0, 20);
+  const BayesReconstructor rec(noise, {});
+  ASSERT_TRUE(simd::SetPath(simd::Path::kScalar).ok());
+  const Reconstruction blocked = rec.Fit(w, p);
+  ASSERT_TRUE(simd::SetPath(simd::Path::kOff).ok());
+  const Reconstruction off = rec.Fit(w, p);
+  ASSERT_EQ(off.masses.size(), blocked.masses.size());
+  for (std::size_t k = 0; k < off.masses.size(); ++k) {
+    EXPECT_NEAR(off.masses[k], blocked.masses[k], 1e-9) << "interval " << k;
+  }
+}
+
+// --------------------------------------------------------- KernelTable
+
+TEST(KernelTableTest, CachedTableIsByteIdenticalToFreshBuild) {
+  const NoiseModel noise = NoiseModel::Uniform(0.3);
+  const Partition p(0.0, 1.0, 20);
+  const BayesReconstructor rec(noise, {});
+  const KernelTable table = rec.BuildKernelTable(p, nullptr);
+  EXPECT_TRUE(table.Matches(noise, p, rec.PerturbedBinning(p)));
+  EXPECT_EQ(table.stride, simd::PadLanes(p.intervals()));
+  EXPECT_GT(table.ApproxHeapBytes(), 0u);
+
+  std::vector<double> weights(table.wbins, 0.0);
+  weights[table.wbins / 2] = 100.0;
+  weights[table.wbins / 3] = 50.0;
+  const Reconstruction cached =
+      rec.FitFromCounts(weights, 150.0, p, nullptr, nullptr, &table);
+  const Reconstruction fresh =
+      rec.FitFromCounts(weights, 150.0, p, nullptr, nullptr, nullptr);
+  EXPECT_TRUE(BytesEqual(cached.masses, fresh.masses));
+}
+
+TEST(KernelTableTest, StaleTableIsRebuiltNotTrusted) {
+  const NoiseModel noise = NoiseModel::Uniform(0.3);
+  const BayesReconstructor rec(noise, {});
+  const Partition old_p(0.0, 1.0, 10);
+  const KernelTable stale = rec.BuildKernelTable(old_p, nullptr);
+
+  const Partition new_p(0.0, 1.0, 20);
+  EXPECT_FALSE(stale.Matches(noise, new_p, rec.PerturbedBinning(new_p)));
+  const std::size_t wbins = rec.PerturbedBinning(new_p).bins();
+  std::vector<double> weights(wbins, 1.0);
+  const double total = static_cast<double>(wbins);
+  // Passing the stale table must not crash or skew the fit — it is
+  // rebuilt internally and the result equals the no-cache call.
+  const Reconstruction with_stale =
+      rec.FitFromCounts(weights, total, new_p, nullptr, nullptr, &stale);
+  const Reconstruction without =
+      rec.FitFromCounts(weights, total, new_p, nullptr, nullptr, nullptr);
+  EXPECT_TRUE(BytesEqual(with_stale.masses, without.masses));
+}
+
+// ------------------------------------------------- degenerate-input paths
+
+TEST(ReconstructorTest, TinyDensityFallbackAbsorbsDeadBins) {
+  // U[-0.25, 0.25] noise over [0,1]/K=10: the perturbed layout extends 3
+  // bins past each edge, and the outermost extension bin is farther than
+  // the noise support from every partition midpoint — its kernel row is
+  // all zeros. Weight placed there must flow to the fallback interval,
+  // with no NaN, no abort, and a normalized result.
+  const NoiseModel noise = NoiseModel::Uniform(0.25);
+  const Partition p(0.0, 1.0, 10);
+  const BayesReconstructor rec(noise, {});
+  const stats::Histogram whist = rec.PerturbedBinning(p);
+  ASSERT_EQ(whist.bins(), 16u);
+
+  std::vector<double> weights(whist.bins(), 0.0);
+  weights[0] = 5.0;  // dead bin: no component density reaches it
+  const Reconstruction r =
+      rec.FitFromCounts(weights, 5.0, p, nullptr, nullptr, nullptr);
+  ASSERT_EQ(r.masses.size(), 10u);
+  double total = 0.0;
+  for (double m : r.masses) {
+    EXPECT_TRUE(std::isfinite(m));
+    EXPECT_GE(m, 0.0);
+    total += m;
+  }
+  EXPECT_NEAR(total, 1.0, 1e-12);
+  // The fallback interval of the leftmost bin is interval 0.
+  EXPECT_GT(r.masses[0], 0.99);
+  for (double ll : r.log_likelihood_trace) EXPECT_TRUE(std::isfinite(ll));
+}
+
+TEST(ReconstructorTest, NoNoiseEmptyInputYieldsUniform) {
+  // kNone takes the exact-histogram path, whose empty-sample branch must
+  // return the uniform prior (HistogramMasses' empty-input contract).
+  const Partition p(0.0, 1.0, 8);
+  const BayesReconstructor rec(NoiseModel::None(), {});
+  const Reconstruction r = rec.Fit({}, p);
+  ASSERT_EQ(r.masses.size(), 8u);
+  for (double m : r.masses) EXPECT_DOUBLE_EQ(m, 0.125);
+  EXPECT_EQ(r.sample_count, 0u);
 }
 
 // ---------------------------------------------------------------- ByClass
