@@ -49,6 +49,7 @@
 #include "engine/batch.h"
 #include "engine/thread_pool.h"
 #include "obs/metrics.h"
+#include "obs/trace.h"
 
 namespace ppdm::api {
 
@@ -224,18 +225,21 @@ class Service {
       return JobHandle<T>(std::move(state));
     }
     const auto submitted = std::chrono::steady_clock::now();
+    // Causality crosses the queue here: the submitter's trace context is
+    // captured now and adopted on whichever worker runs the job, so the
+    // queue-wait and run spans below land as sibling children of the
+    // submitter's open span (the daemon's net.request).
+    const obs::TraceContext trace = obs::TraceContext::Current();
     // The lambda captures `this` for the job-accounting hooks; safe
     // because ~Service joins the pool (draining every queued job) before
     // the counters it touches are destroyed.
     auto run = [this, state, job = std::move(job), opts = std::move(opts),
-                submitted] {
+                submitted, trace] {
       OnJobStarted();
-      if (obs::TimingEnabled()) {
-        internal::ServiceQueueWaitHistogram().Observe(
-            std::chrono::duration<double>(std::chrono::steady_clock::now() -
-                                          submitted)
-                .count());
-      }
+      obs::ScopedTraceContext adopt(trace);
+      obs::RecordSpan("service.queue", submitted,
+                      std::chrono::steady_clock::now(),
+                      &internal::ServiceQueueWaitHistogram());
       if (opts.cancel != nullptr && opts.cancel->cancelled()) {
         internal::ServiceCancelledCounter().Increment();
         Complete(state, Result<T>(Status::Cancelled(
@@ -251,10 +255,14 @@ class Service {
         OnJobFinished();
         return;
       }
-      {
-        obs::ScopedTimer run_timer(&internal::ServiceRunHistogram());
-        Complete(state, job());
-      }
+      // The run span closes before Complete so the handle's callback
+      // (which may render this request's finished tree) sees it.
+      Result<T> result = [&] {
+        obs::ScopedSpan run_span("service.run",
+                                 &internal::ServiceRunHistogram());
+        return job();
+      }();
+      Complete(state, std::move(result));
       OnJobFinished();
     };
     if (pool_ == nullptr) {

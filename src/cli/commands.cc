@@ -4,6 +4,7 @@
 #include <atomic>
 #include <chrono>
 #include <csignal>
+#include <cstdio>
 #include <fstream>
 #include <iterator>
 #include <memory>
@@ -288,6 +289,7 @@ const char* UsageText() {
       "              [--threads=T] [--shard-size=N]\n"
       "              [--checkpoint-dir=DIR] [--checkpoint-every-batches=K]\n"
       "              [--resume] [--max-pending=N] [--faults=SPEC]\n"
+      "              [--trace-out=FILE] [--slow-ms=N]\n"
       "  snapshot    --dir=DIR                      list stored snapshots\n"
       "              --dir=DIR --name=NAME [--records=N] [--batch-records=B]\n"
       "              [--reconstruct] [stream flags as in serve-sim]\n"
@@ -297,15 +299,20 @@ const char* UsageText() {
       "  metrics     [--records=N] [--batch-records=B] [--spans]\n"
       "              [stream flags as in serve-sim]\n"
       "                                             exposition dump\n"
+      "  trace       [--records=N] [--batch-records=B] [--out=FILE]\n"
+      "              [--threads=T] [stream flags as in serve-sim]\n"
+      "                                             Chrome trace dump\n"
       "  served      [--host=H] [--port=P] [--threads=T] [--shard-size=N]\n"
       "              [--max-pending=N] [--max-connections=N]\n"
       "              [--connection-window=N] [--max-body-mb=M]\n"
       "              [--registry-mb=M] [--checkpoint-dir=DIR] [--resume]\n"
       "              [--tenant-rate=R] [--tenant-burst=B] [--faults=SPEC]\n"
+      "              [--trace-out=FILE] [--slow-ms=N]\n"
       "  loadgen     --port=P [--host=H] [--tenants=N] [--records=N]\n"
       "              [--batch-records=B] [--refresh=R] [--connections=C]\n"
       "              [--snapshot-every=K] [--ttl-ms=T] [--masses-out=FILE]\n"
-      "              [--stats-out=FILE] [--tolerate-errors] [--close]\n"
+      "              [--stats-out=FILE] [--trace-out=FILE]\n"
+      "              [--tolerate-errors] [--close]\n"
       "              [stream flags as in serve-sim]\n"
       "\n"
       "ppdm <command> --help prints this usage and exits 0.\n"
@@ -368,6 +375,15 @@ const char* UsageText() {
       "exposition format (--spans appends the recent trace spans).\n"
       "serve-sim accepts --metrics-out=FILE to write the same exposition\n"
       "at stream end.\n"
+      "\n"
+      "trace runs the same small stream through the async service (so the\n"
+      "request -> queue/run -> engine fan-out -> store levels all appear)\n"
+      "and prints the span ring as Chrome trace-event JSON — load it at\n"
+      "chrome://tracing or ui.perfetto.dev (--out=FILE writes it instead).\n"
+      "served/serve-sim accept --trace-out=FILE for the same JSON at exit,\n"
+      "and --slow-ms=N logs the rendered span tree of any request (or\n"
+      "refresh) that takes at least N ms. loadgen --trace-out=FILE saves\n"
+      "the daemon's ring via the stats verb's trace flag.\n"
       "\n"
       "All CSV files use the benchmark schema (salary..loan, class).\n"
       "For train/reconstruct, --noise/--privacy must describe the noise\n"
@@ -565,9 +581,13 @@ Status RunServeSim(const Args& args, std::ostream& out) {
   if (Status s = args.CheckKnown(WithStreamFlags(
           {"records", "batch-records", "refresh", "registry-mb",
            "checkpoint-dir", "checkpoint-every-batches", "resume",
-           "metrics-out", "faults", "max-pending"}));
+           "metrics-out", "trace-out", "slow-ms", "faults", "max-pending"}));
       !s.ok()) {
     return s;
+  }
+  PPDM_ASSIGN_OR_RETURN(const double slow_ms, args.GetDouble("slow-ms", 0.0));
+  if (slow_ms < 0.0) {
+    return Status::InvalidArgument("--slow-ms must be >= 0");
   }
   // --faults arms the process-wide fault points for this run, on top of
   // whatever PPDM_FAULTS armed at startup (the chaos harness uses both).
@@ -773,10 +793,27 @@ Status RunServeSim(const Args& args, std::ostream& out) {
     // anyway, and a job occupies one worker, which would serialize the
     // fan-out and misreport the refresh latency.)
     obs::ScopedTimer refresh_timer(&ServeRefreshHistogram());
-    PPDM_ASSIGN_OR_RETURN(
-        const std::vector<reconstruct::Reconstruction> estimates,
-        session->ReconstructAll());
+    // Each refresh is its own trace: the serve.refresh root span plus the
+    // engine fan-out / EM spans beneath it, so --trace-out yields one
+    // tree per refresh and --slow-ms can name the slow one.
+    const std::uint64_t refresh_trace = obs::NewTraceId();
+    Result<std::vector<reconstruct::Reconstruction>> refreshed = [&] {
+      obs::ScopedTraceContext trace_scope(
+          obs::TraceContext{refresh_trace, 0});
+      obs::ScopedSpan refresh_span("serve.refresh");
+      return session->ReconstructAll();
+    }();
+    PPDM_RETURN_IF_ERROR(refreshed.status());
+    const std::vector<reconstruct::Reconstruction>& estimates =
+        refreshed.value();
     const double fit_ms = 1e3 * refresh_timer.Stop();
+    if (slow_ms > 0.0 && fit_ms >= slow_ms) {
+      std::fprintf(stderr, "[serve-sim] slow refresh (%.1f ms >= %.1f ms)\n%s",
+                   fit_ms, slow_ms,
+                   obs::RenderSpanTree(obs::TraceRing::Global().Snapshot(),
+                                       refresh_trace)
+                       .c_str());
+    }
     std::size_t max_iterations = 0;
     double tv_sum = 0.0;
     for (std::size_t a = 0; a < estimates.size(); ++a) {
@@ -911,6 +948,13 @@ Status RunServeSim(const Args& args, std::ostream& out) {
     PPDM_RETURN_IF_ERROR(WriteMetricsFile(metrics_out));
     out << StrFormat("metrics exposition written to %s\n",
                      metrics_out.c_str());
+  }
+  const std::string trace_out = args.GetString("trace-out", "");
+  if (!trace_out.empty()) {
+    PPDM_RETURN_IF_ERROR(WriteTextFile(
+        trace_out,
+        obs::RenderChromeTrace(obs::TraceRing::Global().Snapshot())));
+    out << StrFormat("chrome trace written to %s\n", trace_out.c_str());
   }
   // A session whose final durable capture failed ended in a
   // permanent-error state: the report above still printed, but the
@@ -1126,6 +1170,84 @@ Status RunMetrics(const Args& args, std::ostream& out) {
   return Status::Ok();
 }
 
+Status RunTrace(const Args& args, std::ostream& out) {
+  if (Status s = args.CheckKnown(
+          WithStreamFlags({"records", "batch-records", "out"}));
+      !s.ok()) {
+    return s;
+  }
+  PPDM_ASSIGN_OR_RETURN(const long long records,
+                        args.GetInt("records", 2000));
+  PPDM_ASSIGN_OR_RETURN(const long long batch_records,
+                        args.GetInt("batch-records", 500));
+  if (records <= 0 || batch_records <= 0) {
+    return Status::InvalidArgument(
+        "--records and --batch-records must be positive");
+  }
+  PPDM_ASSIGN_OR_RETURN(const StreamSimSpec sim,
+                        StreamSimSpecFromFlags(args));
+
+  // The same small stream as `ppdm metrics`, but each batch travels as a
+  // traced request through the async service — so the dump shows the full
+  // causal ladder (cli.request → service.queue/service.run →
+  // session.ingest → engine.parallel_for), not just flat spans.
+  PPDM_ASSIGN_OR_RETURN(const std::unique_ptr<api::Service> service,
+                        api::Service::Create(sim.batch));
+  PPDM_ASSIGN_OR_RETURN(
+      const std::unique_ptr<api::DatasetSession> session,
+      api::DatasetSession::Open(sim.session, service->pool()));
+
+  synth::GeneratorOptions gen;
+  gen.num_records = static_cast<std::size_t>(records);
+  gen.function = sim.function;
+  gen.seed = sim.noise.seed;
+  synth::RecordStream stream(gen);
+  Rng noise_rng(gen.seed ^ 0x9E3779B97F4A7C15ULL);
+  std::vector<double> perturbed;
+  const auto traced = [&](const char* verb,
+                          std::function<Result<bool>()> job) -> Status {
+    const std::uint64_t trace_id = obs::NewTraceId();
+    obs::PendingSpan request_span =
+        obs::BeginSpan("cli.request", obs::TraceContext{trace_id, 0},
+                       obs::RenderLabelSet({{"verb", verb}}));
+    const Result<bool> settled = [&] {
+      obs::ScopedTraceContext ctx(
+          obs::TraceContext{trace_id, request_span.span_id});
+      return service->Submit<bool>(std::move(job)).Wait();
+    }();
+    obs::EndSpan(&request_span);
+    return settled.status();
+  };
+  while (!stream.Done()) {
+    const data::RowBatch true_rows =
+        stream.Next(static_cast<std::size_t>(batch_records));
+    const data::RowBatch rows =
+        PerturbTracked(true_rows, *session, sim.columns,
+                       /*truth=*/nullptr, &noise_rng, &perturbed);
+    PPDM_RETURN_IF_ERROR(traced("ingest", [&]() -> Result<bool> {
+      PPDM_RETURN_IF_ERROR(session->Ingest(rows));
+      return true;
+    }));
+  }
+  PPDM_RETURN_IF_ERROR(traced("reconstruct", [&]() -> Result<bool> {
+    PPDM_RETURN_IF_ERROR(session->ReconstructAll().status());
+    return true;
+  }));
+
+  const std::string json =
+      obs::RenderChromeTrace(obs::TraceRing::Global().Snapshot());
+  const std::string out_path = args.GetString("out", "");
+  if (!out_path.empty()) {
+    PPDM_RETURN_IF_ERROR(WriteTextFile(out_path, json));
+    out << StrFormat("chrome trace written to %s (%zu spans)\n",
+                     out_path.c_str(),
+                     obs::TraceRing::Global().Snapshot().size());
+  } else {
+    out << json;
+  }
+  return Status::Ok();
+}
+
 namespace {
 
 // SIGTERM/SIGINT → graceful drain: the handler forwards to whichever
@@ -1151,7 +1273,7 @@ Status RunServed(const Args& args, std::ostream& out) {
           {"host", "port", "threads", "shard-size", "max-pending",
            "max-connections", "connection-window", "max-body-mb",
            "registry-mb", "checkpoint-dir", "resume", "tenant-rate",
-           "tenant-burst", "faults", "simd"});
+           "tenant-burst", "faults", "simd", "trace-out", "slow-ms"});
       !s.ok()) {
     return s;
   }
@@ -1202,6 +1324,12 @@ Status RunServed(const Args& args, std::ostream& out) {
                         args.GetDouble("tenant-rate", 0.0));
   PPDM_ASSIGN_OR_RETURN(options.tenant_burst,
                         args.GetDouble("tenant-burst", 0.0));
+  PPDM_ASSIGN_OR_RETURN(options.slow_request_ms,
+                        args.GetDouble("slow-ms", 0.0));
+  if (options.slow_request_ms < 0.0) {
+    return Status::InvalidArgument("--slow-ms must be >= 0");
+  }
+  const std::string served_trace_out = args.GetString("trace-out", "");
 
   // A broken client pipe must be an EPIPE on that connection, never a
   // daemon-killing SIGPIPE; the drain handlers go in before the listener
@@ -1254,6 +1382,14 @@ Status RunServed(const Args& args, std::ostream& out) {
     out << StrFormat("final checkpoint FAILED: %s\n",
                      stopped.ToString().c_str());
   }
+  if (!served_trace_out.empty()) {
+    // Dumped after the drain so the final requests' spans are in the ring.
+    PPDM_RETURN_IF_ERROR(WriteTextFile(
+        served_trace_out,
+        obs::RenderChromeTrace(obs::TraceRing::Global().Snapshot())));
+    out << StrFormat("chrome trace written to %s\n",
+                     served_trace_out.c_str());
+  }
   return stopped;
 }
 
@@ -1261,7 +1397,7 @@ Status RunLoadgen(const Args& args, std::ostream& out) {
   if (Status s = args.CheckKnown(WithStreamFlags(
           {"host", "port", "tenants", "records", "batch-records", "refresh",
            "connections", "snapshot-every", "ttl-ms", "masses-out",
-           "stats-out", "tolerate-errors", "close"}));
+           "stats-out", "trace-out", "tolerate-errors", "close"}));
       !s.ok()) {
     return s;
   }
@@ -1472,6 +1608,15 @@ Status RunLoadgen(const Args& args, std::ostream& out) {
     PPDM_RETURN_IF_ERROR(WriteTextFile(stats_out, exposition));
     out << StrFormat("daemon stats written to %s\n", stats_out.c_str());
   }
+  const std::string trace_out = args.GetString("trace-out", "");
+  if (!trace_out.empty()) {
+    PPDM_ASSIGN_OR_RETURN(net::Client client,
+                          net::Client::Connect(host, static_cast<int>(port)));
+    PPDM_ASSIGN_OR_RETURN(const std::string trace_json, client.Trace(ttl));
+    PPDM_RETURN_IF_ERROR(WriteTextFile(trace_out, trace_json));
+    out << StrFormat("daemon chrome trace written to %s\n",
+                     trace_out.c_str());
+  }
   return Status::Ok();
 }
 
@@ -1497,6 +1642,7 @@ Status RunCommand(const Args& args, std::ostream& out) {
   if (args.command() == "snapshot") return RunSnapshot(args, out);
   if (args.command() == "restore") return RunRestore(args, out);
   if (args.command() == "metrics") return RunMetrics(args, out);
+  if (args.command() == "trace") return RunTrace(args, out);
   if (args.command() == "served") return RunServed(args, out);
   if (args.command() == "loadgen") return RunLoadgen(args, out);
   if (args.command() == "help") {

@@ -3,15 +3,28 @@
 #include <algorithm>
 #include <atomic>
 #include <memory>
+#include <optional>
 #include <utility>
 
 #include "common/check.h"
 #include "obs/metrics.h"
+#include "obs/trace.h"
 
 namespace ppdm::engine {
 namespace {
 
 thread_local bool t_on_worker_thread = false;
+
+// Engine-primitive nesting depth on this thread. Only the outermost
+// ParallelFor of a request records an "engine.parallel_for" span —
+// nested chunk loops (EM iterations fanning out from inside a shard or a
+// job) would flood the trace ring without adding tree structure.
+thread_local int t_engine_trace_depth = 0;
+
+struct EngineTraceDepth {
+  EngineTraceDepth() { ++t_engine_trace_depth; }
+  ~EngineTraceDepth() { --t_engine_trace_depth; }
+};
 
 // Pool telemetry (process-wide across pools: this build runs one serving
 // pool; a second pool's traffic aggregates into the same family).
@@ -90,6 +103,14 @@ void ThreadPool::WorkerLoop() {
 void ParallelFor(ThreadPool* pool, std::size_t n,
                  const std::function<void(std::size_t)>& fn) {
   if (n == 0) return;
+  // The span covers inline runs too (a service job's fan-out runs inline
+  // on its worker — it still belongs in the request's tree); the fan-out
+  // *histogram* below stays pool-path-only, as before.
+  std::optional<obs::ScopedSpan> fan_out_span;
+  if (t_engine_trace_depth == 0) {
+    fan_out_span.emplace("engine.parallel_for");
+  }
+  EngineTraceDepth depth_guard;
   if (pool == nullptr || pool->size() == 0 || n == 1 ||
       ThreadPool::OnWorkerThread()) {
     for (std::size_t i = 0; i < n; ++i) fn(i);
@@ -115,7 +136,13 @@ void ParallelFor(ThreadPool* pool, std::size_t n,
   // every claimed index is still accounted for, and the first exception
   // rethrows on the caller after the barrier.
   const auto* fn_ptr = &fn;
-  auto work = [state, fn_ptr, n] {
+  // Helpers adopt the caller's context (with the fan-out span above as
+  // the current span), so spans opened inside shards on other threads
+  // still attach to this request's tree.
+  const obs::TraceContext trace = obs::TraceContext::Current();
+  auto work = [state, fn_ptr, n, trace] {
+    obs::ScopedTraceContext adopt(trace);
+    EngineTraceDepth depth_guard;
     for (;;) {
       const std::size_t i = state->next.fetch_add(1);
       if (i >= n) break;

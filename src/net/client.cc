@@ -18,13 +18,20 @@ Status Client::SendRaw(std::string_view bytes) {
 }
 
 Result<Frame> Client::ReadFrame() {
-  char header_bytes[kHeaderSize];
-  PPDM_RETURN_IF_ERROR(ReadExact(sock_.fd(), header_bytes, kHeaderSize));
+  // Headers are variable-length since protocol v2 (optional trace id):
+  // accumulate exactly the bytes HeaderBytesNeeded asks for — at most
+  // three reads (magic+version, fixed prefix, trace tail).
+  std::string header_bytes;
+  for (std::size_t needed = HeaderBytesNeeded(header_bytes); needed > 0;
+       needed = HeaderBytesNeeded(header_bytes)) {
+    const std::size_t have = header_bytes.size();
+    header_bytes.resize(have + needed);
+    PPDM_RETURN_IF_ERROR(
+        ReadExact(sock_.fd(), header_bytes.data() + have, needed));
+  }
   Frame frame;
-  PPDM_ASSIGN_OR_RETURN(
-      frame.header,
-      DecodeHeader(std::string_view(header_bytes, kHeaderSize),
-                   kDefaultMaxBodyBytes));
+  PPDM_ASSIGN_OR_RETURN(frame.header,
+                        DecodeHeader(header_bytes, kDefaultMaxBodyBytes));
   frame.body.resize(static_cast<std::size_t>(frame.header.body_length));
   if (!frame.body.empty()) {
     PPDM_RETURN_IF_ERROR(
@@ -38,8 +45,8 @@ Result<ResponseBody> Client::Call(Verb verb, std::uint64_t tenant,
                                   std::uint32_t ttl_ms,
                                   std::string_view payload) {
   const std::uint64_t request_id = next_request_id_++;
-  PPDM_RETURN_IF_ERROR(
-      SendRaw(EncodeFrame(verb, request_id, tenant, ttl_ms, payload)));
+  PPDM_RETURN_IF_ERROR(SendRaw(
+      EncodeFrame(verb, request_id, tenant, ttl_ms, payload, trace_id_)));
   PPDM_ASSIGN_OR_RETURN(const Frame frame, ReadFrame());
   if (frame.header.request_id != request_id) {
     return Status::Internal(StrFormat(
@@ -127,6 +134,16 @@ Result<std::string> Client::Stats(std::uint32_t ttl_ms) {
   PPDM_ASSIGN_OR_RETURN(const std::string payload,
                         Payload(Call(Verb::kStats, /*tenant=*/0, ttl_ms, "")));
   store::Reader reader(payload);
+  return reader.ReadString();
+}
+
+Result<std::string> Client::Trace(std::uint32_t ttl_ms) {
+  PPDM_ASSIGN_OR_RETURN(
+      const std::string payload,
+      Payload(Call(Verb::kStats, /*tenant=*/0, ttl_ms,
+                   std::string_view("\x01", 1))));
+  store::Reader reader(payload);
+  PPDM_RETURN_IF_ERROR(reader.ReadString().status());  // exposition text
   return reader.ReadString();
 }
 

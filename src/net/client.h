@@ -84,6 +84,16 @@ class Client {
   /// The daemon's metrics exposition (the stats verb).
   Result<std::string> Stats(std::uint32_t ttl_ms = 0);
 
+  /// The daemon's recent-span ring as Chrome trace-event JSON (the stats
+  /// verb with the trace flag byte).
+  Result<std::string> Trace(std::uint32_t ttl_ms = 0);
+
+  /// Trace id attached to every subsequent Call (0 = none; requests then
+  /// ride v1 frames and the daemon mints its own ids). Lets a caller
+  /// stitch the daemon's span tree into its own trace.
+  void set_trace_id(std::uint64_t trace_id) { trace_id_ = trace_id; }
+  std::uint64_t trace_id() const { return trace_id_; }
+
   // Escape hatches for protocol tests.
 
   /// Writes arbitrary bytes on the connection (hostile frames, pipelined
@@ -100,6 +110,7 @@ class Client {
 
   Socket sock_;
   std::uint64_t next_request_id_ = 1;
+  std::uint64_t trace_id_ = 0;
 };
 
 }  // namespace ppdm::net

@@ -2,14 +2,23 @@
 // serving daemon. One frame per request and per response, in both
 // directions:
 //
-//   [u32 magic "PPDN"][u32 version][u32 verb][u64 request id]
-//   [u64 tenant id][u32 ttl_ms][u64 body length][u32 body crc32][body]
+//   v1: [u32 magic "PPDN"][u32 version][u32 verb][u64 request id]
+//       [u64 tenant id][u32 ttl_ms][u64 body length][u32 body crc32][body]
+//   v2: same through ttl_ms, then [u32 trace len][trace-id hex chars]
+//       [u64 body length][u32 body crc32][body]
+//
+// Version 2 adds an optional client-supplied trace id — 1..16 lowercase
+// hex chars naming a nonzero u64 — so a caller can stitch the daemon's
+// span tree into its own trace. Encoders emit v1 whenever no trace id is
+// attached, so v1-only peers interoperate untouched; decoders accept
+// both. Because the v2 header is variable-length, readers first ask
+// HeaderBytesNeeded() how many bytes to accumulate.
 //
 // All integers little-endian via the src/store codec primitives, the body
 // CRC32-guarded the same way store sections are, and every decode failure
-// (short header, wrong magic, future version, oversized body, CRC
-// mismatch, truncated payload) a Status, never an abort — these bytes
-// come off a socket from untrusted peers.
+// (short header, wrong magic, future version, oversized body, hostile
+// trace id, CRC mismatch, truncated payload) a Status, never an abort —
+// these bytes come off a socket from untrusted peers.
 //
 // Request bodies are verb-specific payloads (open carries an encoded
 // DatasetSessionSpec, ingest a row-major record block, …). Response
@@ -33,10 +42,15 @@ namespace ppdm::net {
 inline constexpr std::uint32_t kFrameMagic = 0x4E445050;
 
 /// Current protocol version. Peers accept 1..kProtocolVersion.
-inline constexpr std::uint32_t kProtocolVersion = 1;
+inline constexpr std::uint32_t kProtocolVersion = 2;
 
-/// Fixed wire size of a frame header (the body follows immediately).
+/// Fixed wire size of a version-1 header (the body follows immediately).
+/// A version-2 header is 48 bytes plus its trace-id hex chars.
 inline constexpr std::size_t kHeaderSize = 44;
+
+/// Longest accepted trace-id field: a u64 is at most 16 hex chars. A
+/// larger length prefix is hostile and rejected before any buffering.
+inline constexpr std::uint32_t kMaxTraceHexChars = 16;
 
 /// Default cap on a frame body; anything larger is rejected before any
 /// allocation happens (a hostile length prefix must not OOM the server).
@@ -50,6 +64,8 @@ enum class Verb : std::uint32_t {
   kSnapshot = 4,     ///< Checkpoint the session through the daemon's store.
   kClose = 5,        ///< Close the tenant (drops RAM state and captures).
   kStats = 6,        ///< Metrics exposition (obs::RenderText) — GET /metrics.
+                     ///< A body of the single flag byte 0x01 also appends
+                     ///< the Chrome trace JSON of the server's span ring.
 };
 
 /// "open" / "ingest" / ... / "verb#N" for unknown values.
@@ -68,8 +84,14 @@ struct FrameHeader {
   /// Request time-to-live in milliseconds; 0 means no deadline. The
   /// server maps a nonzero TTL onto the service's submit deadline.
   std::uint32_t ttl_ms = 0;
+  /// Client-supplied trace id (v2 frames); 0 = absent, and the server
+  /// mints its own.
+  std::uint64_t trace_id = 0;
   std::uint64_t body_length = 0;
   std::uint32_t body_crc = 0;
+  /// Wire size of this header — kHeaderSize for v1, 48 + hex chars for
+  /// v2. The body starts at this offset.
+  std::size_t header_size = kHeaderSize;
 };
 
 /// A fully decoded frame.
@@ -78,24 +100,35 @@ struct Frame {
   std::string body;
 };
 
-/// Serializes one frame (header + body) for the wire. The uint32 overload
-/// exists so a response can echo a request's verb even when that verb is
-/// not one this peer defines.
+/// Serializes one frame (header + body) for the wire: a v1 header when
+/// `trace_id` is 0, a v2 header carrying it otherwise. The uint32
+/// overload exists so a response can echo a request's verb even when that
+/// verb is not one this peer defines.
 std::string EncodeFrame(std::uint32_t verb, std::uint64_t request_id,
                         std::uint64_t tenant, std::uint32_t ttl_ms,
-                        std::string_view body);
+                        std::string_view body, std::uint64_t trace_id = 0);
 inline std::string EncodeFrame(Verb verb, std::uint64_t request_id,
                                std::uint64_t tenant, std::uint32_t ttl_ms,
-                               std::string_view body) {
+                               std::string_view body,
+                               std::uint64_t trace_id = 0) {
   return EncodeFrame(static_cast<std::uint32_t>(verb), request_id, tenant,
-                     ttl_ms, body);
+                     ttl_ms, body, trace_id);
 }
 
-/// Decodes and validates a header from the first kHeaderSize bytes of
-/// `bytes`. Failures: kIoError for fewer than kHeaderSize bytes
-/// (truncated — wait for more), kInvalidArgument for a wrong magic,
-/// kFailedPrecondition for a version newer than kProtocolVersion, and
-/// kResourceExhausted for a body length past `max_body_bytes`.
+/// How many more bytes of `bytes` a reader must accumulate before
+/// DecodeHeader can fully judge the header; 0 means decode now (the
+/// header is complete — or already undecodably hostile, which DecodeHeader
+/// will report). Handles the v2 variable length: the answer grows as the
+/// version word and then the trace-length word arrive.
+std::size_t HeaderBytesNeeded(std::string_view bytes);
+
+/// Decodes and validates a header from the front of `bytes` (at least
+/// header_size bytes — accumulate until HeaderBytesNeeded says 0).
+/// Failures: kIoError for a truncated header (wait for more),
+/// kInvalidArgument for a wrong magic or a hostile trace id (oversized
+/// length, non-hex chars, zero value), kFailedPrecondition for a version
+/// newer than kProtocolVersion, and kResourceExhausted for a body length
+/// past `max_body_bytes`.
 Result<FrameHeader> DecodeHeader(std::string_view bytes,
                                  std::uint64_t max_body_bytes);
 

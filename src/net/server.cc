@@ -6,10 +6,12 @@
 
 #include <cerrno>
 #include <chrono>
+#include <cstdio>
 #include <cstring>
 #include <utility>
 
 #include "common/strings.h"
+#include "obs/trace.h"
 #include "store/codec.h"
 #include "store/session_codec.h"
 
@@ -73,7 +75,8 @@ Server::Server(const ServerOptions& options)
           NetCounter("ppdm_net_drain_checkpoints_total")),
       request_seconds_(obs::MetricsRegistry::Global().GetHistogram(
           "ppdm_net_request_seconds",
-          obs::Histogram::LatencyBucketsSeconds())) {
+          obs::Histogram::LatencyBucketsSeconds())),
+      slow_requests_(NetCounter("ppdm_net_slow_requests_total")) {
   for (std::uint32_t v = 0; v <= 6; ++v) {
     verb_requests_[v] = obs::MetricsRegistry::Global().GetCounter(
         "ppdm_net_requests_total",
@@ -344,21 +347,24 @@ void Server::ParseFrames(const std::shared_ptr<Connection>& conn) {
     }
     const std::string_view rest =
         std::string_view(conn->inbuf).substr(pos);
-    if (rest.size() < kHeaderSize) break;
+    // Headers are variable-length since protocol v2 (optional trace id):
+    // HeaderBytesNeeded answers "wait for more" vs. "judge now".
+    if (HeaderBytesNeeded(rest) > 0) break;
     Result<FrameHeader> header =
         DecodeHeader(rest, options_.max_body_bytes);
     if (!header.ok()) {
-      // kIoError here means "fewer than kHeaderSize bytes", which the
-      // size check above already excluded — every failure is a poisoned
-      // stream: answer once, flush, close.
+      // HeaderBytesNeeded returned 0, so this is never mere truncation —
+      // every failure (bad magic, future version, hostile trace id,
+      // oversized body) is a poisoned stream: answer once, flush, close.
       protocol_errors_->Increment();
       EnqueueResponse(conn, FrameHeader{}, header.status(), "");
       conn->close_after_flush = true;
       break;
     }
-    if (rest.size() - kHeaderSize < header.value().body_length) break;
+    const std::size_t header_size = header.value().header_size;
+    if (rest.size() - header_size < header.value().body_length) break;
     const std::string_view body =
-        rest.substr(kHeaderSize,
+        rest.substr(header_size,
                     static_cast<std::size_t>(header.value().body_length));
     if (Status verified = VerifyBody(header.value(), body); !verified.ok()) {
       protocol_errors_->Increment();
@@ -366,7 +372,7 @@ void Server::ParseFrames(const std::shared_ptr<Connection>& conn) {
       conn->close_after_flush = true;
       break;
     }
-    pos += kHeaderSize + body.size();
+    pos += header_size + body.size();
     Dispatch(conn, header.value(), std::string(body));
   }
   if (paused && !conn->paused) read_pauses_->Increment();
@@ -388,10 +394,22 @@ void Server::Dispatch(const std::shared_ptr<Connection>& conn,
   }
   if (static_cast<Verb>(header.verb) == Verb::kStats) {
     // Cheap and read-only: answered inline on the event loop, so stats
-    // stay scrapeable even when the workers are saturated.
-    EnqueueResponse(conn, header, Status::Ok(), [] {
+    // stay scrapeable even when the workers are saturated. The flag byte
+    // 0x01 also appends the span ring as Chrome trace JSON.
+    const bool want_trace = body.size() == 1 && body[0] == '\x01';
+    if (!body.empty() && !want_trace) {
+      EnqueueResponse(conn, header,
+                      Status::InvalidArgument("unknown stats request flags"),
+                      "");
+      return;
+    }
+    EnqueueResponse(conn, header, Status::Ok(), [want_trace] {
       store::Writer writer;
       writer.PutString(obs::MetricsRegistry::Global().RenderText());
+      if (want_trace) {
+        writer.PutString(
+            obs::RenderChromeTrace(obs::TraceRing::Global().Snapshot()));
+      }
       return writer.Take();
     }());
     return;
@@ -413,21 +431,61 @@ void Server::Dispatch(const std::shared_ptr<Connection>& conn,
     submit = api::SubmitOptions::After(
         std::chrono::microseconds(std::uint64_t{header.ttl_ms} * 1000));
   }
+  const std::string tenant_name = TenantName(header.tenant);
+  obs::MetricsRegistry::Global()
+      .GetCounter("ppdm_tenant_requests_total", {{"tenant", tenant_name}})
+      ->Increment();
+  obs::MetricsRegistry::Global()
+      .GetCounter("ppdm_tenant_bytes_total", {{"tenant", tenant_name}})
+      ->Increment(body.size());
+  // The request's root span: opened here, closed in the completion
+  // callback (possibly on a worker). A v2 frame's client trace id wins
+  // so the caller can stitch our tree into its own; otherwise mint one.
+  const std::uint64_t trace_id =
+      header.trace_id != 0 ? header.trace_id : obs::NewTraceId();
+  obs::PendingSpan request_span = obs::BeginSpan(
+      "net.request", obs::TraceContext{trace_id, 0},
+      obs::RenderLabelSet(
+          {{"tenant", tenant_name}, {"verb", VerbName(header.verb)}}));
   const auto started = std::chrono::steady_clock::now();
+  // Installed for the duration of Submit: the service captures it with
+  // the job, so the queue/run spans (and everything under the handler)
+  // become children of the request span, whichever worker runs them.
+  obs::ScopedTraceContext request_ctx(
+      obs::TraceContext{trace_id, request_span.span_id});
   auto handle = service_->Submit<std::string>(
       [this, header, body = std::move(body)]() {
         return HandleVerb(header, body);
       },
       submit);
-  handle.OnComplete([this, conn, header,
-                     started](const Result<std::string>& result) {
+  handle.OnComplete([this, conn, header, started, tenant_name, trace_id,
+                     request_span](const Result<std::string>& result) mutable {
     // Shed / expired / cancelled / handler errors all arrive here as the
     // result's Status and travel back inside the response envelope.
+    obs::EndSpan(&request_span);
     if (obs::TimingEnabled()) {
-      request_seconds_->Observe(
+      const double seconds =
           std::chrono::duration<double>(std::chrono::steady_clock::now() -
                                         started)
-              .count());
+              .count();
+      request_seconds_->Observe(seconds);
+      obs::MetricsRegistry::Global()
+          .GetHistogram("ppdm_tenant_request_seconds",
+                        obs::Histogram::LatencyBucketsSeconds(),
+                        obs::LabelSet{{"tenant", tenant_name}})
+          ->Observe(seconds);
+      if (options_.slow_request_ms > 0.0 &&
+          seconds * 1e3 >= options_.slow_request_ms) {
+        slow_requests_->Increment();
+        const std::string tree = obs::RenderSpanTree(
+            obs::TraceRing::Global().Snapshot(), trace_id);
+        std::fprintf(stderr,
+                     "[served] slow request (%.1f ms >= %.1f ms): %s\n%s",
+                     seconds * 1e3, options_.slow_request_ms,
+                     tenant_name.c_str(), tree.c_str());
+        std::lock_guard<std::mutex> lock(slow_mu_);
+        last_slow_tree_ = tree;
+      }
     }
     EnqueueResponse(conn, header,
                     result.ok() ? Status::Ok() : result.status(),
@@ -436,6 +494,11 @@ void Server::Dispatch(const std::shared_ptr<Connection>& conn,
     global_in_flight_.fetch_sub(1, std::memory_order_acq_rel);
     Wake();
   });
+}
+
+std::string Server::LastSlowRequestTree() const {
+  std::lock_guard<std::mutex> lock(slow_mu_);
+  return last_slow_tree_;
 }
 
 void Server::EnqueueResponse(const std::shared_ptr<Connection>& conn,

@@ -101,6 +101,11 @@ struct ServerOptions {
   /// defaults to max(rate, 1)); rate <= 0 disables rate limiting.
   double tenant_rate = 0.0;
   double tenant_burst = 0.0;
+
+  /// Slow-request log threshold: a request whose wall time reaches this
+  /// many milliseconds gets its rendered span tree logged to stderr (and
+  /// kept for LastSlowRequestTree). 0 disables the log.
+  double slow_request_ms = 0.0;
 };
 
 /// A running daemon. Construction via Start(); destruction stops it.
@@ -134,6 +139,11 @@ class Server {
 
   /// Tenants checkpointed by the last Stop().
   std::size_t drained_checkpoints() const { return drained_checkpoints_; }
+
+  /// The most recent slow-request span tree (empty until a request
+  /// crosses options().slow_request_ms). Test/diagnostic hook; the same
+  /// text goes to stderr when it is captured.
+  std::string LastSlowRequestTree() const;
 
  private:
   struct Connection;
@@ -207,6 +217,9 @@ class Server {
   Status stop_status_;              // guarded by stop_mu_
   std::size_t drained_checkpoints_ = 0;
 
+  mutable std::mutex slow_mu_;
+  std::string last_slow_tree_;  // guarded by slow_mu_
+
   // Instruments (process metrics registry; never destroyed).
   obs::Counter* connections_total_;
   obs::Gauge* connections_open_;
@@ -218,6 +231,7 @@ class Server {
   obs::Counter* drain_checkpoints_metric_;
   obs::Histogram* request_seconds_;
   obs::Counter* verb_requests_[7];  // indexed by verb, 0 = unknown
+  obs::Counter* slow_requests_;
 
   std::thread loop_thread_;
 

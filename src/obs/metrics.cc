@@ -31,7 +31,40 @@ double BitsDouble(std::uint64_t bits) {
   return value;
 }
 
+/// Identity of a family's shared past-the-bound series.
+constexpr const char* kOverflowLabels = "overflow=\"true\"";
+
+void AppendEscapedLabelValue(std::string* out, const std::string& value) {
+  for (const char c : value) {
+    switch (c) {
+      case '\\': *out += "\\\\"; break;
+      case '"': *out += "\\\""; break;
+      case '\n': *out += "\\n"; break;
+      default: *out += c;
+    }
+  }
+}
+
 }  // namespace
+
+std::string RenderLabelSet(const LabelSet& labels) {
+  std::vector<const Label*> sorted;
+  sorted.reserve(labels.size());
+  for (const Label& label : labels) sorted.push_back(&label);
+  std::sort(sorted.begin(), sorted.end(),
+            [](const Label* a, const Label* b) {
+              return a->key != b->key ? a->key < b->key : a->value < b->value;
+            });
+  std::string out;
+  for (const Label* label : sorted) {
+    if (!out.empty()) out += ",";
+    out += label->key;
+    out += "=\"";
+    AppendEscapedLabelValue(&out, label->value);
+    out += "\"";
+  }
+  return out;
+}
 
 void SetTimingEnabled(bool enabled) {
   g_timing_enabled.store(enabled, std::memory_order_relaxed);
@@ -166,47 +199,102 @@ MetricsRegistry::Instrument* MetricsRegistry::FindLocked(
   return nullptr;
 }
 
+MetricsRegistry::Instrument* MetricsRegistry::GetOrCreateLocked(
+    Kind kind, const std::string& name, const std::string& labels,
+    std::vector<double>* bounds) {
+  if (Instrument* existing = FindLocked(name, labels)) {
+    return existing;  // kind-mismatch Gets return a null member — first wins
+  }
+  Instrument& instrument = instruments_.emplace_back();
+  instrument.kind = kind;
+  instrument.name = name;
+  instrument.labels = labels;
+  switch (kind) {
+    case Kind::kCounter:
+      instrument.counter = std::make_unique<Counter>();
+      break;
+    case Kind::kGauge:
+      instrument.gauge = std::make_unique<Gauge>();
+      break;
+    case Kind::kHistogram:
+      instrument.histogram = std::make_unique<Histogram>(
+          bounds != nullptr ? std::move(*bounds) : std::vector<double>{});
+      break;
+  }
+  return &instrument;
+}
+
+std::string MetricsRegistry::AdmitSeriesLocked(const std::string& name,
+                                               const std::string& labels) {
+  // Unlabeled series and re-Gets of existing series are always admitted;
+  // the bound only gates the *creation* of new labeled series.
+  if (labels.empty() || labels == kOverflowLabels ||
+      FindLocked(name, labels) != nullptr) {
+    return labels;
+  }
+  std::size_t labeled = 0;
+  for (const Instrument& instrument : instruments_) {
+    if (instrument.name == name && !instrument.labels.empty() &&
+        instrument.labels != kOverflowLabels) {
+      ++labeled;
+    }
+  }
+  if (labeled < max_series_per_family_) return labels;
+  GetOrCreateLocked(Kind::kCounter, "ppdm_obs_series_overflow_total", "",
+                    nullptr)
+      ->counter->Increment();
+  return kOverflowLabels;
+}
+
 Counter* MetricsRegistry::GetCounter(const std::string& name,
                                      const std::string& labels) {
   std::lock_guard<std::mutex> lock(mu_);
-  if (Instrument* existing = FindLocked(name, labels)) {
-    return existing->counter.get();  // null on kind mismatch — first wins
-  }
-  Instrument& instrument = instruments_.emplace_back();
-  instrument.kind = Kind::kCounter;
-  instrument.name = name;
-  instrument.labels = labels;
-  instrument.counter = std::make_unique<Counter>();
-  return instrument.counter.get();
+  return GetOrCreateLocked(Kind::kCounter, name,
+                           AdmitSeriesLocked(name, labels), nullptr)
+      ->counter.get();
 }
 
 Gauge* MetricsRegistry::GetGauge(const std::string& name,
                                  const std::string& labels) {
   std::lock_guard<std::mutex> lock(mu_);
-  if (Instrument* existing = FindLocked(name, labels)) {
-    return existing->gauge.get();
-  }
-  Instrument& instrument = instruments_.emplace_back();
-  instrument.kind = Kind::kGauge;
-  instrument.name = name;
-  instrument.labels = labels;
-  instrument.gauge = std::make_unique<Gauge>();
-  return instrument.gauge.get();
+  return GetOrCreateLocked(Kind::kGauge, name,
+                           AdmitSeriesLocked(name, labels), nullptr)
+      ->gauge.get();
 }
 
 Histogram* MetricsRegistry::GetHistogram(const std::string& name,
                                          std::vector<double> bounds,
                                          const std::string& labels) {
   std::lock_guard<std::mutex> lock(mu_);
-  if (Instrument* existing = FindLocked(name, labels)) {
-    return existing->histogram.get();
-  }
-  Instrument& instrument = instruments_.emplace_back();
-  instrument.kind = Kind::kHistogram;
-  instrument.name = name;
-  instrument.labels = labels;
-  instrument.histogram = std::make_unique<Histogram>(std::move(bounds));
-  return instrument.histogram.get();
+  return GetOrCreateLocked(Kind::kHistogram, name,
+                           AdmitSeriesLocked(name, labels), &bounds)
+      ->histogram.get();
+}
+
+Counter* MetricsRegistry::GetCounter(const std::string& name,
+                                     const LabelSet& labels) {
+  return GetCounter(name, RenderLabelSet(labels));
+}
+
+Gauge* MetricsRegistry::GetGauge(const std::string& name,
+                                 const LabelSet& labels) {
+  return GetGauge(name, RenderLabelSet(labels));
+}
+
+Histogram* MetricsRegistry::GetHistogram(const std::string& name,
+                                         std::vector<double> bounds,
+                                         const LabelSet& labels) {
+  return GetHistogram(name, std::move(bounds), RenderLabelSet(labels));
+}
+
+void MetricsRegistry::set_max_series_per_family(std::size_t max) {
+  std::lock_guard<std::mutex> lock(mu_);
+  max_series_per_family_ = max == 0 ? 1 : max;
+}
+
+std::size_t MetricsRegistry::max_series_per_family() const {
+  std::lock_guard<std::mutex> lock(mu_);
+  return max_series_per_family_;
 }
 
 const Histogram* MetricsRegistry::FindHistogram(

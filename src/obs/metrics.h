@@ -51,6 +51,21 @@ namespace ppdm::obs {
 void SetTimingEnabled(bool enabled);
 bool TimingEnabled();
 
+/// One label dimension of an instrument (e.g. {tenant, "t7"}).
+struct Label {
+  std::string key;
+  std::string value;
+};
+
+/// An instrument's label dimensions. Order-insensitive: the registry
+/// canonicalises via RenderLabelSet, so {a,b} and {b,a} are one series.
+using LabelSet = std::vector<Label>;
+
+/// Canonical Prometheus label body for `labels`: key-sorted `key="value"`
+/// pairs joined with commas, values escaped (backslash, quote, newline).
+/// The rendered string is the registry's series identity.
+std::string RenderLabelSet(const LabelSet& labels);
+
 namespace internal {
 
 /// Number of independent cells an instrument stripes its increments over.
@@ -239,6 +254,29 @@ class MetricsRegistry {
                           std::vector<double> bounds,
                           const std::string& labels = "");
 
+  /// Labeled-family getters: identity is (name, canonical label render),
+  /// so {a,b} and {b,a} resolve to one series. Cardinality is hard-
+  /// bounded: each family admits at most max_series_per_family() labeled
+  /// series; once full, further *new* label sets all resolve to the
+  /// family's shared `overflow="true"` series (and bump
+  /// ppdm_obs_series_overflow_total) instead of evicting anything —
+  /// existing series keep their pointers and identity forever, so a
+  /// hostile tenant churning label values cannot unbound the exposition
+  /// or invalidate a cached instrument pointer.
+  Counter* GetCounter(const std::string& name, const LabelSet& labels);
+  Gauge* GetGauge(const std::string& name, const LabelSet& labels);
+  Histogram* GetHistogram(const std::string& name, std::vector<double> bounds,
+                          const LabelSet& labels);
+
+  /// Per-family cap on distinct labeled series (unlabeled series are
+  /// exempt; the overflow series doesn't count toward it).
+  static constexpr std::size_t kDefaultMaxSeriesPerFamily = 64;
+
+  /// Test hook: tightens/loosens the labeled-series cap. Takes effect for
+  /// future registrations only; never evicts.
+  void set_max_series_per_family(std::size_t max);
+  std::size_t max_series_per_family() const;
+
   /// The already-registered histogram, or null — the read-only side used
   /// by reporters that render percentiles for instruments someone else
   /// owns (bench_util's ThroughputReporter).
@@ -268,10 +306,18 @@ class MetricsRegistry {
   };
 
   Instrument* FindLocked(const std::string& name, const std::string& labels);
+  Instrument* GetOrCreateLocked(Kind kind, const std::string& name,
+                                const std::string& labels,
+                                std::vector<double>* bounds);
+  /// `labels` if the family still has room for it, else the overflow
+  /// identity (bumping the overflow counter).
+  std::string AdmitSeriesLocked(const std::string& name,
+                                const std::string& labels);
 
   mutable std::mutex mu_;
   /// Registration order; deque so Instrument addresses are stable.
   std::deque<Instrument> instruments_;
+  std::size_t max_series_per_family_ = kDefaultMaxSeriesPerFamily;  // mu_
 };
 
 }  // namespace ppdm::obs

@@ -174,7 +174,9 @@ std::string SnapshotStore::PathFor(const std::string& name) const {
 
 Status SnapshotStore::Put(const std::string& name,
                           std::string_view bytes) const {
-  obs::ScopedSpan span("store.put", &StoreMetrics::Get().put_seconds);
+  obs::ScopedSpan span("store.put", &StoreMetrics::Get().put_seconds,
+                       &obs::TraceRing::Global(),
+                       obs::RenderLabelSet({{"key", name}}));
   StoreMetrics::Get().puts.Increment();
   // An empty name would encode to the dotfile ".snap" — reachable by
   // Get/Contains but invisible to the extension-driven List/Count scans.
@@ -274,7 +276,9 @@ Status SnapshotStore::PutOnce(const std::string& name,
 }
 
 Result<std::string> SnapshotStore::Get(const std::string& name) const {
-  obs::ScopedSpan span("store.get", &StoreMetrics::Get().get_seconds);
+  obs::ScopedSpan span("store.get", &StoreMetrics::Get().get_seconds,
+                       &obs::TraceRing::Global(),
+                       obs::RenderLabelSet({{"key", name}}));
   StoreMetrics::Get().gets.Increment();
   return retry::Retry(retry_, [&] { return GetOnce(name); });
 }

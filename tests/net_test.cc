@@ -8,9 +8,11 @@
 // process keeps serving), and drain→restart→resume preserving every
 // tenant's state exactly.
 
+#include <algorithm>
 #include <chrono>
 #include <cstdint>
 #include <filesystem>
+#include <map>
 #include <memory>
 #include <string>
 #include <vector>
@@ -19,11 +21,14 @@
 
 #include "api/dataset_session.h"
 #include "common/fault.h"
+#include "common/strings.h"
 #include "data/row_batch.h"
 #include "net/client.h"
 #include "net/frame.h"
 #include "net/rate_limiter.h"
 #include "net/server.h"
+#include "obs/metrics.h"
+#include "obs/trace.h"
 #include "perturb/randomizer.h"
 #include "store/codec.h"
 #include "synth/generator.h"
@@ -119,7 +124,9 @@ TEST(FrameTest, RoundTripPreservesEveryField) {
 
   Result<Frame> frame = DecodeFrame(wire);
   ASSERT_TRUE(frame.ok()) << frame.status().ToString();
-  EXPECT_EQ(frame.value().header.version, kProtocolVersion);
+  // Without a trace id the encoder stays on the compact v1 layout.
+  EXPECT_EQ(frame.value().header.version, 1u);
+  EXPECT_EQ(frame.value().header.trace_id, 0u);
   EXPECT_EQ(frame.value().header.verb,
             static_cast<std::uint32_t>(Verb::kIngest));
   EXPECT_EQ(frame.value().header.request_id, 42u);
@@ -186,6 +193,72 @@ TEST(FrameTest, FutureVersionAndWrongMagicAreCleanErrors) {
   wire[0] = 'X';
   header = DecodeHeader(std::string_view(wire.data(), kHeaderSize),
                         kDefaultMaxBodyBytes);
+  ASSERT_FALSE(header.ok());
+  EXPECT_EQ(header.status().code(), StatusCode::kInvalidArgument);
+}
+
+TEST(FrameTest, TraceIdRidesV2FramesAndRoundTrips) {
+  const std::string body = "traced payload";
+  const std::uint64_t trace = 0x0123456789abcdefULL;
+  const std::string wire =
+      EncodeFrame(Verb::kIngest, /*request_id=*/5, /*tenant=*/2,
+                  /*ttl_ms=*/0, body, trace);
+  ASSERT_EQ(wire.size(), kHeaderSize + 4 + kMaxTraceHexChars + body.size());
+
+  Result<Frame> frame = DecodeFrame(wire);
+  ASSERT_TRUE(frame.ok()) << frame.status().ToString();
+  EXPECT_EQ(frame.value().header.version, kProtocolVersion);
+  EXPECT_EQ(frame.value().header.trace_id, trace);
+  EXPECT_EQ(frame.value().header.header_size,
+            kHeaderSize + 4 + kMaxTraceHexChars);
+  EXPECT_EQ(frame.value().body, body);
+
+  // The streaming parser's incremental sizing: starting from nothing,
+  // HeaderBytesNeeded converges on the full v2 header in bounded steps.
+  std::string accum;
+  int steps = 0;
+  for (std::size_t needed = HeaderBytesNeeded(accum); needed > 0;
+       needed = HeaderBytesNeeded(accum)) {
+    ASSERT_LT(++steps, 8);
+    accum.append(wire, accum.size(), needed);
+  }
+  EXPECT_EQ(accum.size(), frame.value().header.header_size);
+  // And every shorter prefix of the v2 header is still "wait for bytes".
+  for (std::size_t len = 0; len < accum.size(); ++len) {
+    EXPECT_EQ(DecodeHeader(std::string_view(wire.data(), len),
+                           kDefaultMaxBodyBytes)
+                  .status()
+                  .code(),
+              StatusCode::kIoError)
+        << "prefix length " << len;
+  }
+}
+
+TEST(FrameTest, HostileTraceIdsAreCleanStatusErrors) {
+  const std::string good =
+      EncodeFrame(Verb::kStats, 1, 0, 0, "", /*trace_id=*/0xdeadbeefULL);
+
+  // Declared trace length beyond the cap: rejected before any
+  // accumulation (bytes 32..35 are the little-endian length word).
+  std::string oversized = good;
+  oversized[32] = 17;
+  Result<FrameHeader> header = DecodeHeader(oversized, kDefaultMaxBodyBytes);
+  ASSERT_FALSE(header.ok());
+  EXPECT_EQ(header.status().code(), StatusCode::kInvalidArgument);
+  // A hostile length must not make the parser wait for phantom bytes.
+  EXPECT_EQ(HeaderBytesNeeded(oversized), 0u);
+
+  // Non-hex characters inside the trace field.
+  std::string nonhex = good;
+  nonhex[36] = 'g';
+  header = DecodeHeader(nonhex, kDefaultMaxBodyBytes);
+  ASSERT_FALSE(header.ok());
+  EXPECT_EQ(header.status().code(), StatusCode::kInvalidArgument);
+
+  // An all-zero trace id claims v2 but carries no identity.
+  std::string zero = good;
+  for (std::size_t i = 36; i < 36 + kMaxTraceHexChars; ++i) zero[i] = '0';
+  header = DecodeHeader(zero, kDefaultMaxBodyBytes);
   ASSERT_FALSE(header.ok());
   EXPECT_EQ(header.status().code(), StatusCode::kInvalidArgument);
 }
@@ -503,6 +576,157 @@ TEST(ServerTest, StatsVerbServesTheMetricsExposition) {
   EXPECT_NE(stats.value().find("ppdm_net_connections_total"),
             std::string::npos);
   EXPECT_NE(stats.value().find("ppdm_net_requests_total"), std::string::npos);
+  ASSERT_TRUE(server.value()->Stop().ok());
+}
+
+TEST(ServerTest, HostileTraceIdFramesAnswerErrorsAndNeverAbort) {
+  Result<std::unique_ptr<Server>> server = Server::Start(LoopbackOptions(2));
+  ASSERT_TRUE(server.ok()) << server.status().ToString();
+  const int port = server.value()->port();
+
+  const std::string good =
+      EncodeFrame(Verb::kStats, 1, 0, 0, "", /*trace_id=*/0xdeadbeefULL);
+  struct HostileCase {
+    std::string name;
+    std::string bytes;
+  };
+  std::vector<HostileCase> cases;
+  {
+    std::string oversized = good;
+    oversized[32] = 17;  // declared trace length beyond the 16-char cap
+    cases.push_back({"oversized trace length", oversized});
+  }
+  {
+    std::string nonhex = good;
+    nonhex[36] = 'g';
+    cases.push_back({"non-hex trace id", nonhex});
+  }
+  {
+    std::string zero = good;
+    for (std::size_t i = 36; i < 36 + kMaxTraceHexChars; ++i) zero[i] = '0';
+    cases.push_back({"zero trace id", zero});
+  }
+  for (const HostileCase& hostile : cases) {
+    SCOPED_TRACE(hostile.name);
+    Result<Client> client = Client::Connect("127.0.0.1", port);
+    ASSERT_TRUE(client.ok());
+    ASSERT_TRUE(client.value().SendRaw(hostile.bytes).ok());
+    Result<Frame> response = client.value().ReadFrame();
+    ASSERT_TRUE(response.ok()) << response.status().ToString();
+    Result<ResponseBody> envelope =
+        DecodeResponseBody(response.value().body);
+    ASSERT_TRUE(envelope.ok()) << envelope.status().ToString();
+    EXPECT_EQ(envelope.value().status.code(), StatusCode::kInvalidArgument);
+  }
+
+  // A well-formed traced request still works after the abuse.
+  Result<Client> client = Client::Connect("127.0.0.1", port);
+  ASSERT_TRUE(client.ok());
+  client.value().set_trace_id(obs::NewTraceId());
+  EXPECT_TRUE(client.value().Stats().ok());
+  ASSERT_TRUE(server.value()->Stop().ok());
+}
+
+TEST(ServerTest, ClientTraceIdYieldsACausalTreeWithLabeledMetrics) {
+  TempDir dir;
+  ServerOptions options = LoopbackOptions(2);
+  options.checkpoint_dir = dir.path;
+  // Threshold low enough that every request trips the slow-request log.
+  options.slow_request_ms = 1e-6;
+  Result<std::unique_ptr<Server>> server = Server::Start(options);
+  ASSERT_TRUE(server.ok()) << server.status().ToString();
+  Result<Client> client =
+      Client::Connect("127.0.0.1", server.value()->port());
+  ASSERT_TRUE(client.ok());
+
+  const std::uint64_t trace = obs::NewTraceId();
+  client.value().set_trace_id(trace);
+  const api::DatasetSessionSpec spec = BenchmarkDatasetSpec(1);
+  ASSERT_TRUE(client.value().Open(1, spec).ok());
+  std::size_t num_cols = 0;
+  const std::vector<double> rows = PerturbedRows(150, &num_cols);
+  ASSERT_TRUE(client.value()
+                  .Ingest(1, rows.size() / num_cols, num_cols, rows)
+                  .ok());
+  ASSERT_TRUE(client.value().Reconstruct(1).ok());
+  ASSERT_TRUE(client.value().Snapshot(1).ok());
+
+  // Every span of our trace, linked by parent ids, must form a tree at
+  // least four causal levels deep: net.request → service.run →
+  // session work → engine fan-out (and the snapshot leg reaches
+  // store.put the same way).
+  const std::vector<obs::SpanEvent> spans =
+      obs::TraceRing::Global().Snapshot();
+  std::map<std::uint64_t, const obs::SpanEvent*> by_id;
+  for (const obs::SpanEvent& span : spans) {
+    if (span.trace_id == trace) by_id[span.span_id] = &span;
+  }
+  ASSERT_FALSE(by_id.empty());
+  std::size_t max_depth = 0;
+  std::vector<std::string> seen;
+  for (const auto& [id, span] : by_id) {
+    std::size_t depth = 0;
+    const obs::SpanEvent* walk = span;
+    while (walk->parent_id != 0) {
+      const auto parent = by_id.find(walk->parent_id);
+      ASSERT_NE(parent, by_id.end())
+          << span->name << " has a parent outside its own trace";
+      walk = parent->second;
+      ASSERT_LT(++depth, 32u);
+    }
+    max_depth = std::max(max_depth, depth);
+    seen.push_back(span->name);
+  }
+  EXPECT_GE(max_depth, 3u) << "tree is fewer than 4 levels deep";
+  const auto saw = [&seen](const std::string& name) {
+    return std::find(seen.begin(), seen.end(), name) != seen.end();
+  };
+  EXPECT_TRUE(saw("net.request"));
+  EXPECT_TRUE(saw("service.queue"));
+  EXPECT_TRUE(saw("service.run"));
+  EXPECT_TRUE(saw("engine.parallel_for"));
+  EXPECT_TRUE(saw("store.put"));
+
+  // The root carries the tenant and verb labels.
+  bool root_labeled = false;
+  for (const auto& [id, span] : by_id) {
+    if (span->name == "net.request" && span->parent_id == 0 &&
+        span->labels.find("tenant=\"t1\"") != std::string::npos) {
+      root_labeled = true;
+    }
+  }
+  EXPECT_TRUE(root_labeled);
+
+  // The stats verb's trace flag returns Chrome JSON holding our trace id.
+  Result<std::string> chrome = client.value().Trace();
+  ASSERT_TRUE(chrome.ok()) << chrome.status().ToString();
+  EXPECT_NE(chrome.value().find("\"traceEvents\""), std::string::npos);
+  EXPECT_NE(chrome.value().find(StrFormat(
+                "%016llx", static_cast<unsigned long long>(trace))),
+            std::string::npos);
+  // An undersized stats body that is not the trace flag is an error.
+  Result<ResponseBody> bogus =
+      client.value().Call(Verb::kStats, 0, 0, std::string_view("\x02", 1));
+  ASSERT_TRUE(bogus.ok());
+  EXPECT_EQ(bogus.value().status.code(), StatusCode::kInvalidArgument);
+
+  // Per-tenant labeled series flow through the exposition.
+  Result<std::string> stats = client.value().Stats();
+  ASSERT_TRUE(stats.ok());
+  EXPECT_NE(stats.value().find("ppdm_tenant_requests_total{tenant=\"t1\"}"),
+            std::string::npos);
+  EXPECT_NE(stats.value().find("ppdm_tenant_bytes_total{tenant=\"t1\"}"),
+            std::string::npos);
+  EXPECT_NE(
+      stats.value().find("ppdm_tenant_request_seconds_count{tenant=\"t1\"}"),
+      std::string::npos);
+  EXPECT_NE(stats.value().find("ppdm_trace_recorded_total"),
+            std::string::npos);
+
+  // Every request crossed the 1ns slow threshold, so the daemon kept a
+  // rendered tree of the most recent offender.
+  const std::string slow = server.value()->LastSlowRequestTree();
+  EXPECT_NE(slow.find("net.request"), std::string::npos);
   ASSERT_TRUE(server.value()->Stop().ok());
 }
 

@@ -13,6 +13,7 @@
 #include <gtest/gtest.h>
 
 #include "api/dataset_session.h"
+#include "api/service.h"
 #include "common/random.h"
 #include "data/row_batch.h"
 #include "engine/thread_pool.h"
@@ -281,6 +282,281 @@ TEST(ScopedSpanTest, RecordsRingAndHistogram) {
   EXPECT_EQ(histogram.Count(), 1u);
 }
 
+TEST(TraceContextTest, IdsAreNonZeroAndDistinct) {
+  const std::uint64_t a = obs::NewTraceId();
+  const std::uint64_t b = obs::NewTraceId();
+  EXPECT_NE(a, 0u);
+  EXPECT_NE(b, 0u);
+  EXPECT_NE(a, b);
+  EXPECT_NE(obs::NewSpanId(), obs::NewSpanId());
+}
+
+TEST(TraceContextTest, ScopedAdoptInstallsAndRestores) {
+  EXPECT_EQ(obs::TraceContext::Current().trace_id, 0u);
+  {
+    obs::ScopedTraceContext outer(obs::TraceContext{42, 7});
+    EXPECT_EQ(obs::TraceContext::Current().trace_id, 42u);
+    EXPECT_EQ(obs::TraceContext::Current().span_id, 7u);
+    {
+      obs::ScopedTraceContext inner(obs::TraceContext{43, 8});
+      EXPECT_EQ(obs::TraceContext::Current().trace_id, 43u);
+    }
+    EXPECT_EQ(obs::TraceContext::Current().trace_id, 42u);
+    EXPECT_EQ(obs::TraceContext::Current().span_id, 7u);
+  }
+  EXPECT_EQ(obs::TraceContext::Current().trace_id, 0u);
+}
+
+// Nested ScopedSpans under an adopted context must form a well-nested
+// tree: each child's parent is the enclosing span, all share the trace.
+TEST(ScopedSpanTest, NestedSpansParentCorrectly) {
+  TraceRing ring(8);
+  const std::uint64_t trace = obs::NewTraceId();
+  {
+    obs::ScopedTraceContext adopt(obs::TraceContext{trace, 7});
+    ScopedSpan outer("obs_test.outer", nullptr, &ring);
+    { ScopedSpan inner("obs_test.inner", nullptr, &ring); }
+  }
+  const std::vector<SpanEvent> spans = ring.Snapshot();
+  ASSERT_EQ(spans.size(), 2u);
+  const SpanEvent& inner = spans[0];  // closes first
+  const SpanEvent& outer = spans[1];
+  EXPECT_EQ(inner.name, "obs_test.inner");
+  EXPECT_EQ(outer.name, "obs_test.outer");
+  EXPECT_EQ(outer.trace_id, trace);
+  EXPECT_EQ(inner.trace_id, trace);
+  EXPECT_EQ(outer.parent_id, 7u);
+  EXPECT_EQ(inner.parent_id, outer.span_id);
+  EXPECT_NE(inner.span_id, outer.span_id);
+  // Well-nested in time too.
+  EXPECT_GE(inner.start_ns, outer.start_ns);
+  EXPECT_LE(inner.start_ns + inner.duration_ns,
+            outer.start_ns + outer.duration_ns);
+}
+
+TEST(PendingSpanTest, BeginEndRecordsOnceAndIsIdempotent) {
+  TraceRing ring(8);
+  const std::uint64_t trace = obs::NewTraceId();
+  obs::PendingSpan pending =
+      obs::BeginSpan("obs_test.pending", obs::TraceContext{trace, 0},
+                     "tenant=\"t1\"");
+  obs::EndSpan(&pending, &ring);
+  obs::EndSpan(&pending, &ring);  // second close must be a no-op
+  const std::vector<SpanEvent> spans = ring.Snapshot();
+  ASSERT_EQ(spans.size(), 1u);
+  EXPECT_EQ(spans[0].name, "obs_test.pending");
+  EXPECT_EQ(spans[0].trace_id, trace);
+  EXPECT_EQ(spans[0].parent_id, 0u);
+  EXPECT_EQ(spans[0].labels, "tenant=\"t1\"");
+
+  obs::SetTimingEnabled(false);
+  obs::PendingSpan disarmed =
+      obs::BeginSpan("obs_test.disarmed", obs::TraceContext{trace, 0});
+  obs::EndSpan(&disarmed, &ring);
+  obs::SetTimingEnabled(true);
+  EXPECT_EQ(ring.Snapshot().size(), 1u);
+}
+
+// Concurrent requests, each its own trace: every trace's spans must stay
+// self-contained (no cross-trace parents) and well-nested in time.
+TEST(SpanTreeTest, ConcurrentRequestsStayWellNested) {
+  TraceRing ring(256);
+  constexpr int kRequests = 8;
+  std::vector<std::uint64_t> traces(kRequests);
+  std::vector<std::thread> threads;
+  for (int r = 0; r < kRequests; ++r) {
+    traces[r] = obs::NewTraceId();
+    threads.emplace_back([&ring, trace = traces[r]] {
+      obs::ScopedTraceContext adopt(obs::TraceContext{trace, 0});
+      ScopedSpan request("obs_test.request", nullptr, &ring);
+      for (int i = 0; i < 3; ++i) {
+        ScopedSpan step("obs_test.step", nullptr, &ring);
+      }
+    });
+  }
+  for (std::thread& thread : threads) thread.join();
+  const std::vector<SpanEvent> spans = ring.Snapshot();
+  ASSERT_EQ(spans.size(), static_cast<std::size_t>(kRequests) * 4);
+  for (const std::uint64_t trace : traces) {
+    const SpanEvent* root = nullptr;
+    std::vector<const SpanEvent*> members;
+    for (const SpanEvent& span : spans) {
+      if (span.trace_id != trace) continue;
+      members.push_back(&span);
+      if (span.parent_id == 0) root = &span;
+    }
+    ASSERT_EQ(members.size(), 4u);
+    ASSERT_NE(root, nullptr);
+    EXPECT_EQ(root->name, "obs_test.request");
+    for (const SpanEvent* span : members) {
+      if (span == root) continue;
+      // Every step hangs off the request and fits inside it.
+      EXPECT_EQ(span->parent_id, root->span_id);
+      EXPECT_GE(span->start_ns, root->start_ns);
+      EXPECT_LE(span->start_ns + span->duration_ns,
+                root->start_ns + root->duration_ns);
+    }
+  }
+  const std::string tree = obs::RenderSpanTree(spans, traces[0]);
+  EXPECT_NE(tree.find("obs_test.request"), std::string::npos);
+  EXPECT_NE(tree.find("  obs_test.step"), std::string::npos);  // indented
+}
+
+// Jobs submitted through api::Service must carry the caller's trace
+// across the queue: service.queue and service.run surface as siblings
+// under the submitting span's context, on every thread shape.
+TEST(ServicePropagationTest, QueueAndRunJoinTheCallersTrace) {
+  for (const std::size_t threads : {std::size_t{0}, std::size_t{2}}) {
+    engine::BatchOptions batch;
+    batch.num_threads = threads;
+    Result<std::unique_ptr<api::Service>> service =
+        api::Service::Create(batch);
+    ASSERT_TRUE(service.ok()) << service.status().message();
+    const std::uint64_t trace = obs::NewTraceId();
+    {
+      obs::ScopedTraceContext adopt(obs::TraceContext{trace, 11});
+      api::JobHandle<int> handle =
+          service.value()->Submit<int>([]() -> Result<int> { return 5; });
+      const Result<int> settled = handle.Wait();
+      ASSERT_TRUE(settled.ok());
+      EXPECT_EQ(settled.value(), 5);
+    }
+    bool saw_queue = false;
+    bool saw_run = false;
+    for (const SpanEvent& span : TraceRing::Global().Snapshot()) {
+      if (span.trace_id != trace) continue;
+      EXPECT_EQ(span.parent_id, 11u);
+      if (span.name == "service.queue") saw_queue = true;
+      if (span.name == "service.run") saw_run = true;
+    }
+    EXPECT_TRUE(saw_queue) << "threads=" << threads;
+    EXPECT_TRUE(saw_run) << "threads=" << threads;
+  }
+}
+
+TEST(TraceRingTest, GlobalRingFeedsRecordedAndDroppedCounters) {
+  auto& registry = MetricsRegistry::Global();
+  Counter* recorded = registry.GetCounter("ppdm_trace_recorded_total");
+  Counter* dropped = registry.GetCounter("ppdm_trace_dropped_total");
+  const std::uint64_t recorded_before = recorded->Value();
+  const std::uint64_t dropped_before = dropped->Value();
+  const std::size_t capacity = TraceRing::Global().capacity();
+  for (std::size_t i = 0; i < capacity + 5; ++i) {
+    TraceRing::Global().Record("obs_test.flood", 1, 1);
+  }
+  EXPECT_GE(recorded->Value(), recorded_before + capacity + 5);
+  EXPECT_GE(dropped->Value() - dropped_before, 5u);
+  // A private ring never touches the process counters.
+  TraceRing local(2);
+  const std::uint64_t recorded_mid = recorded->Value();
+  local.Record("obs_test.local", 1, 1);
+  EXPECT_EQ(recorded->Value(), recorded_mid);
+  // Both families are present in the exposition.
+  const std::string text = registry.RenderText();
+  EXPECT_NE(text.find("ppdm_trace_recorded_total"), std::string::npos);
+  EXPECT_NE(text.find("ppdm_trace_dropped_total"), std::string::npos);
+}
+
+TEST(LabelSetTest, RenderCanonicalizesOrderAndEscapes) {
+  EXPECT_EQ(obs::RenderLabelSet({}), "");
+  EXPECT_EQ(obs::RenderLabelSet({{"tenant", "t1"}}), "tenant=\"t1\"");
+  // Sorted by key regardless of insertion order.
+  EXPECT_EQ(obs::RenderLabelSet({{"verb", "open"}, {"tenant", "t1"}}),
+            "tenant=\"t1\",verb=\"open\"");
+  // Quotes, backslashes and newlines escape per the Prometheus text rules.
+  EXPECT_EQ(obs::RenderLabelSet({{"key", "a\"b\\c\nd"}}),
+            "key=\"a\\\"b\\\\c\\nd\"");
+}
+
+TEST(LabelSetTest, LabelSetAndStringFormsShareInstruments) {
+  MetricsRegistry registry;
+  Counter* by_set = registry.GetCounter("obs_test_family_total",
+                                        obs::LabelSet{{"tenant", "t1"}});
+  Counter* by_string =
+      registry.GetCounter("obs_test_family_total", "tenant=\"t1\"");
+  EXPECT_EQ(by_set, by_string);
+  by_set->Increment(3);
+  const std::string text = registry.RenderText();
+  EXPECT_NE(text.find("obs_test_family_total{tenant=\"t1\"} 3"),
+            std::string::npos);
+}
+
+// The cardinality bound: series beyond the per-family cap collapse into
+// one shared overflow series — existing series keep their pointers (no
+// eviction, ever) and the refusal is itself counted.
+TEST(LabelSetTest, CardinalityBoundCollapsesIntoOverflowSeries) {
+  MetricsRegistry registry;
+  registry.set_max_series_per_family(2);
+  Counter* t1 = registry.GetCounter("obs_test_bound_total",
+                                    obs::LabelSet{{"tenant", "t1"}});
+  Counter* t2 = registry.GetCounter("obs_test_bound_total",
+                                    obs::LabelSet{{"tenant", "t2"}});
+  EXPECT_NE(t1, t2);
+  Counter* t3 = registry.GetCounter("obs_test_bound_total",
+                                    obs::LabelSet{{"tenant", "t3"}});
+  Counter* t4 = registry.GetCounter("obs_test_bound_total",
+                                    obs::LabelSet{{"tenant", "t4"}});
+  // Both overflow requests land on the same shared series.
+  EXPECT_EQ(t3, t4);
+  EXPECT_NE(t3, t1);
+  EXPECT_NE(t3, t2);
+  // Admitted series survive the pressure — no eviction.
+  EXPECT_EQ(t1, registry.GetCounter("obs_test_bound_total",
+                                    obs::LabelSet{{"tenant", "t1"}}));
+  // The unlabeled series and other families stay unaffected.
+  EXPECT_NE(registry.GetCounter("obs_test_bound_total"), t3);
+  EXPECT_NE(registry.GetCounter("obs_test_other_total",
+                                obs::LabelSet{{"tenant", "t9"}}),
+            t3);
+  // The refusals were counted.
+  EXPECT_GE(registry.GetCounter("ppdm_obs_series_overflow_total")->Value(),
+            2u);
+  t3->Increment();
+  const std::string text = registry.RenderText();
+  EXPECT_NE(text.find("obs_test_bound_total{overflow=\"true\"} 1"),
+            std::string::npos);
+}
+
+TEST(ChromeTraceTest, RendersValidEventShape) {
+  TraceRing ring(8);
+  const std::uint64_t trace = obs::NewTraceId();
+  {
+    obs::ScopedTraceContext adopt(obs::TraceContext{trace, 0});
+    ScopedSpan span("obs_test.chrome", nullptr, &ring,
+                    "tenant=\"t\\\"1\"");
+  }
+  const std::string json = obs::RenderChromeTrace(ring.Snapshot());
+  EXPECT_NE(json.find("\"displayTimeUnit\""), std::string::npos);
+  EXPECT_NE(json.find("\"traceEvents\""), std::string::npos);
+  EXPECT_NE(json.find("\"name\":\"obs_test.chrome\""), std::string::npos);
+  EXPECT_NE(json.find("\"ph\":\"X\""), std::string::npos);
+  // Label quotes arrive JSON-escaped, not raw.
+  EXPECT_NE(json.find("tenant=\\\"t"), std::string::npos);
+  EXPECT_EQ(json.find("tenant=\"t"), std::string::npos);
+  // Balanced braces/brackets (cheap well-formedness check).
+  std::ptrdiff_t braces = 0;
+  std::ptrdiff_t brackets = 0;
+  bool in_string = false;
+  for (std::size_t i = 0; i < json.size(); ++i) {
+    const char c = json[i];
+    if (in_string) {
+      if (c == '\\') ++i;
+      else if (c == '"') in_string = false;
+      continue;
+    }
+    if (c == '"') in_string = true;
+    if (c == '{') ++braces;
+    if (c == '}') --braces;
+    if (c == '[') ++brackets;
+    if (c == ']') --brackets;
+  }
+  EXPECT_EQ(braces, 0);
+  EXPECT_EQ(brackets, 0);
+  // An empty snapshot still renders a loadable document.
+  EXPECT_NE(obs::RenderChromeTrace({}).find("\"traceEvents\":["),
+            std::string::npos);
+}
+
 // ------------------------------------------------------------ determinism
 //
 // The layer's core contract: instrumenting the serving stack changes
@@ -353,6 +629,32 @@ TEST(DeterminismTest, MetricsNeverPerturbReconstruction) {
   const std::vector<double> one = ReconstructedBits(1);
   EXPECT_TRUE(BitIdentical(one, ReconstructedBits(2)));
   EXPECT_TRUE(BitIdentical(one, ReconstructedBits(8)));
+}
+
+// Same contract for causal tracing: running the whole pipeline inside an
+// active trace (context installed, spans recording to the global ring)
+// changes nothing, at every thread shape, and neither does disabling
+// instrumentation outright.
+TEST(DeterminismTest, TracingNeverPerturbsReconstruction) {
+  ASSERT_TRUE(obs::TimingEnabled());
+  for (const std::size_t threads : {0, 1, 2, 8}) {
+    const std::vector<double> untraced = ReconstructedBits(threads);
+    ASSERT_FALSE(untraced.empty());
+    std::vector<double> traced;
+    {
+      obs::ScopedTraceContext adopt(
+          obs::TraceContext{obs::NewTraceId(), 0});
+      ScopedSpan root("obs_test.traced_request");
+      traced = ReconstructedBits(threads);
+    }
+    EXPECT_TRUE(BitIdentical(untraced, traced))
+        << "tracing on/off diverge at threads=" << threads;
+    obs::SetTimingEnabled(false);
+    const std::vector<double> disarmed = ReconstructedBits(threads);
+    obs::SetTimingEnabled(true);
+    EXPECT_TRUE(BitIdentical(untraced, disarmed))
+        << "disarmed tracing diverges at threads=" << threads;
+  }
 }
 
 }  // namespace
